@@ -1,0 +1,147 @@
+package linconstraint
+
+// One benchmark per table row and figure of the paper (DESIGN.md §4
+// experiment index), each delegating to the harness experiment and
+// reporting the fitted growth exponents as benchmark metrics, plus
+// micro-benchmarks of the individual query paths. Benchmarks run the
+// experiments at quick scale so `go test -bench=.` stays tractable;
+// cmd/lcbench runs the full-scale versions.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"linconstraint/internal/harness"
+)
+
+func runExperiment(b *testing.B, fn func(harness.Config) harness.Result) {
+	b.Helper()
+	var res harness.Result
+	for i := 0; i < b.N; i++ {
+		res = fn(harness.Config{Seed: 1, Quick: true})
+	}
+	for _, f := range res.Fits {
+		b.ReportMetric(f.Exponent, "exp:"+sanitizeMetric(f.Label))
+	}
+	if res.Pass {
+		b.ReportMetric(1, "pass")
+	} else {
+		b.ReportMetric(0, "pass")
+		b.Logf("%s did not meet its criterion: %s", res.ID, res.Why)
+	}
+}
+
+func sanitizeMetric(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// --- Table 1 rows ---------------------------------------------------------
+
+func BenchmarkTable1Row2D(b *testing.B)        { runExperiment(b, harness.E1) }
+func BenchmarkTable1Row3DOptimal(b *testing.B) { runExperiment(b, harness.E2) }
+func BenchmarkTable1RowPartition(b *testing.B) { runExperiment(b, harness.E3) }
+func BenchmarkTable1RowShallow(b *testing.B)   { runExperiment(b, harness.E4) }
+func BenchmarkTable1RowHybrid(b *testing.B)    { runExperiment(b, harness.E5) }
+
+// --- Lemmas and baselines ---------------------------------------------------
+
+func BenchmarkConflictListSizes(b *testing.B)    { runExperiment(b, harness.E6) }
+func BenchmarkCrossingNumber(b *testing.B)       { runExperiment(b, harness.E7) }
+func BenchmarkShallowCrossing(b *testing.B)      { runExperiment(b, harness.E8) }
+func BenchmarkAdversarialBaselines(b *testing.B) { runExperiment(b, harness.E9) }
+func BenchmarkKNN(b *testing.B)                  { runExperiment(b, harness.E10) }
+
+// --- Figures ----------------------------------------------------------------
+
+func BenchmarkFigure1Duality(b *testing.B)     { runExperiment(b, harness.F1) }
+func BenchmarkFigure2Levels(b *testing.B)      { runExperiment(b, harness.F2) }
+func BenchmarkFigure3Cluster(b *testing.B)     { runExperiment(b, harness.F3) }
+func BenchmarkFigure45Invariants(b *testing.B) { runExperiment(b, harness.F45) }
+func BenchmarkFigure6Partition(b *testing.B)   { runExperiment(b, harness.F6) }
+
+// --- Micro-benchmarks of the public query paths -----------------------------
+
+func benchPoints2(n int) []Point2 {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point2, n)
+	for i := range pts {
+		pts[i] = Point2{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return pts
+}
+
+func BenchmarkPlanarHalfplaneQuery(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 14} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			idx := NewPlanarIndex(benchPoints2(n), Config{BlockSize: 64, Seed: 1})
+			rng := rand.New(rand.NewSource(2))
+			idx.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := rng.NormFloat64() * 0.2
+				idx.Halfplane(a, 0.05)
+			}
+			b.ReportMetric(float64(idx.Stats().IOs())/float64(b.N), "IOs/op")
+		})
+	}
+}
+
+func BenchmarkIndex3DHalfspaceQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1 << 12
+	pts := make([]Point3, n)
+	for i := range pts {
+		pts[i] = Point3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+	}
+	idx := NewIndex3D(pts, Window{XMin: -2, XMax: 2, YMin: -2, YMax: 2}, Config{BlockSize: 64, Seed: 1})
+	idx.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Halfspace(rng.NormFloat64()*0.2, rng.NormFloat64()*0.2, 0.05)
+	}
+	b.ReportMetric(float64(idx.Stats().IOs())/float64(b.N), "IOs/op")
+}
+
+func BenchmarkKNNQuery(b *testing.B) {
+	idx := NewKNNIndex(benchPoints2(1<<12), Config{BlockSize: 64, Seed: 1})
+	rng := rand.New(rand.NewSource(4))
+	idx.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Query(16, Point2{X: rng.Float64(), Y: rng.Float64()})
+	}
+	b.ReportMetric(float64(idx.Stats().IOs())/float64(b.N), "IOs/op")
+}
+
+func BenchmarkPartitionTreeQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 1 << 14
+	pts := make([]PointD, n)
+	for i := range pts {
+		pts[i] = PointD{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	tr := NewPartitionTree(pts, Config{BlockSize: 64, Seed: 1})
+	tr.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Halfspace([]float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3, 0.05})
+	}
+	b.ReportMetric(float64(tr.Stats().IOs())/float64(b.N), "IOs/op")
+}
+
+func BenchmarkPlanarBuild(b *testing.B) {
+	pts := benchPoints2(1 << 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewPlanarIndex(pts, Config{BlockSize: 64, Seed: int64(i)})
+	}
+}

@@ -1,0 +1,216 @@
+// Command lcfigures regenerates the paper's figures as verified
+// constructions and SVG drawings:
+//
+//	fig1.svg — the duality transform (Fig. 1): points and their dual
+//	           lines, with the above/below relation annotated.
+//	fig2.svg — an arrangement of lines with its 2-level highlighted
+//	           (Fig. 2).
+//	fig3.svg — a greedy 3k-clustering of a k-level: boundary vertices and
+//	           one cluster shaded (Fig. 3; the exit-point mechanics of
+//	           Figs. 4–5 underlie the printed invariants).
+//	fig6.svg — a balanced partition of a point set into 7 cells (Fig. 6).
+//
+// Each figure's defining invariant is checked before the file is
+// written, so the drawings double as construction tests.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"linconstraint/internal/arrangement"
+	"linconstraint/internal/cluster"
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+	"linconstraint/internal/partition"
+	"linconstraint/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "figures", "output directory")
+	seed := flag.Int64("seed", 4, "RNG seed")
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	fig1(rng, filepath.Join(*out, "fig1.svg"))
+	fig2(rng, filepath.Join(*out, "fig2.svg"))
+	fig3(rng, filepath.Join(*out, "fig3.svg"))
+	fig6(rng, filepath.Join(*out, "fig6.svg"))
+	fmt.Printf("figures written to %s/\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// svg accumulates SVG elements over a fixed viewport.
+type svg struct {
+	b              strings.Builder
+	w, h           float64
+	x0, x1, y0, y1 float64
+}
+
+func newSVG(x0, x1, y0, y1 float64) *svg {
+	s := &svg{w: 640, h: 480, x0: x0, x1: x1, y0: y0, y1: y1}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		s.w, s.h, s.w, s.h)
+	fmt.Fprintf(&s.b, `<rect width="%g" height="%g" fill="white"/>`+"\n", s.w, s.h)
+	return s
+}
+
+func (s *svg) px(x float64) float64 { return (x - s.x0) / (s.x1 - s.x0) * s.w }
+func (s *svg) py(y float64) float64 { return s.h - (y-s.y0)/(s.y1-s.y0)*s.h }
+
+func (s *svg) line(xa, ya, xb, yb float64, color string, width float64) {
+	fmt.Fprintf(&s.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%g"/>`+"\n",
+		s.px(xa), s.py(ya), s.px(xb), s.py(yb), color, width)
+}
+
+func (s *svg) infLine(l geom.Line2, color string, width float64) {
+	s.line(s.x0, l.Eval(s.x0), s.x1, l.Eval(s.x1), color, width)
+}
+
+func (s *svg) dot(x, y float64, color string, r float64) {
+	fmt.Fprintf(&s.b, `<circle cx="%.1f" cy="%.1f" r="%g" fill="%s"/>`+"\n", s.px(x), s.py(y), r, color)
+}
+
+func (s *svg) text(x, y float64, msg string) {
+	fmt.Fprintf(&s.b, `<text x="%.1f" y="%.1f" font-size="12" font-family="sans-serif">%s</text>`+"\n",
+		s.px(x), s.py(y), msg)
+}
+
+func (s *svg) rect(x0, y0, x1, y1 float64, color string) {
+	fmt.Fprintf(&s.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="%s"/>`+"\n",
+		s.px(x0), s.py(y1), s.px(x1)-s.px(x0), s.py(y0)-s.py(y1), color)
+}
+
+func (s *svg) write(path string) {
+	s.b.WriteString("</svg>\n")
+	if err := os.WriteFile(path, []byte(s.b.String()), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// fig1 draws points, their dual lines, a query line and its dual point,
+// verifying Lemma 2.1 on every pair.
+func fig1(rng *rand.Rand, path string) {
+	pts := []geom.Point2{{X: -0.8, Y: 0.6}, {X: 0.3, Y: -0.4}, {X: 0.9, Y: 0.8}}
+	h := geom.Line2{A: 0.5, B: 0.1}
+	for _, p := range pts {
+		if geom.SideOfLine2(h, p) != -geom.SideOfLine2(geom.DualOfPoint2(p), geom.DualOfLine2(h)) {
+			fatal(fmt.Errorf("fig1: Lemma 2.1 violated"))
+		}
+	}
+	s := newSVG(-2, 2, -2, 2)
+	s.infLine(h, "#d22", 2)
+	s.text(-1.95, h.Eval(-1.8)+0.1, "query line h")
+	for i, p := range pts {
+		s.dot(p.X, p.Y, "#222", 4)
+		s.infLine(geom.DualOfPoint2(p), "#27c", 1)
+		s.text(p.X+0.05, p.Y+0.05, fmt.Sprintf("p%d", i+1))
+	}
+	hd := geom.DualOfLine2(h)
+	s.dot(hd.X, hd.Y, "#d22", 5)
+	s.text(hd.X+0.05, hd.Y+0.05, "h* (dual point)")
+	s.write(path)
+	fmt.Println("fig1: duality verified on all pairs")
+}
+
+// fig2 draws an arrangement of lines with its 2-level.
+func fig2(rng *rand.Rand, path string) {
+	n := 12
+	lines := make([]geom.Line2, n)
+	live := make([]int, n)
+	for i := range lines {
+		lines[i] = geom.Line2{A: rng.NormFloat64(), B: rng.NormFloat64() * 0.7}
+		live[i] = i
+	}
+	k := 2
+	lvl := arrangement.ComputeLevel(lines, live, k)
+	s := newSVG(-3, 3, -4, 4)
+	for _, l := range lines {
+		s.infLine(l, "#bbb", 1)
+	}
+	// Draw the level as a thick polyline.
+	prevX, cur := -3.0, lvl.Start
+	for _, v := range lvl.Vertices {
+		s.line(prevX, lines[cur].Eval(prevX), v.X, v.Y, "#d22", 2.5)
+		prevX, cur = v.X, v.Leave
+	}
+	s.line(prevX, lines[cur].Eval(prevX), 3, lines[cur].Eval(3), "#d22", 2.5)
+	s.text(-2.9, 3.6, fmt.Sprintf("%d lines; 2-level with %d vertices", n, len(lvl.Vertices)))
+	s.write(path)
+	fmt.Printf("fig2: 2-level of %d lines has %d vertices\n", n, len(lvl.Vertices))
+}
+
+// fig3 draws a greedy 3k-clustering's boundaries over the k-level.
+func fig3(rng *rand.Rand, path string) {
+	n, k := 40, 3
+	lines := make([]geom.Line2, n)
+	live := make([]int, n)
+	for i := range lines {
+		lines[i] = geom.Line2{A: rng.NormFloat64(), B: rng.NormFloat64()}
+		live[i] = i
+	}
+	cl := cluster.BuildGreedy(lines, live, k)
+	for i, c := range cl.Clusters {
+		if len(c) > 3*k {
+			fatal(fmt.Errorf("fig3: cluster %d exceeds 3k", i))
+		}
+	}
+	s := newSVG(-3, 3, -5, 5)
+	for _, l := range lines {
+		s.infLine(l, "#ccc", 0.7)
+	}
+	lvl := arrangement.ComputeLevel(lines, live, k)
+	prevX, cur := -3.0, lvl.Start
+	for _, v := range lvl.Vertices {
+		s.line(prevX, lines[cur].Eval(prevX), v.X, v.Y, "#27c", 2)
+		prevX, cur = v.X, v.Leave
+	}
+	s.line(prevX, lines[cur].Eval(prevX), 3, lines[cur].Eval(3), "#27c", 2)
+	for _, bx := range cl.Boundaries {
+		s.line(bx, -5, bx, 5, "#d22", 1)
+	}
+	s.text(-2.9, 4.5, fmt.Sprintf("k=%d level, %d clusters (size <= %d), boundaries in red",
+		k, cl.Size(), 3*k))
+	s.write(path)
+	fmt.Printf("fig3: %d clusters, max size %d <= 3k=%d\n", cl.Size(), maxClusterLen(cl), 3*k)
+}
+
+func maxClusterLen(cl *cluster.Clustering) int {
+	m := 0
+	for _, c := range cl.Clusters {
+		if len(c) > m {
+			m = len(c)
+		}
+	}
+	return m
+}
+
+// fig6 draws a balanced partition of a small point set into 7 cells.
+func fig6(rng *rand.Rand, path string) {
+	n := 56
+	pts := workload.CubeD(rng, n, 2)
+	dev := eio.NewDevice(4, 0)
+	tr := partition.New(dev, pts, partition.Options{LeafSize: n / 7, C: 1 << 20})
+	cells := tr.RootCells()
+	s := newSVG(-0.05, 1.05, -0.05, 1.05)
+	for _, c := range cells {
+		s.rect(c.Min[0], c.Min[1], c.Max[0], c.Max[1], "#27c")
+	}
+	for _, p := range pts {
+		s.dot(p[0], p[1], "#222", 3)
+	}
+	s.text(0, 1.02, fmt.Sprintf("balanced partition of %d points into %d cells", n, len(cells)))
+	s.write(path)
+	fmt.Printf("fig6: partition into %d cells\n", len(cells))
+}

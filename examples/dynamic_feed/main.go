@@ -1,0 +1,60 @@
+// Command dynamic_feed exercises the dynamized indexes (§5 Remark iii
+// and the engineering answer to §7 open problem 1) on a streaming
+// scenario: a live order book of (price, size) offers where offers
+// arrive and are cancelled continuously, and the recurring query asks
+// for every offer below a sliding price/size tradeoff line.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"linconstraint"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(17))
+	idx := linconstraint.NewDynamicPlanarIndex(linconstraint.Config{BlockSize: 64, Seed: 1})
+
+	var book []linconstraint.Point2
+	arrivals, cancels, queries := 0, 0, 0
+
+	for tick := 0; tick < 20000; tick++ {
+		switch r := rng.Intn(10); {
+		case r < 6 || len(book) == 0: // new offer
+			size := 1 + rng.Float64()*99
+			price := 100 - 0.1*size + rng.NormFloat64()*3 // bigger lots priced lower
+			p := linconstraint.Point2{X: size, Y: price}
+			idx.Insert(p)
+			book = append(book, p)
+			arrivals++
+		case r < 8: // cancellation
+			i := rng.Intn(len(book))
+			if !idx.Delete(book[i]) {
+				panic("cancelled offer was not in the index")
+			}
+			book[i] = book[len(book)-1]
+			book = book[:len(book)-1]
+			cancels++
+		default: // query: offers with price <= 98 - 0.05*size
+			got := idx.Halfplane(-0.05, 98)
+			want := 0
+			for _, p := range book {
+				if p.Y <= -0.05*p.X+98 {
+					want++
+				}
+			}
+			if len(got) != want {
+				panic(fmt.Sprintf("tick %d: query mismatch %d vs %d", tick, len(got), want))
+			}
+			queries++
+		}
+	}
+
+	idx.ResetStats()
+	hits := idx.Halfplane(-0.05, 98)
+	st := idx.Stats()
+	fmt.Printf("processed %d arrivals, %d cancels, %d verified queries\n", arrivals, cancels, queries)
+	fmt.Printf("book size %d; matching offers %d; last query cost %d I/Os\n",
+		idx.Len(), len(hits), st.IOs())
+}

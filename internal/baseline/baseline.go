@@ -1,0 +1,436 @@
+// Package baseline implements the external spatial indexes the paper
+// positions itself against (§1.2): a bucketed kd-tree (k-d-B-tree style
+// [45]), a PR quadtree [46, 47], an STR-packed R-tree [29, 33], and a
+// plain linear scan. All answer two-dimensional halfplane reporting
+// queries "y <= a·x + b" with exact I/O accounting, so the experiments
+// can reproduce the paper's claim that such structures have good
+// average-case behaviour but degrade to Ω(n) I/Os on adversarial inputs
+// (the near-diagonal construction of §1.2), whereas the §3 structure
+// stays at O(log_B n + t).
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+)
+
+// Index is a 2D halfplane-reporting structure.
+type Index interface {
+	// Halfplane reports the indices of all points with y <= a·x + b.
+	Halfplane(a, b float64) []int
+	// Name identifies the structure in experiment tables.
+	Name() string
+}
+
+type ptRec struct {
+	ID int32
+	P  geom.Point2
+}
+
+func belowOrOn(p geom.Point2, a, b float64) bool {
+	return geom.SideOfLine2(geom.Line2{A: a, B: b}, p) <= 0
+}
+
+// --- Linear scan --------------------------------------------------------
+
+// Scan answers queries by scanning the full point array: Θ(n) I/Os, the
+// trivially correct baseline.
+type Scan struct {
+	arr *eio.Array[ptRec]
+}
+
+// NewScan stores points contiguously on dev.
+func NewScan(dev *eio.Device, pts []geom.Point2) *Scan {
+	recs := make([]ptRec, len(pts))
+	for i, p := range pts {
+		recs[i] = ptRec{ID: int32(i), P: p}
+	}
+	return &Scan{arr: eio.NewArray(dev, recs)}
+}
+
+// Halfplane implements Index.
+func (s *Scan) Halfplane(a, b float64) []int {
+	var out []int
+	s.arr.All(func(_ int, r ptRec) bool {
+		if belowOrOn(r.P, a, b) {
+			out = append(out, int(r.ID))
+		}
+		return true
+	})
+	return out
+}
+
+// Name implements Index.
+func (s *Scan) Name() string { return "scan" }
+
+// --- Bucketed kd-tree ---------------------------------------------------
+
+type kdNode struct {
+	blk  eio.BlockID
+	bbox [4]float64 // xmin, xmax, ymin, ymax
+	l, r *kdNode
+	leaf *eio.Array[ptRec]
+}
+
+// KDTree is a bucketed binary kd-tree with bounding boxes, the external
+// k-d-B-tree analog.
+type KDTree struct {
+	dev  *eio.Device
+	root *kdNode
+}
+
+// NewKDTree bulk-builds the tree with leaf buckets of B points.
+func NewKDTree(dev *eio.Device, pts []geom.Point2) *KDTree {
+	t := &KDTree{dev: dev}
+	recs := make([]ptRec, len(pts))
+	for i, p := range pts {
+		recs[i] = ptRec{ID: int32(i), P: p}
+	}
+	if len(recs) > 0 {
+		t.root = t.build(recs, 0)
+	}
+	return t
+}
+
+func bboxOf(recs []ptRec) [4]float64 {
+	bb := [4]float64{recs[0].P.X, recs[0].P.X, recs[0].P.Y, recs[0].P.Y}
+	for _, r := range recs[1:] {
+		bb[0] = math.Min(bb[0], r.P.X)
+		bb[1] = math.Max(bb[1], r.P.X)
+		bb[2] = math.Min(bb[2], r.P.Y)
+		bb[3] = math.Max(bb[3], r.P.Y)
+	}
+	return bb
+}
+
+func (t *KDTree) build(recs []ptRec, axis int) *kdNode {
+	v := &kdNode{bbox: bboxOf(recs)}
+	if len(recs) <= t.dev.B() {
+		v.leaf = eio.NewArray(t.dev, recs)
+		return v
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if axis == 0 {
+			return recs[i].P.X < recs[j].P.X
+		}
+		return recs[i].P.Y < recs[j].P.Y
+	})
+	mid := len(recs) / 2
+	v.blk = t.dev.Alloc(1)
+	t.dev.Write(v.blk)
+	v.l = t.build(append([]ptRec(nil), recs[:mid]...), 1-axis)
+	v.r = t.build(append([]ptRec(nil), recs[mid:]...), 1-axis)
+	return v
+}
+
+// bboxSide classifies a bounding box against y <= a·x + b: -1 inside,
+// +1 outside, 0 crossing.
+func bboxSide(bb [4]float64, a, b float64) int {
+	corners := [4]geom.Point2{
+		{X: bb[0], Y: bb[2]}, {X: bb[1], Y: bb[2]},
+		{X: bb[0], Y: bb[3]}, {X: bb[1], Y: bb[3]},
+	}
+	in, out := 0, 0
+	for _, c := range corners {
+		if belowOrOn(c, a, b) {
+			in++
+		} else {
+			out++
+		}
+	}
+	switch {
+	case out == 0:
+		return -1
+	case in == 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Halfplane implements Index.
+func (t *KDTree) Halfplane(a, b float64) []int {
+	var out []int
+	if t.root != nil {
+		t.query(t.root, a, b, &out)
+	}
+	return out
+}
+
+func (t *KDTree) query(v *kdNode, a, b float64, out *[]int) {
+	if v.leaf != nil {
+		v.leaf.All(func(_ int, r ptRec) bool {
+			if belowOrOn(r.P, a, b) {
+				*out = append(*out, int(r.ID))
+			}
+			return true
+		})
+		return
+	}
+	t.dev.Read(v.blk)
+	for _, c := range []*kdNode{v.l, v.r} {
+		switch bboxSide(c.bbox, a, b) {
+		case -1:
+			t.reportAll(c, out)
+		case 1:
+		default:
+			t.query(c, a, b, out)
+		}
+	}
+}
+
+func (t *KDTree) reportAll(v *kdNode, out *[]int) {
+	if v.leaf != nil {
+		v.leaf.All(func(_ int, r ptRec) bool {
+			*out = append(*out, int(r.ID))
+			return true
+		})
+		return
+	}
+	t.dev.Read(v.blk)
+	t.reportAll(v.l, out)
+	t.reportAll(v.r, out)
+}
+
+// Name implements Index.
+func (t *KDTree) Name() string { return "kdtree" }
+
+// --- PR quadtree --------------------------------------------------------
+
+type quadNode struct {
+	blk  eio.BlockID
+	bbox [4]float64
+	kids [4]*quadNode
+	leaf *eio.Array[ptRec]
+}
+
+// Quadtree is a bucketed point-region quadtree.
+type Quadtree struct {
+	dev  *eio.Device
+	root *quadNode
+}
+
+// NewQuadtree builds a PR quadtree with buckets of B points.
+func NewQuadtree(dev *eio.Device, pts []geom.Point2) *Quadtree {
+	t := &Quadtree{dev: dev}
+	recs := make([]ptRec, len(pts))
+	for i, p := range pts {
+		recs[i] = ptRec{ID: int32(i), P: p}
+	}
+	if len(recs) > 0 {
+		bb := bboxOf(recs)
+		// Square cell for the classic PR shape.
+		side := math.Max(bb[1]-bb[0], bb[3]-bb[2])
+		bb[1], bb[3] = bb[0]+side, bb[2]+side
+		t.root = t.build(recs, bb, 0)
+	}
+	return t
+}
+
+func (t *Quadtree) build(recs []ptRec, bb [4]float64, depth int) *quadNode {
+	v := &quadNode{bbox: bb}
+	// Depth cap guards against duplicate points.
+	if len(recs) <= t.dev.B() || depth > 40 {
+		v.leaf = eio.NewArray(t.dev, recs)
+		return v
+	}
+	v.blk = t.dev.Alloc(1)
+	t.dev.Write(v.blk)
+	mx, my := (bb[0]+bb[1])/2, (bb[2]+bb[3])/2
+	var q [4][]ptRec
+	for _, r := range recs {
+		i := 0
+		if r.P.X > mx {
+			i |= 1
+		}
+		if r.P.Y > my {
+			i |= 2
+		}
+		q[i] = append(q[i], r)
+	}
+	boxes := [4][4]float64{
+		{bb[0], mx, bb[2], my}, {mx, bb[1], bb[2], my},
+		{bb[0], mx, my, bb[3]}, {mx, bb[1], my, bb[3]},
+	}
+	for i := 0; i < 4; i++ {
+		if len(q[i]) > 0 {
+			v.kids[i] = t.build(q[i], boxes[i], depth+1)
+		}
+	}
+	return v
+}
+
+// Halfplane implements Index.
+func (t *Quadtree) Halfplane(a, b float64) []int {
+	var out []int
+	if t.root != nil {
+		t.query(t.root, a, b, &out)
+	}
+	return out
+}
+
+func (t *Quadtree) query(v *quadNode, a, b float64, out *[]int) {
+	if v.leaf != nil {
+		v.leaf.All(func(_ int, r ptRec) bool {
+			if belowOrOn(r.P, a, b) {
+				*out = append(*out, int(r.ID))
+			}
+			return true
+		})
+		return
+	}
+	t.dev.Read(v.blk)
+	for _, c := range v.kids {
+		if c == nil {
+			continue
+		}
+		switch bboxSide(c.bbox, a, b) {
+		case -1:
+			t.reportAll(c, out)
+		case 1:
+		default:
+			t.query(c, a, b, out)
+		}
+	}
+}
+
+func (t *Quadtree) reportAll(v *quadNode, out *[]int) {
+	if v.leaf != nil {
+		v.leaf.All(func(_ int, r ptRec) bool {
+			*out = append(*out, int(r.ID))
+			return true
+		})
+		return
+	}
+	t.dev.Read(v.blk)
+	for _, c := range v.kids {
+		if c != nil {
+			t.reportAll(c, out)
+		}
+	}
+}
+
+// Name implements Index.
+func (t *Quadtree) Name() string { return "quadtree" }
+
+// --- STR-packed R-tree --------------------------------------------------
+
+type rNode struct {
+	blk  eio.BlockID
+	bbox [4]float64
+	kids []*rNode
+	leaf *eio.Array[ptRec]
+}
+
+// RTree is a Sort-Tile-Recursive bulk-loaded R-tree.
+type RTree struct {
+	dev  *eio.Device
+	root *rNode
+}
+
+// NewRTree bulk-loads the tree with STR packing and fanout B.
+func NewRTree(dev *eio.Device, pts []geom.Point2) *RTree {
+	t := &RTree{dev: dev}
+	recs := make([]ptRec, len(pts))
+	for i, p := range pts {
+		recs[i] = ptRec{ID: int32(i), P: p}
+	}
+	if len(recs) == 0 {
+		return t
+	}
+	b := dev.B()
+	// STR: sort by x, slice into sqrt(n/B) vertical runs, sort each by y,
+	// pack leaves of B points.
+	sort.Slice(recs, func(i, j int) bool { return recs[i].P.X < recs[j].P.X })
+	leavesWanted := (len(recs) + b - 1) / b
+	runs := int(math.Ceil(math.Sqrt(float64(leavesWanted))))
+	runLen := (len(recs) + runs - 1) / runs
+	var level []*rNode
+	for i := 0; i < len(recs); i += runLen {
+		j := minInt(i+runLen, len(recs))
+		run := recs[i:j]
+		sort.Slice(run, func(a, b int) bool { return run[a].P.Y < run[b].P.Y })
+		for k := 0; k < len(run); k += b {
+			l := minInt(k+b, len(run))
+			chunk := append([]ptRec(nil), run[k:l]...)
+			level = append(level, &rNode{bbox: bboxOf(chunk), leaf: eio.NewArray(dev, chunk)})
+		}
+	}
+	for len(level) > 1 {
+		var up []*rNode
+		for i := 0; i < len(level); i += b {
+			j := minInt(i+b, len(level))
+			v := &rNode{kids: level[i:j], blk: dev.Alloc(1)}
+			dev.Write(v.blk)
+			v.bbox = level[i].bbox
+			for _, c := range level[i+1 : j] {
+				v.bbox[0] = math.Min(v.bbox[0], c.bbox[0])
+				v.bbox[1] = math.Max(v.bbox[1], c.bbox[1])
+				v.bbox[2] = math.Min(v.bbox[2], c.bbox[2])
+				v.bbox[3] = math.Max(v.bbox[3], c.bbox[3])
+			}
+			up = append(up, v)
+		}
+		level = up
+	}
+	t.root = level[0]
+	return t
+}
+
+// Halfplane implements Index.
+func (t *RTree) Halfplane(a, b float64) []int {
+	var out []int
+	if t.root != nil {
+		t.query(t.root, a, b, &out)
+	}
+	return out
+}
+
+func (t *RTree) query(v *rNode, a, b float64, out *[]int) {
+	if v.leaf != nil {
+		v.leaf.All(func(_ int, r ptRec) bool {
+			if belowOrOn(r.P, a, b) {
+				*out = append(*out, int(r.ID))
+			}
+			return true
+		})
+		return
+	}
+	t.dev.Read(v.blk)
+	for _, c := range v.kids {
+		switch bboxSide(c.bbox, a, b) {
+		case -1:
+			t.reportAll(c, out)
+		case 1:
+		default:
+			t.query(c, a, b, out)
+		}
+	}
+}
+
+func (t *RTree) reportAll(v *rNode, out *[]int) {
+	if v.leaf != nil {
+		v.leaf.All(func(_ int, r ptRec) bool {
+			*out = append(*out, int(r.ID))
+			return true
+		})
+		return
+	}
+	t.dev.Read(v.blk)
+	for _, c := range v.kids {
+		t.reportAll(c, out)
+	}
+}
+
+// Name implements Index.
+func (t *RTree) Name() string { return "rtree" }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+)
+
+func randomPoints(rng *rand.Rand, n int) []geom.Point2 {
+	pts := make([]geom.Point2, n)
+	for i := range pts {
+		pts[i] = geom.Point2{X: rng.Float64()*2 - 1, Y: rng.Float64()*2 - 1}
+	}
+	return pts
+}
+
+func brute(pts []geom.Point2, a, b float64) []int {
+	var out []int
+	for i, p := range pts {
+		if geom.SideOfLine2(geom.Line2{A: a, B: b}, p) <= 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func builders() map[string]func(*eio.Device, []geom.Point2) Index {
+	return map[string]func(*eio.Device, []geom.Point2) Index{
+		"scan":     func(d *eio.Device, p []geom.Point2) Index { return NewScan(d, p) },
+		"kdtree":   func(d *eio.Device, p []geom.Point2) Index { return NewKDTree(d, p) },
+		"quadtree": func(d *eio.Device, p []geom.Point2) Index { return NewQuadtree(d, p) },
+		"rtree":    func(d *eio.Device, p []geom.Point2) Index { return NewRTree(d, p) },
+	}
+}
+
+// TestAllMatchBruteForce: every baseline answers exactly.
+func TestAllMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, 2000)
+	for name, mk := range builders() {
+		dev := eio.NewDevice(16, 0)
+		idx := mk(dev, pts)
+		if idx.Name() != name {
+			t.Fatalf("%s: Name() = %q", name, idx.Name())
+		}
+		for s := 0; s < 40; s++ {
+			a, b := rng.NormFloat64(), rng.NormFloat64()*0.5
+			got := idx.Halfplane(a, b)
+			sort.Ints(got)
+			want := brute(pts, a, b)
+			if len(got) != len(want) {
+				t.Fatalf("%s: got %d, want %d", name, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: mismatch at %d", name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	for name, mk := range builders() {
+		dev := eio.NewDevice(8, 0)
+		idx := mk(dev, nil)
+		if got := idx.Halfplane(1, 0); len(got) != 0 {
+			t.Fatalf("%s: empty input returned %d", name, len(got))
+		}
+	}
+}
+
+func TestDuplicatePointsQuadtree(t *testing.T) {
+	pts := make([]geom.Point2, 500)
+	for i := range pts {
+		pts[i] = geom.Point2{X: 0.5, Y: 0.5}
+	}
+	dev := eio.NewDevice(8, 0)
+	idx := NewQuadtree(dev, pts)
+	if got := idx.Halfplane(0, 1); len(got) != 500 {
+		t.Fatalf("duplicates: %d reported", len(got))
+	}
+}
+
+// TestTreeBeatsScanOnAverage: on uniform data with selective queries,
+// the hierarchical baselines use far fewer I/Os than a scan.
+func TestTreeBeatsScanOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, b := 1<<14, 32
+	pts := randomPoints(rng, n)
+	for _, name := range []string{"kdtree", "quadtree", "rtree"} {
+		dev := eio.NewDevice(b, 0)
+		idx := builders()[name](dev, pts)
+		var total int64
+		qs := 20
+		for s := 0; s < qs; s++ {
+			// Selective query: halfplane below y = -0.9 + small tilt.
+			a := rng.NormFloat64() * 0.05
+			dev.ResetCounters()
+			idx.Halfplane(a, -0.9)
+			total += dev.Stats().IOs()
+		}
+		avg := float64(total) / float64(qs)
+		scanCost := float64(n / b)
+		if avg > scanCost/3 {
+			t.Fatalf("%s: avg %v I/Os, not clearly below scan %v", name, avg, scanCost)
+		}
+	}
+}
+
+// TestAdversarialDegradation reproduces the §1.2 claim: on near-diagonal
+// data with a near-parallel query, quadtree and kd-tree queries visit
+// Ω(n) blocks even though the output is empty.
+func TestAdversarialDegradation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, b := 1<<13, 32
+	pts := make([]geom.Point2, n)
+	for i := range pts {
+		x := rng.Float64()
+		pts[i] = geom.Point2{X: x, Y: x + rng.NormFloat64()*1e-7}
+	}
+	for _, name := range []string{"kdtree", "quadtree", "rtree"} {
+		dev := eio.NewDevice(b, 0)
+		idx := builders()[name](dev, pts)
+		dev.ResetCounters()
+		got := idx.Halfplane(1, -1e-3) // just below the diagonal: empty
+		if len(got) != 0 {
+			t.Fatalf("%s: expected empty output, got %d", name, len(got))
+		}
+		ios := dev.Stats().IOs()
+		if ios < int64(n/b)/8 {
+			t.Fatalf("%s: adversarial query cost only %d I/Os — expected Ω(n)=~%d; the degradation claim should hold",
+				name, ios, n/b)
+		}
+	}
+}

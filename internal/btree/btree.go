@@ -1,0 +1,412 @@
+// Package btree implements an external-memory B+-tree with float64 keys
+// and generic values, the workhorse one-dimensional structure of the I/O
+// model (§1.2): O(n) blocks of space, O(log_B n + t) I/Os per range
+// query. The paper uses B-trees as substrates throughout §3 — the
+// boundary trees T_i over cluster boundary x-coordinates and the
+// slope-ordered tree T* used during construction — and we additionally use
+// it as the optimal 1-D baseline in the experiments.
+//
+// Every node occupies one block of the backing eio.Device, so a root-to-
+// leaf traversal costs exactly height I/Os and a leaf-chain scan of T
+// records costs ceil(T/B) I/Os.
+package btree
+
+import (
+	"math"
+	"sort"
+
+	"linconstraint/internal/eio"
+)
+
+// Pair is one key/value record.
+type Pair[V any] struct {
+	Key   float64
+	Value V
+}
+
+type node[V any] struct {
+	blk  eio.BlockID
+	leaf bool
+	keys []float64
+	kids []*node[V] // internal: len(kids) == len(keys)+1
+	vals []V        // leaf: parallel to keys
+	next *node[V]   // leaf chain
+}
+
+// Tree is an external B+-tree. Construct with New or BulkLoad.
+type Tree[V any] struct {
+	dev    *eio.Device
+	fanout int // max keys per node; min is fanout/2 except at the root
+	root   *node[V]
+	height int
+	size   int
+}
+
+// New returns an empty tree on dev. The fanout is the device block size
+// (at least 4).
+func New[V any](dev *eio.Device) *Tree[V] {
+	f := dev.B()
+	if f < 4 {
+		f = 4
+	}
+	t := &Tree[V]{dev: dev, fanout: f}
+	t.root = t.newNode(true)
+	t.height = 1
+	return t
+}
+
+func (t *Tree[V]) newNode(leaf bool) *node[V] {
+	n := &node[V]{blk: t.dev.Alloc(1), leaf: leaf}
+	t.dev.Write(n.blk)
+	return n
+}
+
+// BulkLoad builds a tree over pairs, which must be sorted by key.
+// Construction costs O(n) I/Os.
+func BulkLoad[V any](dev *eio.Device, pairs []Pair[V]) *Tree[V] {
+	t := New[V](dev)
+	if len(pairs) == 0 {
+		return t
+	}
+	if !sort.SliceIsSorted(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key }) {
+		panic("btree: BulkLoad input not sorted")
+	}
+	// Pack leaves at ~full fanout.
+	var leaves []*node[V]
+	for i := 0; i < len(pairs); i += t.fanout {
+		j := i + t.fanout
+		if j > len(pairs) {
+			j = len(pairs)
+		}
+		n := t.newNode(true)
+		for _, p := range pairs[i:j] {
+			n.keys = append(n.keys, p.Key)
+			n.vals = append(n.vals, p.Value)
+		}
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = n
+		}
+		leaves = append(leaves, n)
+	}
+	level := leaves
+	t.height = 1
+	for len(level) > 1 {
+		var up []*node[V]
+		for i := 0; i < len(level); i += t.fanout + 1 {
+			j := i + t.fanout + 1
+			if j > len(level) {
+				j = len(level)
+			}
+			n := t.newNode(false)
+			n.kids = append(n.kids, level[i:j]...)
+			for _, k := range level[i+1 : j] {
+				n.keys = append(n.keys, minKey(k))
+			}
+			up = append(up, n)
+		}
+		level = up
+		t.height++
+	}
+	t.root = level[0]
+	t.size = len(pairs)
+	return t
+}
+
+func minKey[V any](n *node[V]) float64 {
+	for !n.leaf {
+		n = n.kids[0]
+	}
+	return n.keys[0]
+}
+
+// Len returns the number of stored pairs.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Height returns the number of levels (1 for a lone leaf).
+func (t *Tree[V]) Height() int { return t.height }
+
+// descend walks from the root to the rightmost leaf that could contain
+// key x, charging one read per level.
+func (t *Tree[V]) descend(x float64) *node[V] {
+	n := t.root
+	t.dev.Read(n.blk)
+	for !n.leaf {
+		// First key strictly greater than x determines the child.
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > x })
+		n = n.kids[i]
+		t.dev.Read(n.blk)
+	}
+	return n
+}
+
+// descendLeft walks to the leftmost leaf that could contain key x, so a
+// forward scan sees every duplicate of x.
+func (t *Tree[V]) descendLeft(x float64) *node[V] {
+	n := t.root
+	t.dev.Read(n.blk)
+	for !n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= x })
+		n = n.kids[i]
+		t.dev.Read(n.blk)
+	}
+	return n
+}
+
+// Get returns the value for the smallest key equal to x.
+func (t *Tree[V]) Get(x float64) (V, bool) {
+	var zero V
+	n := t.descendLeft(x)
+	if i := sort.SearchFloat64s(n.keys, x); i == len(n.keys) && n.next != nil {
+		t.dev.Read(n.next.blk)
+		n = n.next
+	}
+	i := sort.SearchFloat64s(n.keys, x)
+	if i < len(n.keys) && n.keys[i] == x {
+		return n.vals[i], true
+	}
+	return zero, false
+}
+
+// Predecessor returns the pair with the largest key <= x.
+func (t *Tree[V]) Predecessor(x float64) (Pair[V], bool) {
+	n := t.descend(x)
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > x })
+	if i > 0 {
+		return Pair[V]{n.keys[i-1], n.vals[i-1]}, true
+	}
+	// x is smaller than every key in this leaf; because internal routing
+	// sends x to the leaf whose range contains it, only the globally
+	// smallest keys can fail here.
+	return Pair[V]{}, false
+}
+
+// Successor returns the pair with the smallest key >= x.
+func (t *Tree[V]) Successor(x float64) (Pair[V], bool) {
+	n := t.descendLeft(x)
+	i := sort.SearchFloat64s(n.keys, x)
+	if i < len(n.keys) {
+		return Pair[V]{n.keys[i], n.vals[i]}, true
+	}
+	if n.next != nil {
+		t.dev.Read(n.next.blk)
+		if len(n.next.keys) > 0 {
+			return Pair[V]{n.next.keys[0], n.next.vals[0]}, true
+		}
+	}
+	return Pair[V]{}, false
+}
+
+// Range calls fn on every pair with lo <= key <= hi in key order,
+// stopping early if fn returns false. Cost: O(log_B n + t) I/Os.
+func (t *Tree[V]) Range(lo, hi float64, fn func(Pair[V]) bool) {
+	n := t.descendLeft(lo)
+	for n != nil {
+		for i, k := range n.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return
+			}
+			if !fn(Pair[V]{k, n.vals[i]}) {
+				return
+			}
+		}
+		n = n.next
+		if n != nil {
+			t.dev.Read(n.blk)
+		}
+	}
+}
+
+// Insert adds the pair (x, v), allowing duplicate keys.
+func (t *Tree[V]) Insert(x float64, v V) {
+	nk, nn := t.insert(t.root, x, v)
+	if nn != nil {
+		r := t.newNode(false)
+		r.keys = []float64{nk}
+		r.kids = []*node[V]{t.root, nn}
+		t.root = r
+		t.height++
+	}
+	t.size++
+}
+
+// insert returns a separator key and new right sibling when n splits.
+func (t *Tree[V]) insert(n *node[V], x float64, v V) (float64, *node[V]) {
+	t.dev.Read(n.blk)
+	if n.leaf {
+		i := sort.SearchFloat64s(n.keys, x)
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = x
+		var zero V
+		n.vals = append(n.vals, zero)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = v
+		t.dev.Write(n.blk)
+		if len(n.keys) <= t.fanout {
+			return 0, nil
+		}
+		mid := len(n.keys) / 2
+		r := t.newNode(true)
+		r.keys = append(r.keys, n.keys[mid:]...)
+		r.vals = append(r.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		r.next = n.next
+		n.next = r
+		t.dev.Write(n.blk)
+		return r.keys[0], r
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > x })
+	sk, sn := t.insert(n.kids[i], x, v)
+	if sn == nil {
+		return 0, nil
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sk
+	n.kids = append(n.kids, nil)
+	copy(n.kids[i+2:], n.kids[i+1:])
+	n.kids[i+1] = sn
+	t.dev.Write(n.blk)
+	if len(n.keys) <= t.fanout {
+		return 0, nil
+	}
+	mid := len(n.keys) / 2
+	r := t.newNode(false)
+	sep := n.keys[mid]
+	r.keys = append(r.keys, n.keys[mid+1:]...)
+	r.kids = append(r.kids, n.kids[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.kids = n.kids[: mid+1 : mid+1]
+	t.dev.Write(n.blk)
+	return sep, r
+}
+
+// Delete removes one pair with key x, returning false if absent.
+func (t *Tree[V]) Delete(x float64) bool {
+	ok := t.delete(t.root, x)
+	if !ok {
+		return false
+	}
+	if !t.root.leaf && len(t.root.kids) == 1 {
+		t.root = t.root.kids[0]
+		t.height--
+	}
+	t.size--
+	return true
+}
+
+func (t *Tree[V]) delete(n *node[V], x float64) bool {
+	t.dev.Read(n.blk)
+	if n.leaf {
+		i := sort.SearchFloat64s(n.keys, x)
+		if i >= len(n.keys) || n.keys[i] != x {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		t.dev.Write(n.blk)
+		return true
+	}
+	// Duplicates of x may span several children; start at the leftmost
+	// candidate and advance while separators still admit x.
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= x })
+	for {
+		if t.delete(n.kids[i], x) {
+			t.rebalance(n, i)
+			return true
+		}
+		if i < len(n.keys) && n.keys[i] <= x {
+			i++
+			continue
+		}
+		return false
+	}
+}
+
+func (t *Tree[V]) rebalance(n *node[V], i int) {
+	c := n.kids[i]
+	minFill := t.fanout / 2
+	under := len(c.keys) < minFill
+	if !c.leaf {
+		under = len(c.kids) < minFill
+	}
+	if !under {
+		return
+	}
+	// Try borrowing from a sibling, else merge.
+	if i > 0 {
+		l := n.kids[i-1]
+		t.dev.Read(l.blk)
+		if (c.leaf && len(l.keys) > minFill) || (!c.leaf && len(l.kids) > minFill) {
+			if c.leaf {
+				k, v := l.keys[len(l.keys)-1], l.vals[len(l.vals)-1]
+				l.keys, l.vals = l.keys[:len(l.keys)-1], l.vals[:len(l.vals)-1]
+				c.keys = append([]float64{k}, c.keys...)
+				c.vals = append([]V{v}, c.vals...)
+				n.keys[i-1] = c.keys[0]
+			} else {
+				kid := l.kids[len(l.kids)-1]
+				l.kids = l.kids[:len(l.kids)-1]
+				sep := n.keys[i-1]
+				n.keys[i-1] = l.keys[len(l.keys)-1]
+				l.keys = l.keys[:len(l.keys)-1]
+				c.keys = append([]float64{sep}, c.keys...)
+				c.kids = append([]*node[V]{kid}, c.kids...)
+			}
+			t.dev.Write(l.blk)
+			t.dev.Write(c.blk)
+			t.dev.Write(n.blk)
+			return
+		}
+	}
+	if i < len(n.kids)-1 {
+		r := n.kids[i+1]
+		t.dev.Read(r.blk)
+		if (c.leaf && len(r.keys) > minFill) || (!c.leaf && len(r.kids) > minFill) {
+			if c.leaf {
+				c.keys = append(c.keys, r.keys[0])
+				c.vals = append(c.vals, r.vals[0])
+				r.keys, r.vals = r.keys[1:], r.vals[1:]
+				n.keys[i] = r.keys[0]
+			} else {
+				c.keys = append(c.keys, n.keys[i])
+				c.kids = append(c.kids, r.kids[0])
+				n.keys[i] = r.keys[0]
+				r.keys, r.kids = r.keys[1:], r.kids[1:]
+			}
+			t.dev.Write(r.blk)
+			t.dev.Write(c.blk)
+			t.dev.Write(n.blk)
+			return
+		}
+	}
+	// Merge with a sibling.
+	if i > 0 {
+		i-- // merge kids[i] (left) with kids[i+1] (c)
+	}
+	l, r := n.kids[i], n.kids[i+1]
+	if l.leaf {
+		l.keys = append(l.keys, r.keys...)
+		l.vals = append(l.vals, r.vals...)
+		l.next = r.next
+	} else {
+		l.keys = append(l.keys, n.keys[i])
+		l.keys = append(l.keys, r.keys...)
+		l.kids = append(l.kids, r.kids...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.kids = append(n.kids[:i+1], n.kids[i+2:]...)
+	t.dev.Write(l.blk)
+	t.dev.Write(n.blk)
+}
+
+// Keys returns all keys in order (test helper; costs a full scan).
+func (t *Tree[V]) Keys() []float64 {
+	var out []float64
+	t.Range(math.Inf(-1), math.Inf(1), func(p Pair[V]) bool { out = append(out, p.Key); return true })
+	return out
+}

@@ -1,0 +1,227 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"linconstraint/internal/eio"
+)
+
+func TestBulkLoadAndGet(t *testing.T) {
+	dev := eio.NewDevice(8, 0)
+	var pairs []Pair[int]
+	for i := 0; i < 1000; i++ {
+		pairs = append(pairs, Pair[int]{Key: float64(i) * 2, Value: i})
+	}
+	tr := BulkLoad(dev, pairs)
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := tr.Get(float64(i) * 2)
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %v, %v", i*2, v, ok)
+		}
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestSearchIOIsHeight(t *testing.T) {
+	dev := eio.NewDevice(16, 0)
+	var pairs []Pair[int]
+	for i := 0; i < 10000; i++ {
+		pairs = append(pairs, Pair[int]{Key: float64(i), Value: i})
+	}
+	tr := BulkLoad(dev, pairs)
+	dev.ResetCounters()
+	tr.Get(5000)
+	got := dev.Stats().Reads
+	if int(got) != tr.Height() {
+		t.Fatalf("search cost %d reads, height %d", got, tr.Height())
+	}
+	// Height should be ~ log_B n: with B = 16 and N = 10^4, height <= 4.
+	if tr.Height() > 4 {
+		t.Fatalf("height %d too large", tr.Height())
+	}
+}
+
+func TestPredecessorSuccessor(t *testing.T) {
+	dev := eio.NewDevice(4, 0)
+	keys := []float64{1, 3, 5, 7, 9, 11, 13}
+	var pairs []Pair[string]
+	for _, k := range keys {
+		pairs = append(pairs, Pair[string]{Key: k, Value: "v"})
+	}
+	tr := BulkLoad(dev, pairs)
+	cases := []struct {
+		x          float64
+		pred, succ float64
+		pok, sok   bool
+	}{
+		{0, 0, 1, false, true},
+		{1, 1, 1, true, true},
+		{6, 5, 7, true, true},
+		{13, 13, 13, true, true},
+		{14, 13, 0, true, false},
+	}
+	for _, c := range cases {
+		p, ok := tr.Predecessor(c.x)
+		if ok != c.pok || (ok && p.Key != c.pred) {
+			t.Errorf("Predecessor(%v) = %v,%v want %v,%v", c.x, p.Key, ok, c.pred, c.pok)
+		}
+		s, ok := tr.Successor(c.x)
+		if ok != c.sok || (ok && s.Key != c.succ) {
+			t.Errorf("Successor(%v) = %v,%v want %v,%v", c.x, s.Key, ok, c.succ, c.sok)
+		}
+	}
+}
+
+func TestRangeQueryCost(t *testing.T) {
+	// Range reporting T items costs O(log_B n + T/B) I/Os.
+	dev := eio.NewDevice(32, 0)
+	var pairs []Pair[int]
+	n := 32 * 1024
+	for i := 0; i < n; i++ {
+		pairs = append(pairs, Pair[int]{Key: float64(i), Value: i})
+	}
+	tr := BulkLoad(dev, pairs)
+	dev.ResetCounters()
+	cnt := 0
+	tr.Range(1000, 1000+4096-1, func(p Pair[int]) bool { cnt++; return true })
+	if cnt != 4096 {
+		t.Fatalf("range returned %d", cnt)
+	}
+	ios := dev.Stats().IOs()
+	budget := int64(tr.Height() + 4096/32 + 2)
+	if ios > budget {
+		t.Fatalf("range cost %d I/Os, budget %d", ios, budget)
+	}
+}
+
+// TestAgainstModel runs a random op sequence against a sorted-slice model.
+func TestAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dev := eio.NewDevice(4, 0) // tiny fanout stresses splits/merges
+	tr := New[int](dev)
+	var model []float64
+	for op := 0; op < 6000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5: // insert
+			k := float64(rng.Intn(500))
+			tr.Insert(k, int(k))
+			model = append(model, k)
+			sort.Float64s(model)
+		case r < 8: // delete
+			k := float64(rng.Intn(500))
+			ok := tr.Delete(k)
+			i := sort.SearchFloat64s(model, k)
+			want := i < len(model) && model[i] == k
+			if ok != want {
+				t.Fatalf("op %d: Delete(%v) = %v, want %v", op, k, ok, want)
+			}
+			if ok {
+				model = append(model[:i], model[i+1:]...)
+			}
+		default: // verify full contents
+			got := tr.Keys()
+			if len(got) != len(model) {
+				t.Fatalf("op %d: %d keys, want %d", op, len(got), len(model))
+			}
+			for i := range got {
+				if got[i] != model[i] {
+					t.Fatalf("op %d: key[%d] = %v, want %v", op, i, got[i], model[i])
+				}
+			}
+			if tr.Len() != len(model) {
+				t.Fatalf("op %d: Len %d, want %d", op, tr.Len(), len(model))
+			}
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	dev := eio.NewDevice(8, 0)
+	tr := New[int](dev)
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty")
+	}
+	if _, ok := tr.Predecessor(1); ok {
+		t.Fatal("Predecessor on empty")
+	}
+	if _, ok := tr.Successor(1); ok {
+		t.Fatal("Successor on empty")
+	}
+	tr.Range(math.Inf(-1), math.Inf(1), func(Pair[int]) bool { t.Fatal("range on empty"); return false })
+	if tr.Delete(3) {
+		t.Fatal("Delete on empty")
+	}
+	if tr2 := BulkLoad[int](dev, nil); tr2.Len() != 0 {
+		t.Fatal("BulkLoad(nil)")
+	}
+}
+
+func TestBulkLoadPanicsOnUnsorted(t *testing.T) {
+	dev := eio.NewDevice(8, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BulkLoad(dev, []Pair[int]{{2, 0}, {1, 0}})
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	dev := eio.NewDevice(4, 0)
+	tr := New[int](dev)
+	for i := 0; i < 50; i++ {
+		tr.Insert(7, i)
+	}
+	cnt := 0
+	tr.Range(7, 7, func(p Pair[int]) bool { cnt++; return true })
+	if cnt != 50 {
+		t.Fatalf("found %d duplicates, want 50", cnt)
+	}
+	for i := 0; i < 50; i++ {
+		if !tr.Delete(7) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Delete(7) {
+		t.Fatal("extra delete succeeded")
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	dev := eio.NewDevice(8, 0)
+	var pairs []Pair[int]
+	for i := 0; i < 100; i++ {
+		pairs = append(pairs, Pair[int]{Key: float64(i), Value: i})
+	}
+	tr := BulkLoad(dev, pairs)
+	cnt := 0
+	tr.Range(0, 99, func(p Pair[int]) bool { cnt++; return cnt < 5 })
+	if cnt != 5 {
+		t.Fatalf("early stop scanned %d", cnt)
+	}
+}
+
+func TestSpaceLinear(t *testing.T) {
+	b := 64
+	dev := eio.NewDevice(b, 0)
+	var pairs []Pair[int]
+	n := 1 << 15
+	for i := 0; i < n; i++ {
+		pairs = append(pairs, Pair[int]{Key: float64(i), Value: i})
+	}
+	BulkLoad(dev, pairs)
+	blocks := dev.SpaceBlocks()
+	// Linear space: at most ~ (n/B)·(1 + 2/B) + O(height).
+	budget := int64(float64(n/b)*1.2) + 10
+	if blocks > budget {
+		t.Fatalf("space %d blocks, budget %d", blocks, budget)
+	}
+}

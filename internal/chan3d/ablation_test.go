@@ -1,0 +1,133 @@
+package chan3d
+
+// Ablation benchmarks for the design choices DESIGN.md calls out on the
+// §4 structure: the number of independent hierarchies (the paper argues
+// three are needed for the O(δ³) failure bound) and conflict-list
+// refinement (our tail-taming addition to substitution 2).
+
+import (
+	"math/rand"
+	"testing"
+
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+	"linconstraint/internal/hull3d"
+)
+
+func ablationSetup(b *testing.B, copies, refineTau int) (*Index, *eio.Device, *rand.Rand, []geom.Plane3) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(31))
+	n := 4096
+	planes := make([]geom.Plane3, n)
+	for i := range planes {
+		planes[i] = geom.Plane3{A: rng.NormFloat64(), B: rng.NormFloat64(), C: rng.NormFloat64()}
+	}
+	dev := eio.NewDevice(32, 0)
+	idx := New(dev, planes, Options{
+		Window: hull3d.Window{XMin: -2, XMax: 2, YMin: -2, YMax: 2},
+		Copies: copies, RefineTau: refineTau,
+	})
+	dev.ResetCounters()
+	return idx, dev, rng, planes
+}
+
+func runBelowQueries(b *testing.B, idx *Index, dev *eio.Device, rng *rand.Rand, planes []geom.Plane3) {
+	b.Helper()
+	// Small fixed outputs (~2 blocks) keep the search term, where the
+	// design choices matter, visible over the output term.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		x, y := rng.Float64()*2-1, rng.Float64()*2-1
+		zs := make([]float64, len(planes))
+		for j, h := range planes {
+			zs[j] = h.Eval(x, y)
+		}
+		z := kthOf(zs, 2*dev.B())
+		b.StartTimer()
+		idx.Below(geom.Point3{X: x, Y: y, Z: z})
+	}
+	b.ReportMetric(float64(dev.Stats().IOs())/float64(b.N), "IOs/op")
+}
+
+func BenchmarkAblationCopies1(b *testing.B) {
+	idx, dev, rng, planes := ablationSetup(b, 1, 0)
+	runBelowQueries(b, idx, dev, rng, planes)
+}
+
+func BenchmarkAblationCopies3(b *testing.B) {
+	idx, dev, rng, planes := ablationSetup(b, 3, 0)
+	runBelowQueries(b, idx, dev, rng, planes)
+}
+
+func BenchmarkAblationNoRefine(b *testing.B) {
+	idx, dev, rng, planes := ablationSetup(b, 3, -1)
+	runBelowQueries(b, idx, dev, rng, planes)
+}
+
+func BenchmarkAblationRefineDefault(b *testing.B) {
+	idx, dev, rng, planes := ablationSetup(b, 3, 0)
+	runBelowQueries(b, idx, dev, rng, planes)
+}
+
+// TestRefineTauOptions keeps the ablation paths correct, not just fast.
+func TestRefineTauOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n := 400
+	planes := make([]geom.Plane3, n)
+	for i := range planes {
+		planes[i] = geom.Plane3{A: rng.NormFloat64(), B: rng.NormFloat64(), C: rng.NormFloat64()}
+	}
+	win := hull3d.Window{XMin: -2, XMax: 2, YMin: -2, YMax: 2}
+	for _, tau := range []int{-1, 0, 64} {
+		dev := eio.NewDevice(16, 0)
+		idx := New(dev, planes, Options{Window: win, RefineTau: tau})
+		for s := 0; s < 20; s++ {
+			q := geom.Point3{X: rng.Float64()*2 - 1, Y: rng.Float64()*2 - 1, Z: rng.NormFloat64()}
+			got := idx.Below(q)
+			want := 0
+			for _, h := range planes {
+				if geom.SideOfPlane3(h, q) >= 0 {
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("tau=%d: Below returned %d, want %d", tau, len(got), want)
+			}
+		}
+	}
+}
+
+// kthOf selects the k-th smallest value (bench helper).
+func kthOf(vals []float64, k int) float64 {
+	v := append([]float64(nil), vals...)
+	lo, hi := 0, len(v)-1
+	if k > hi {
+		k = hi
+	}
+	for lo < hi {
+		p := v[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for v[i] < p {
+				i++
+			}
+			for v[j] > p {
+				j--
+			}
+			if i <= j {
+				v[i], v[j] = v[j], v[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return v[k]
+}

@@ -1,0 +1,228 @@
+package chan3d
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+	"linconstraint/internal/hull3d"
+)
+
+var win = hull3d.Window{XMin: -2, XMax: 2, YMin: -2, YMax: 2}
+
+func randomPlanes(rng *rand.Rand, n int) []geom.Plane3 {
+	ps := make([]geom.Plane3, n)
+	for i := range ps {
+		ps[i] = geom.Plane3{A: rng.NormFloat64(), B: rng.NormFloat64(), C: rng.NormFloat64()}
+	}
+	return ps
+}
+
+func bruteKLowest(planes []geom.Plane3, k int, x, y float64) []Lowest {
+	all := make([]Lowest, len(planes))
+	for i, h := range planes {
+		all[i] = Lowest{ID: int32(i), Z: h.Eval(x, y)}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Z < all[b].Z })
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// TestKLowestMatchesBruteForce is the master correctness property of
+// Theorem 4.2.
+func TestKLowestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 4; trial++ {
+		n := 300 + rng.Intn(700)
+		planes := randomPlanes(rng, n)
+		dev := eio.NewDevice(16, 0)
+		idx := New(dev, planes, Options{Window: win, Seed: int64(trial)})
+		for s := 0; s < 30; s++ {
+			x, y := rng.Float64()*3-1.5, rng.Float64()*3-1.5
+			k := 1 + rng.Intn(n/2)
+			got := idx.KLowest(k, x, y)
+			want := bruteKLowest(planes, k, x, y)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: k=%d returned %d planes", trial, k, len(got))
+			}
+			for i := range got {
+				// Heights must agree (ids may differ only on exact ties).
+				if got[i].Z != want[i].Z && got[i].ID != want[i].ID {
+					t.Fatalf("trial %d: k=%d position %d: got plane %d z=%v, want %d z=%v",
+						trial, k, i, got[i].ID, got[i].Z, want[i].ID, want[i].Z)
+				}
+			}
+		}
+	}
+}
+
+func TestKLowestEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	planes := randomPlanes(rng, 100)
+	dev := eio.NewDevice(16, 0)
+	idx := New(dev, planes, Options{Window: win})
+	if got := idx.KLowest(0, 0, 0); len(got) != 0 {
+		t.Fatal("k=0")
+	}
+	if got := idx.KLowest(100, 0, 0); len(got) != 100 {
+		t.Fatalf("k=N returned %d", len(got))
+	}
+	if got := idx.KLowest(1000, 0, 0); len(got) != 100 {
+		t.Fatalf("k>N returned %d", len(got))
+	}
+	if got := idx.KLowest(1, 0, 0); len(got) != 1 {
+		t.Fatal("k=1")
+	}
+}
+
+// TestBelowMatchesBruteForce verifies Theorem 4.4's reporting query.
+func TestBelowMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 4; trial++ {
+		n := 200 + rng.Intn(600)
+		planes := randomPlanes(rng, n)
+		dev := eio.NewDevice(16, 0)
+		idx := New(dev, planes, Options{Window: win, Seed: int64(trial)})
+		for s := 0; s < 30; s++ {
+			q := geom.Point3{X: rng.Float64()*3 - 1.5, Y: rng.Float64()*3 - 1.5, Z: rng.NormFloat64() * 2}
+			got := idx.Below(q)
+			var want []int
+			for i, h := range planes {
+				if geom.SideOfPlane3(h, q) >= 0 {
+					want = append(want, i)
+				}
+			}
+			sort.Ints(got)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: Below returned %d, want %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: result mismatch at %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestKLowestIOCost: expected O(log_B n + k/B) I/Os per Theorem 4.2.
+func TestKLowestIOCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, b := 4096, 32
+	planes := randomPlanes(rng, n)
+	dev := eio.NewDevice(b, 0)
+	idx := New(dev, planes, Options{Window: win})
+	var total int64
+	queries := 60
+	k := 256
+	for s := 0; s < queries; s++ {
+		x, y := rng.Float64()*3-1.5, rng.Float64()*3-1.5
+		dev.ResetCounters()
+		idx.KLowest(k, x, y)
+		total += dev.Stats().IOs()
+	}
+	avg := float64(total) / float64(queries)
+	budget := 50.0 + 40.0*float64(k)/float64(b)
+	if avg > budget {
+		t.Fatalf("avg KLowest I/Os %v over budget %v", avg, budget)
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 600
+	pts := make([]geom.Point2, n)
+	for i := range pts {
+		pts[i] = geom.Point2{X: rng.Float64()*2 - 1, Y: rng.Float64()*2 - 1}
+	}
+	dev := eio.NewDevice(16, 0)
+	knn := NewKNN(dev, pts, Options{})
+	for s := 0; s < 25; s++ {
+		q := geom.Point2{X: rng.Float64()*2 - 1, Y: rng.Float64()*2 - 1}
+		k := 1 + rng.Intn(40)
+		got := knn.Query(k, q)
+		if len(got) != k {
+			t.Fatalf("returned %d neighbors, want %d", len(got), k)
+		}
+		// Compare distances with brute force.
+		d2 := make([]float64, n)
+		for i, p := range pts {
+			dx, dy := p.X-q.X, p.Y-q.Y
+			d2[i] = dx*dx + dy*dy
+		}
+		sort.Float64s(d2)
+		for i := range got {
+			if got[i].Dist2 != d2[i] {
+				t.Fatalf("neighbor %d dist² %v, want %v", i, got[i].Dist2, d2[i])
+			}
+		}
+	}
+	if len(knn.Points()) != n {
+		t.Fatal("Points accessor")
+	}
+}
+
+func TestPointIndex3Halfspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 500
+	pts := make([]geom.Point3, n)
+	for i := range pts {
+		pts[i] = geom.Point3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+	}
+	dev := eio.NewDevice(16, 0)
+	idx := NewPoints3(dev, pts, Options{})
+	for s := 0; s < 25; s++ {
+		a, b, c := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		got := idx.Halfspace(a, b, c)
+		var want []int
+		for i, p := range pts {
+			if geom.SideOfPlane3(geom.Plane3{A: a, B: b, C: c}, p) <= 0 {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("halfspace returned %d, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("mismatch at %d", i)
+			}
+		}
+	}
+	if len(idx.Points()) != n || idx.Index() == nil {
+		t.Fatal("accessors")
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	dev := eio.NewDevice(8, 0)
+	for n := 1; n <= 6; n++ {
+		rng := rand.New(rand.NewSource(int64(n)))
+		planes := randomPlanes(rng, n)
+		idx := New(dev, planes, Options{Window: win})
+		got := idx.KLowest(n, 0.5, -0.5)
+		if len(got) != n {
+			t.Fatalf("n=%d returned %d", n, len(got))
+		}
+		want := bruteKLowest(planes, n, 0.5, -0.5)
+		for i := range got {
+			if got[i].Z != want[i].Z {
+				t.Fatalf("n=%d mismatch", n)
+			}
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	planes := randomPlanes(rng, 50)
+	dev := eio.NewDevice(8, 0)
+	idx := New(dev, planes, Options{Window: win})
+	if len(idx.Planes()) != 50 || idx.Beta() <= 0 || idx.Layers() < 1 {
+		t.Fatal("accessors")
+	}
+}

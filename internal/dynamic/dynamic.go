@@ -1,0 +1,167 @@
+// Package dynamic adds insertions and deletions to the paper's static
+// structures with the standard partial-rebuilding ("logarithmic method")
+// technique the paper itself points to for the partition tree (§5 Remark
+// iii) and poses as an open problem for the 2D structure (§7, problem 1).
+//
+// A Set maintains O(log N) buckets; bucket i, when full, holds 2^i
+// items in one static index. An insertion merges the new item with all
+// full buckets below the first empty one and rebuilds a single static
+// index there — O((N/B)·log_B N / N) amortized I/Os per insertion times
+// the static build cost. Deletions mark tombstones; when half the items
+// are dead the whole set is rebuilt. A query runs on every live bucket
+// and filters tombstones, multiplying the static query bound by O(log N).
+package dynamic
+
+import "linconstraint/internal/eio"
+
+// Index is a static structure over items of type T that can answer some
+// reporting query; the Set rebuilds them from item slices.
+type Index[T any] interface {
+	// Query returns positions (into the slice the index was built from)
+	// of the items satisfying the caller's current query.
+	Query(q any) []int
+}
+
+// Builder constructs a static index over items on dev.
+type Builder[T any] func(dev *eio.Device, items []T) Index[T]
+
+// Set is a dynamized collection of static indexes.
+type Set[T any] struct {
+	dev     *eio.Device
+	build   Builder[T]
+	buckets []*bucket[T]
+	live    int
+	dead    int
+}
+
+type bucket[T any] struct {
+	items []T
+	dead  []bool
+	idx   Index[T]
+}
+
+// NewSet returns an empty dynamized set.
+func NewSet[T any](dev *eio.Device, build Builder[T]) *Set[T] {
+	return &Set[T]{dev: dev, build: build}
+}
+
+// Len returns the number of live items.
+func (s *Set[T]) Len() int { return s.live }
+
+// Buckets returns the number of non-empty buckets (test/metrics hook).
+func (s *Set[T]) Buckets() int {
+	n := 0
+	for _, b := range s.buckets {
+		if b != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Insert adds an item, merging carry-style into the first empty bucket.
+func (s *Set[T]) Insert(item T) {
+	carry := []T{item}
+	for i := 0; ; i++ {
+		if i == len(s.buckets) {
+			s.buckets = append(s.buckets, nil)
+		}
+		if s.buckets[i] == nil {
+			s.buckets[i] = s.newBucket(carry)
+			break
+		}
+		for j, it := range s.buckets[i].items {
+			if !s.buckets[i].dead[j] {
+				carry = append(carry, it)
+			}
+		}
+		s.dead -= countDead(s.buckets[i].dead)
+		s.buckets[i] = nil
+	}
+	s.live++
+}
+
+func countDead(d []bool) int {
+	n := 0
+	for _, v := range d {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Set[T]) newBucket(items []T) *bucket[T] {
+	cp := append([]T(nil), items...)
+	return &bucket[T]{items: cp, dead: make([]bool, len(cp)), idx: s.build(s.dev, cp)}
+}
+
+// Delete removes the first live item for which eq returns true,
+// reporting whether one was found. When half the stored items are dead
+// the whole set is rebuilt.
+func (s *Set[T]) Delete(eq func(T) bool) bool {
+	for _, b := range s.buckets {
+		if b == nil {
+			continue
+		}
+		for j, it := range b.items {
+			if !b.dead[j] && eq(it) {
+				b.dead[j] = true
+				s.dead++
+				s.live--
+				if s.dead*2 >= s.live+s.dead {
+					s.compact()
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// compact rebuilds the set from its live items.
+func (s *Set[T]) compact() {
+	var all []T
+	for _, b := range s.buckets {
+		if b == nil {
+			continue
+		}
+		for j, it := range b.items {
+			if !b.dead[j] {
+				all = append(all, it)
+			}
+		}
+	}
+	s.buckets = nil
+	s.dead = 0
+	s.live = 0
+	// Re-insert in bulk: place each power-of-two chunk directly.
+	for len(all) > 0 {
+		i := 0
+		for (1 << (i + 1)) <= len(all) {
+			i++
+		}
+		size := 1 << i
+		for i >= len(s.buckets) {
+			s.buckets = append(s.buckets, nil)
+		}
+		s.buckets[i] = s.newBucket(all[:size])
+		s.live += size
+		all = all[size:]
+	}
+}
+
+// Query runs q against every bucket and concatenates live results,
+// remapped through each bucket's item positions via out(item).
+func (s *Set[T]) Query(q any, emit func(item T)) {
+	for _, b := range s.buckets {
+		if b == nil {
+			continue
+		}
+		for _, pos := range b.idx.Query(q) {
+			if !b.dead[pos] {
+				emit(b.items[pos])
+			}
+		}
+	}
+}

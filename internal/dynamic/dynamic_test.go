@@ -1,0 +1,195 @@
+package dynamic
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+)
+
+// TestHalfplane2DAgainstModel drives random inserts/deletes/queries and
+// compares every query against a brute-force model.
+func TestHalfplane2DAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dev := eio.NewDevice(16, 0)
+	idx := NewHalfplane2D(dev, 3)
+	var model []geom.Point2
+
+	for op := 0; op < 1500; op++ {
+		switch r := rng.Intn(10); {
+		case r < 6:
+			p := geom.Point2{X: rng.Float64(), Y: rng.Float64()}
+			idx.Insert(p)
+			model = append(model, p)
+		case r < 8:
+			if len(model) == 0 {
+				continue
+			}
+			i := rng.Intn(len(model))
+			p := model[i]
+			if !idx.Delete(p) {
+				t.Fatalf("op %d: Delete(%v) failed", op, p)
+			}
+			model = append(model[:i], model[i+1:]...)
+		default:
+			a, b := rng.NormFloat64(), rng.Float64()
+			got := idx.Report(a, b)
+			var want []geom.Point2
+			for _, p := range model {
+				if geom.SideOfLine2(geom.Line2{A: a, B: b}, p) <= 0 {
+					want = append(want, p)
+				}
+			}
+			if !samePointSet(got, want) {
+				t.Fatalf("op %d: query (%v,%v): got %d, want %d", op, a, b, len(got), len(want))
+			}
+		}
+		if idx.Len() != len(model) {
+			t.Fatalf("op %d: Len %d, want %d", op, idx.Len(), len(model))
+		}
+	}
+}
+
+func samePointSet(a, b []geom.Point2) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(p geom.Point2) [2]float64 { return [2]float64{p.X, p.Y} }
+	sa := make([][2]float64, len(a))
+	sb := make([][2]float64, len(b))
+	for i := range a {
+		sa[i], sb[i] = key(a[i]), key(b[i])
+	}
+	lss := func(x, y [2]float64) bool { return x[0] < y[0] || (x[0] == y[0] && x[1] < y[1]) }
+	sort.Slice(sa, func(i, j int) bool { return lss(sa[i], sa[j]) })
+	sort.Slice(sb, func(i, j int) bool { return lss(sb[i], sb[j]) })
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	dev := eio.NewDevice(8, 0)
+	idx := NewHalfplane2D(dev, 1)
+	if idx.Delete(geom.Point2{X: 1, Y: 1}) {
+		t.Fatal("deleted from empty set")
+	}
+	idx.Insert(geom.Point2{X: 1, Y: 1})
+	if idx.Delete(geom.Point2{X: 2, Y: 2}) {
+		t.Fatal("deleted absent point")
+	}
+	if !idx.Delete(geom.Point2{X: 1, Y: 1}) {
+		t.Fatal("failed to delete present point")
+	}
+	if idx.Len() != 0 {
+		t.Fatal("Len after delete")
+	}
+}
+
+func TestBucketStructure(t *testing.T) {
+	dev := eio.NewDevice(8, 0)
+	set := NewSet(dev, func(d *eio.Device, items []int) Index[int] { return constIndex(len(items)) })
+	for i := 0; i < 100; i++ {
+		set.Insert(i)
+	}
+	// 100 = 64+32+4: three buckets.
+	if got := set.Buckets(); got != 3 {
+		t.Fatalf("buckets = %d, want 3", got)
+	}
+	if set.Len() != 100 {
+		t.Fatal("Len")
+	}
+}
+
+// constIndex reports every position.
+type constIndex int
+
+func (c constIndex) Query(q any) []int {
+	out := make([]int, c)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestCompactAfterManyDeletes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dev := eio.NewDevice(16, 0)
+	idx := NewHalfplane2D(dev, 5)
+	var pts []geom.Point2
+	for i := 0; i < 256; i++ {
+		p := geom.Point2{X: rng.Float64(), Y: rng.Float64()}
+		pts = append(pts, p)
+		idx.Insert(p)
+	}
+	for i := 0; i < 200; i++ {
+		if !idx.Delete(pts[i]) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if idx.Len() != 56 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	got := idx.Report(0, 2) // everything is below y = 2
+	if len(got) != 56 {
+		t.Fatalf("after compaction query returned %d, want 56", len(got))
+	}
+}
+
+func TestPartitionDAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dev := eio.NewDevice(16, 0)
+	idx := NewPartitionD(dev)
+	var model []geom.PointD
+	for op := 0; op < 800; op++ {
+		switch r := rng.Intn(10); {
+		case r < 6:
+			p := geom.PointD{rng.Float64(), rng.Float64(), rng.Float64()}
+			idx.Insert(p)
+			model = append(model, p)
+		case r < 8:
+			if len(model) == 0 {
+				continue
+			}
+			i := rng.Intn(len(model))
+			if !idx.Delete(model[i]) {
+				t.Fatalf("op %d: delete failed", op)
+			}
+			model = append(model[:i], model[i+1:]...)
+		default:
+			h := geom.HyperplaneD{Coef: []float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3, 0.5}}
+			got := idx.Report(h)
+			want := 0
+			for _, p := range model {
+				if geom.SideOfHyperplane(h, p) <= 0 {
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("op %d: got %d, want %d", op, len(got), want)
+			}
+		}
+	}
+}
+
+// TestAmortizedInsertCost: total build work over N inserts is
+// O(N log N)-ish, so average per-insert device writes stay polylog.
+func TestAmortizedInsertCost(t *testing.T) {
+	dev := eio.NewDevice(16, 0)
+	idx := NewHalfplane2D(dev, 7)
+	rng := rand.New(rand.NewSource(4))
+	n := 1 << 10
+	for i := 0; i < n; i++ {
+		idx.Insert(geom.Point2{X: rng.Float64(), Y: rng.Float64()})
+	}
+	writesPerInsert := float64(dev.Stats().Writes) / float64(n)
+	// log2(1024) = 10 rebuild generations, each writing O(1/B·const) per item.
+	if writesPerInsert > 40 {
+		t.Fatalf("amortized writes per insert %v too high", writesPerInsert)
+	}
+}

@@ -1,0 +1,98 @@
+package dynamic
+
+import (
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+	"linconstraint/internal/halfspace2d"
+	"linconstraint/internal/partition"
+)
+
+// Halfplane2D is a dynamized version of the §3 planar structure: it
+// supports Insert/Delete of points and halfplane reporting in
+// O(log N · (log_B n + t')) I/Os, addressing §7 open problem 1 with the
+// classical logarithmic-method tradeoff (the open problem asks for
+// O(log_B n + t) with O(log_B N) updates, which remains open; this is
+// the standard engineering answer).
+type Halfplane2D struct {
+	set *Set[geom.Point2]
+}
+
+type hp2Index struct{ idx *halfspace2d.PointIndex }
+
+func (x hp2Index) Query(q any) []int {
+	l := q.(geom.Line2)
+	return x.idx.Halfplane(l.A, l.B)
+}
+
+// NewHalfplane2D returns an empty dynamic planar index on dev.
+func NewHalfplane2D(dev *eio.Device, seed int64) *Halfplane2D {
+	return &Halfplane2D{set: NewSet(dev, func(d *eio.Device, pts []geom.Point2) Index[geom.Point2] {
+		return hp2Index{idx: halfspace2d.NewPoints(d, pts, halfspace2d.Options{Seed: seed})}
+	})}
+}
+
+// Insert adds a point.
+func (h *Halfplane2D) Insert(p geom.Point2) { h.set.Insert(p) }
+
+// Delete removes one copy of p, reporting whether it was present.
+func (h *Halfplane2D) Delete(p geom.Point2) bool {
+	return h.set.Delete(func(q geom.Point2) bool { return q == p })
+}
+
+// Len returns the number of live points.
+func (h *Halfplane2D) Len() int { return h.set.Len() }
+
+// Report returns the live points with y <= a·x + b.
+func (h *Halfplane2D) Report(a, b float64) []geom.Point2 {
+	var out []geom.Point2
+	h.set.Query(geom.Line2{A: a, B: b}, func(p geom.Point2) { out = append(out, p) })
+	return out
+}
+
+// PartitionD is the dynamized §5 partition tree (§5 Remark iii):
+// insertions and deletions in amortized O(polylog) rebuild work, queries
+// at an O(log N) multiple of the static bound.
+type PartitionD struct {
+	set *Set[geom.PointD]
+}
+
+type partIndex struct{ tr *partition.Tree }
+
+func (x partIndex) Query(q any) []int {
+	return x.tr.Halfspace(q.(geom.HyperplaneD))
+}
+
+// NewPartitionD returns an empty dynamic d-dimensional index on dev.
+func NewPartitionD(dev *eio.Device) *PartitionD {
+	return &PartitionD{set: NewSet(dev, func(d *eio.Device, pts []geom.PointD) Index[geom.PointD] {
+		return partIndex{tr: partition.New(d, pts, partition.Options{})}
+	})}
+}
+
+// Insert adds a point.
+func (h *PartitionD) Insert(p geom.PointD) { h.set.Insert(p) }
+
+// Delete removes one point equal to p, reporting whether it was present.
+func (h *PartitionD) Delete(p geom.PointD) bool {
+	return h.set.Delete(func(q geom.PointD) bool {
+		if len(p) != len(q) {
+			return false
+		}
+		for i := range p {
+			if p[i] != q[i] {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Len returns the number of live points.
+func (h *PartitionD) Len() int { return h.set.Len() }
+
+// Report returns the live points on or below the hyperplane.
+func (h *PartitionD) Report(hp geom.HyperplaneD) []geom.PointD {
+	var out []geom.PointD
+	h.set.Query(hp, func(p geom.PointD) { out = append(out, p) })
+	return out
+}

@@ -1,0 +1,90 @@
+package eio
+
+// Array is a blocked, immutable-length array of records stored in
+// contiguous blocks on a Device. Element i lives in block base + i/B, so a
+// sequential scan of K records costs ceil(K/B) I/Os (plus alignment), the
+// unit the paper's reporting bounds are stated in.
+type Array[T any] struct {
+	dev  *Device
+	base BlockID
+	data []T
+}
+
+// NewArray copies data onto freshly allocated contiguous blocks of dev,
+// charging the write I/Os for materializing it.
+func NewArray[T any](dev *Device, data []T) *Array[T] {
+	nb := dev.Blocks(len(data))
+	a := &Array[T]{dev: dev, base: dev.Alloc(nb), data: append([]T(nil), data...)}
+	for i := 0; i < nb; i++ {
+		dev.Write(a.base + BlockID(i))
+	}
+	return a
+}
+
+// Len returns the number of records.
+func (a *Array[T]) Len() int { return len(a.data) }
+
+// Blocks returns the number of blocks the array occupies.
+func (a *Array[T]) Blocks() int { return a.dev.Blocks(len(a.data)) }
+
+// Get reads record i, charging the I/O for its block.
+func (a *Array[T]) Get(i int) T {
+	a.dev.Read(a.base + BlockID(i/a.dev.b))
+	return a.data[i]
+}
+
+// Scan calls fn on records [from, to), charging one read per block
+// touched. It stops early if fn returns false.
+func (a *Array[T]) Scan(from, to int, fn func(i int, v T) bool) {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(a.data) {
+		to = len(a.data)
+	}
+	last := BlockID(-1)
+	for i := from; i < to; i++ {
+		blk := a.base + BlockID(i/a.dev.b)
+		if blk != last {
+			a.dev.Read(blk)
+			last = blk
+		}
+		if !fn(i, a.data[i]) {
+			return
+		}
+	}
+}
+
+// All scans every record.
+func (a *Array[T]) All(fn func(i int, v T) bool) { a.Scan(0, len(a.data), fn) }
+
+// Reader is a sequential cursor over an Array that charges one read per
+// block rather than per record, modelling a process that keeps the
+// current block buffered in memory (as the merge phases of external
+// sorting do).
+type Reader[T any] struct {
+	arr  *Array[T]
+	next int
+	blk  BlockID
+}
+
+// NewReader returns a cursor at the start of the array.
+func NewReader[T any](arr *Array[T]) *Reader[T] {
+	return &Reader[T]{arr: arr, blk: -1}
+}
+
+// Next returns the next record, charging an I/O only on block boundaries.
+func (r *Reader[T]) Next() (T, bool) {
+	var zero T
+	if r.next >= len(r.arr.data) {
+		return zero, false
+	}
+	blk := r.arr.base + BlockID(r.next/r.arr.dev.b)
+	if blk != r.blk {
+		r.arr.dev.Read(blk)
+		r.blk = blk
+	}
+	v := r.arr.data[r.next]
+	r.next++
+	return v, true
+}

@@ -1,0 +1,136 @@
+// Package eio simulates the standard external-memory (I/O) model of
+// Aggarwal and Vitter, which the paper uses for all of its bounds: data is
+// transferred between a disk and a bounded internal memory in blocks of B
+// records, and the cost of an algorithm is the number of block transfers
+// (I/Os) it performs. A Device tracks every block touch through an exact
+// LRU cache of M/B blocks, so I/O counts are deterministic and
+// machine-independent.
+//
+// Data structures in this repository keep their payloads in ordinary Go
+// memory but route every logical block access through a Device, which is
+// what the paper's model measures. Space is measured in blocks via the
+// allocation counter.
+package eio
+
+import "container/list"
+
+// BlockID identifies one disk block. Contiguous allocations receive
+// consecutive IDs, so scanning a blocked array touches consecutive blocks.
+type BlockID int64
+
+// Stats holds cumulative I/O counters for a Device.
+type Stats struct {
+	Reads  int64 // block reads that missed the cache
+	Writes int64 // block writes that missed the cache
+	Hits   int64 // block touches served by the cache
+}
+
+// IOs returns the total number of block transfers (reads plus writes).
+func (s Stats) IOs() int64 { return s.Reads + s.Writes }
+
+// Sub returns the counter deltas s minus t.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes, Hits: s.Hits - t.Hits}
+}
+
+// Device is a simulated disk with block size B (in records) and an LRU
+// cache of CacheBlocks blocks. The zero value is not usable; construct
+// with NewDevice. Device is not safe for concurrent use; the structures in
+// this repository serialize their device accesses.
+type Device struct {
+	b           int
+	cacheBlocks int
+	next        BlockID
+	stats       Stats
+
+	lru     *list.List // of BlockID, front = most recent
+	present map[BlockID]*list.Element
+}
+
+// NewDevice returns a Device with block size b records and an LRU cache
+// holding cacheBlocks blocks. b must be positive; cacheBlocks may be zero,
+// in which case every block touch costs one I/O.
+func NewDevice(b, cacheBlocks int) *Device {
+	if b <= 0 {
+		panic("eio: block size must be positive")
+	}
+	if cacheBlocks < 0 {
+		panic("eio: cache size must be non-negative")
+	}
+	return &Device{
+		b:           b,
+		cacheBlocks: cacheBlocks,
+		lru:         list.New(),
+		present:     make(map[BlockID]*list.Element),
+	}
+}
+
+// B returns the block size in records.
+func (d *Device) B() int { return d.b }
+
+// Alloc reserves n contiguous blocks and returns the first BlockID.
+func (d *Device) Alloc(n int) BlockID {
+	if n < 0 {
+		panic("eio: negative allocation")
+	}
+	id := d.next
+	d.next += BlockID(n)
+	return id
+}
+
+// SpaceBlocks returns the total number of blocks allocated so far.
+func (d *Device) SpaceBlocks() int64 { return int64(d.next) }
+
+// Stats returns the cumulative I/O counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetCounters zeroes the I/O counters (allocations are kept) and empties
+// the cache, so the next measurement starts cold.
+func (d *Device) ResetCounters() {
+	d.stats = Stats{}
+	d.lru.Init()
+	d.present = make(map[BlockID]*list.Element)
+}
+
+// DropCache empties the cache without touching the counters.
+func (d *Device) DropCache() {
+	d.lru.Init()
+	d.present = make(map[BlockID]*list.Element)
+}
+
+// touch records an access to block id, charging an I/O on a cache miss.
+func (d *Device) touch(id BlockID, write bool) {
+	if e, ok := d.present[id]; ok {
+		d.lru.MoveToFront(e)
+		d.stats.Hits++
+		return
+	}
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	if d.cacheBlocks == 0 {
+		return
+	}
+	if d.lru.Len() >= d.cacheBlocks {
+		back := d.lru.Back()
+		d.lru.Remove(back)
+		delete(d.present, back.Value.(BlockID))
+	}
+	d.present[id] = d.lru.PushFront(id)
+}
+
+// Read records a read access to block id.
+func (d *Device) Read(id BlockID) { d.touch(id, false) }
+
+// Write records a write access to block id.
+func (d *Device) Write(id BlockID) { d.touch(id, true) }
+
+// Blocks returns the number of blocks needed to hold n records: ceil(n/B).
+func (d *Device) Blocks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + d.b - 1) / d.b
+}

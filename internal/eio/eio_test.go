@@ -1,0 +1,165 @@
+package eio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlocks(t *testing.T) {
+	d := NewDevice(4, 0)
+	cases := []struct{ n, want int }{{0, 0}, {1, 1}, {4, 1}, {5, 2}, {8, 2}, {9, 3}, {-3, 0}}
+	for _, c := range cases {
+		if got := d.Blocks(c.n); got != c.want {
+			t.Errorf("Blocks(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestAllocContiguous(t *testing.T) {
+	d := NewDevice(8, 0)
+	a := d.Alloc(3)
+	b := d.Alloc(2)
+	if b != a+3 {
+		t.Fatalf("allocations not contiguous: %d then %d", a, b)
+	}
+	if d.SpaceBlocks() != 5 {
+		t.Fatalf("SpaceBlocks = %d, want 5", d.SpaceBlocks())
+	}
+}
+
+func TestNoCacheEveryTouchCosts(t *testing.T) {
+	d := NewDevice(8, 0)
+	id := d.Alloc(1)
+	for i := 0; i < 10; i++ {
+		d.Read(id)
+	}
+	if got := d.Stats().Reads; got != 10 {
+		t.Fatalf("uncached reads = %d, want 10", got)
+	}
+}
+
+func TestLRUExact(t *testing.T) {
+	d := NewDevice(8, 2)
+	a, b, c := d.Alloc(1), d.Alloc(1), d.Alloc(1)
+	d.Read(a) // miss
+	d.Read(b) // miss
+	d.Read(a) // hit
+	d.Read(c) // miss, evicts b (LRU)
+	d.Read(b) // miss
+	d.Read(c) // hit (c still resident)
+	s := d.Stats()
+	if s.Reads != 4 || s.Hits != 2 {
+		t.Fatalf("got reads=%d hits=%d, want 4/2", s.Reads, s.Hits)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	d := NewDevice(8, 4)
+	id := d.Alloc(1)
+	d.Read(id)
+	d.ResetCounters()
+	if d.Stats() != (Stats{}) {
+		t.Fatal("counters not zeroed")
+	}
+	d.Read(id)
+	if d.Stats().Reads != 1 {
+		t.Fatal("cache not dropped by ResetCounters")
+	}
+	if d.SpaceBlocks() != 1 {
+		t.Fatal("ResetCounters must keep allocations")
+	}
+}
+
+func TestArrayScanCost(t *testing.T) {
+	// Scanning K contiguous records costs exactly ceil(K/B) reads from cold.
+	check := func(k uint8, b8 uint8) bool {
+		b := int(b8%16) + 1
+		kk := int(k)
+		d := NewDevice(b, 0)
+		data := make([]int, kk)
+		a := NewArray(d, data)
+		d.ResetCounters()
+		cnt := 0
+		a.All(func(i int, v int) bool { cnt++; return true })
+		return cnt == kk && int(d.Stats().Reads) == d.Blocks(kk)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrayGetValues(t *testing.T) {
+	d := NewDevice(3, 0)
+	a := NewArray(d, []string{"p", "q", "r", "s"})
+	if a.Len() != 4 || a.Blocks() != 2 {
+		t.Fatalf("len/blocks = %d/%d", a.Len(), a.Blocks())
+	}
+	for i, want := range []string{"p", "q", "r", "s"} {
+		if got := a.Get(i); got != want {
+			t.Errorf("Get(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestArrayScanEarlyStop(t *testing.T) {
+	d := NewDevice(2, 0)
+	a := NewArray(d, []int{0, 1, 2, 3, 4, 5})
+	d.ResetCounters()
+	seen := 0
+	a.Scan(0, 6, func(i, v int) bool { seen++; return i < 1 })
+	if seen != 2 {
+		t.Fatalf("early stop scanned %d records, want 2", seen)
+	}
+	if d.Stats().Reads != 1 {
+		t.Fatalf("early stop cost %d reads, want 1", d.Stats().Reads)
+	}
+}
+
+func TestArrayScanClamps(t *testing.T) {
+	d := NewDevice(2, 0)
+	a := NewArray(d, []int{1, 2, 3})
+	got := 0
+	a.Scan(-5, 99, func(i, v int) bool { got += v; return true })
+	if got != 6 {
+		t.Fatalf("clamped scan sum = %d, want 6", got)
+	}
+}
+
+func TestWriteCounts(t *testing.T) {
+	d := NewDevice(4, 0)
+	id := d.Alloc(2)
+	d.Write(id)
+	d.Write(id + 1)
+	if d.Stats().Writes != 2 {
+		t.Fatalf("writes = %d, want 2", d.Stats().Writes)
+	}
+}
+
+func TestReaderBlockCharging(t *testing.T) {
+	d := NewDevice(4, 0)
+	data := make([]int, 10)
+	for i := range data {
+		data[i] = i
+	}
+	a := NewArray(d, data)
+	d.ResetCounters()
+	r := NewReader(a)
+	for i := 0; ; i++ {
+		v, ok := r.Next()
+		if !ok {
+			if i != 10 {
+				t.Fatalf("reader stopped at %d", i)
+			}
+			break
+		}
+		if v != i {
+			t.Fatalf("Next() = %d, want %d", v, i)
+		}
+	}
+	if got := d.Stats().Reads; got != 3 { // ceil(10/4)
+		t.Fatalf("reader cost %d reads, want 3", got)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("Next past end")
+	}
+}

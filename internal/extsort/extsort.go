@@ -1,0 +1,137 @@
+// Package extsort implements external-memory merge sort, the
+// foundational algorithm of the I/O model the paper works in: sorting N
+// records costs Θ((N/B)·log_{M/B}(N/B)) I/Os. The paper's constructions
+// repeatedly sort (lines by slope for T*, boundary abscissas for the
+// trees T_i, records for bulk-loads); this package provides those sorts
+// with exact I/O accounting on an eio.Device: runs of M records are
+// formed in memory and merged M/B ways per pass.
+package extsort
+
+import (
+	"container/heap"
+	"sort"
+
+	"linconstraint/internal/eio"
+)
+
+// Sorter sorts blocked record arrays with a memory budget of m records
+// (m >= 2·B so at least two merge ways fit).
+type Sorter[T any] struct {
+	dev  *eio.Device
+	m    int
+	less func(a, b T) bool
+}
+
+// New returns a Sorter with memory budget m records on dev.
+func New[T any](dev *eio.Device, m int, less func(a, b T) bool) *Sorter[T] {
+	if m < 2*dev.B() {
+		m = 2 * dev.B()
+	}
+	return &Sorter[T]{dev: dev, m: m, less: less}
+}
+
+// Sort sorts in into a new blocked array, charging the I/Os of run
+// formation and every merge pass.
+func (s *Sorter[T]) Sort(in *eio.Array[T]) *eio.Array[T] {
+	n := in.Len()
+	if n == 0 {
+		return eio.NewArray[T](s.dev, nil)
+	}
+	// Run formation: read M records, sort, write a run.
+	var runs []*eio.Array[T]
+	for start := 0; start < n; start += s.m {
+		end := start + s.m
+		if end > n {
+			end = n
+		}
+		buf := make([]T, 0, end-start)
+		in.Scan(start, end, func(_ int, v T) bool {
+			buf = append(buf, v)
+			return true
+		})
+		sort.SliceStable(buf, func(i, j int) bool { return s.less(buf[i], buf[j]) })
+		runs = append(runs, eio.NewArray(s.dev, buf))
+	}
+	// Merge passes: M/B ways at a time.
+	ways := s.m / s.dev.B()
+	if ways < 2 {
+		ways = 2
+	}
+	for len(runs) > 1 {
+		var next []*eio.Array[T]
+		for i := 0; i < len(runs); i += ways {
+			j := i + ways
+			if j > len(runs) {
+				j = len(runs)
+			}
+			next = append(next, s.merge(runs[i:j]))
+		}
+		runs = next
+	}
+	return runs[0]
+}
+
+// mergeItem is one head-of-run entry in the tournament heap.
+type mergeItem[T any] struct {
+	v   T
+	run int
+}
+
+type mergeHeap[T any] struct {
+	items []mergeItem[T]
+	less  func(a, b T) bool
+}
+
+func (h *mergeHeap[T]) Len() int           { return len(h.items) }
+func (h *mergeHeap[T]) Less(i, j int) bool { return h.less(h.items[i].v, h.items[j].v) }
+func (h *mergeHeap[T]) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap[T]) Push(x any)         { h.items = append(h.items, x.(mergeItem[T])) }
+func (h *mergeHeap[T]) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// merge performs one multiway merge, reading each input once and writing
+// the output once.
+func (s *Sorter[T]) merge(runs []*eio.Array[T]) *eio.Array[T] {
+	total := 0
+	for _, r := range runs {
+		total += r.Len()
+	}
+	out := make([]T, 0, total)
+	readers := make([]*eio.Reader[T], len(runs))
+	for ri, r := range runs {
+		readers[ri] = eio.NewReader(r)
+	}
+	h := &mergeHeap[T]{less: s.less}
+	for ri := range runs {
+		if v, ok := readers[ri].Next(); ok {
+			h.items = append(h.items, mergeItem[T]{v: v, run: ri})
+		}
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(mergeItem[T])
+		out = append(out, it.v)
+		if v, ok := readers[it.run].Next(); ok {
+			heap.Push(h, mergeItem[T]{v: v, run: it.run})
+		}
+	}
+	return eio.NewArray(s.dev, out)
+}
+
+// SortSlice is a convenience wrapper: it materializes data on the
+// device, sorts it externally, and returns the sorted values.
+func SortSlice[T any](dev *eio.Device, m int, data []T, less func(a, b T) bool) []T {
+	s := New(dev, m, less)
+	arr := s.Sort(eio.NewArray(dev, data))
+	out := make([]T, 0, arr.Len())
+	arr.All(func(_ int, v T) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}

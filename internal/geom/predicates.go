@@ -1,0 +1,169 @@
+package geom
+
+import "math/big"
+
+// The predicates below are evaluated with a floating-point filter: the
+// sign is computed in float64 along with a forward error bound, and only
+// when the magnitude falls inside the bound do we re-evaluate exactly in
+// rational arithmetic (every float64 is an exact rational, so the fallback
+// is error-free). This keeps the common case fast while guaranteeing the
+// combinatorial layers never see a wrong sign.
+
+const filterEps = 1.1102230246251565e-16 // 2^-53, float64 unit roundoff
+
+func sign(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func rat(x float64) *big.Rat { return new(big.Rat).SetFloat64(x) }
+
+// SideOfLine2 reports whether p is above (+1), on (0), or below (-1) the
+// line l, i.e. the sign of p.Y − (A·p.X + B).
+func SideOfLine2(l Line2, p Point2) int {
+	t := l.A * p.X
+	det := p.Y - t - l.B
+	bound := filterEps * 4 * (abs(p.Y) + abs(t) + abs(l.B))
+	if abs(det) > bound {
+		return sign(det)
+	}
+	// Exact: p.Y - (A*p.X + B).
+	e := new(big.Rat).Mul(rat(l.A), rat(p.X))
+	e.Add(e, rat(l.B))
+	e.Sub(rat(p.Y), e)
+	return e.Sign()
+}
+
+// SideOfPlane3 reports whether p is above (+1), on (0), or below (-1) the
+// plane h, i.e. the sign of p.Z − (A·p.X + B·p.Y + C).
+func SideOfPlane3(h Plane3, p Point3) int {
+	tx, ty := h.A*p.X, h.B*p.Y
+	det := p.Z - tx - ty - h.C
+	bound := filterEps * 6 * (abs(p.Z) + abs(tx) + abs(ty) + abs(h.C))
+	if abs(det) > bound {
+		return sign(det)
+	}
+	e := new(big.Rat).Mul(rat(h.A), rat(p.X))
+	e.Add(e, new(big.Rat).Mul(rat(h.B), rat(p.Y)))
+	e.Add(e, rat(h.C))
+	e.Sub(rat(p.Z), e)
+	return e.Sign()
+}
+
+// SideOfHyperplane reports whether p is above (+1), on (0), or below (-1)
+// the hyperplane h in R^d.
+func SideOfHyperplane(h HyperplaneD, p PointD) int {
+	d := len(h.Coef)
+	det := p[d-1] - h.Coef[d-1]
+	mag := abs(p[d-1]) + abs(h.Coef[d-1])
+	for i := 0; i < d-1; i++ {
+		t := h.Coef[i] * p[i]
+		det -= t
+		mag += abs(t)
+	}
+	bound := filterEps * 2 * float64(d+1) * mag
+	if abs(det) > bound {
+		return sign(det)
+	}
+	e := rat(h.Coef[d-1])
+	for i := 0; i < d-1; i++ {
+		e.Add(e, new(big.Rat).Mul(rat(h.Coef[i]), rat(p[i])))
+	}
+	e.Sub(rat(p[d-1]), e)
+	return e.Sign()
+}
+
+// Orient2D returns the sign of the signed area of triangle (a, b, c):
+// +1 if counterclockwise, -1 if clockwise, 0 if collinear.
+func Orient2D(a, b, c Point2) int {
+	l := (b.X - a.X) * (c.Y - a.Y)
+	r := (b.Y - a.Y) * (c.X - a.X)
+	det := l - r
+	bound := filterEps * 8 * (abs(l) + abs(r))
+	if abs(det) > bound {
+		return sign(det)
+	}
+	lx := new(big.Rat).Sub(rat(b.X), rat(a.X))
+	ly := new(big.Rat).Sub(rat(b.Y), rat(a.Y))
+	rx := new(big.Rat).Sub(rat(c.X), rat(a.X))
+	ry := new(big.Rat).Sub(rat(c.Y), rat(a.Y))
+	e := new(big.Rat).Sub(new(big.Rat).Mul(lx, ry), new(big.Rat).Mul(ly, rx))
+	return e.Sign()
+}
+
+// Orient3D returns the orientation of point d relative to the plane
+// through (a, b, c): +1 if d is on the positive side (the side such that
+// (a, b, c) appears counterclockwise from d... concretely, the sign of
+// det[b-a; c-a; d-a]), -1 on the other side, 0 if coplanar.
+func Orient3D(a, b, c, d Point3) int {
+	bx, by, bz := b.X-a.X, b.Y-a.Y, b.Z-a.Z
+	cx, cy, cz := c.X-a.X, c.Y-a.Y, c.Z-a.Z
+	dx, dy, dz := d.X-a.X, d.Y-a.Y, d.Z-a.Z
+
+	t1 := bx * (cy*dz - cz*dy)
+	t2 := by * (cz*dx - cx*dz)
+	t3 := bz * (cx*dy - cy*dx)
+	det := t1 + t2 + t3
+	mag := abs(bx)*(abs(cy*dz)+abs(cz*dy)) +
+		abs(by)*(abs(cz*dx)+abs(cx*dz)) +
+		abs(bz)*(abs(cx*dy)+abs(cy*dx))
+	bound := filterEps * 16 * mag
+	if abs(det) > bound {
+		return sign(det)
+	}
+	return orient3DExact(a, b, c, d)
+}
+
+func orient3DExact(a, b, c, d Point3) int {
+	sub := func(p, q float64) *big.Rat { return new(big.Rat).Sub(rat(p), rat(q)) }
+	bx, by, bz := sub(b.X, a.X), sub(b.Y, a.Y), sub(b.Z, a.Z)
+	cx, cy, cz := sub(c.X, a.X), sub(c.Y, a.Y), sub(c.Z, a.Z)
+	dx, dy, dz := sub(d.X, a.X), sub(d.Y, a.Y), sub(d.Z, a.Z)
+	mul := func(p, q *big.Rat) *big.Rat { return new(big.Rat).Mul(p, q) }
+	m1 := new(big.Rat).Sub(mul(cy, dz), mul(cz, dy))
+	m2 := new(big.Rat).Sub(mul(cz, dx), mul(cx, dz))
+	m3 := new(big.Rat).Sub(mul(cx, dy), mul(cy, dx))
+	e := mul(bx, m1)
+	e.Add(e, mul(by, m2))
+	e.Add(e, mul(bz, m3))
+	return e.Sign()
+}
+
+// CrossX returns the x-coordinate of the intersection of two non-vertical
+// lines, and false if they are parallel.
+func CrossX(l1, l2 Line2) (float64, bool) {
+	if l1.A == l2.A {
+		return 0, false
+	}
+	return (l2.B - l1.B) / (l1.A - l2.A), true
+}
+
+// PlaneThrough3 returns the non-vertical plane z = a·x + b·y + c through
+// three points, and false if the points are vertically degenerate (their
+// xy-projections are collinear).
+func PlaneThrough3(p, q, r Point3) (Plane3, bool) {
+	// Solve the 2x2 system for (a, b) from the two edge constraints.
+	ux, uy, uz := q.X-p.X, q.Y-p.Y, q.Z-p.Z
+	vx, vy, vz := r.X-p.X, r.Y-p.Y, r.Z-p.Z
+	det := ux*vy - uy*vx
+	if det == 0 {
+		return Plane3{}, false
+	}
+	a := (uz*vy - uy*vz) / det
+	b := (ux*vz - uz*vx) / det
+	c := p.Z - a*p.X - b*p.Y
+	return Plane3{A: a, B: b, C: c}, true
+}

@@ -1,0 +1,63 @@
+package halfspace2d
+
+// Ablation benchmarks for DESIGN.md substitution 1: the level-walk
+// oracle used during construction. Both oracles build identical
+// structures; this measures the preprocessing cost difference.
+
+import (
+	"math/rand"
+	"testing"
+
+	"linconstraint/internal/arrangement"
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+)
+
+func buildBenchLines(n int) []geom.Line2 {
+	rng := rand.New(rand.NewSource(41))
+	lines := make([]geom.Line2, n)
+	for i := range lines {
+		lines[i] = geom.Line2{A: rng.NormFloat64(), B: rng.NormFloat64()}
+	}
+	return lines
+}
+
+func BenchmarkBuildScanWalk(b *testing.B) {
+	lines := buildBenchLines(1 << 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := eio.NewDevice(64, 0)
+		New(dev, lines, Options{Seed: 1, Walker: arrangement.Walk})
+	}
+}
+
+func BenchmarkBuildEWWalk(b *testing.B) {
+	lines := buildBenchLines(1 << 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := eio.NewDevice(64, 0)
+		New(dev, lines, Options{Seed: 1, Walker: arrangement.WalkEW})
+	}
+}
+
+// TestWalkersBuildIdenticalStructures: the ablation axes must not change
+// the structure, only its construction cost.
+func TestWalkersBuildIdenticalStructures(t *testing.T) {
+	lines := buildBenchLines(1200)
+	d1 := eio.NewDevice(16, 0)
+	d2 := eio.NewDevice(16, 0)
+	i1 := New(d1, lines, Options{Seed: 5, Walker: arrangement.Walk})
+	i2 := New(d2, lines, Options{Seed: 5, Walker: arrangement.WalkEW})
+	if i1.Phases() != i2.Phases() {
+		t.Fatalf("phase counts differ: %d vs %d", i1.Phases(), i2.Phases())
+	}
+	rng := rand.New(rand.NewSource(6))
+	for s := 0; s < 50; s++ {
+		q := geom.Point2{X: rng.NormFloat64(), Y: rng.NormFloat64()}
+		a := i1.Below(q)
+		b := i2.Below(q)
+		if !equalSets(a, b) {
+			t.Fatalf("walkers disagree at %v", q)
+		}
+	}
+}

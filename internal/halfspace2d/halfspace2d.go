@@ -1,0 +1,296 @@
+// Package halfspace2d implements the paper's first main result (§3,
+// Theorem 3.5): an external-memory data structure for two-dimensional
+// halfspace range reporting that uses O(n) blocks and answers a query
+// with O(log_B n + t) I/Os in the worst case — the first linear-space
+// structure with an optimal worst-case bound.
+//
+// The structure works in the dual (§2.1): the input points become lines,
+// and a query "report points below line h" becomes "report lines below
+// the dual point q = h*". The construction (§3.2) partitions the line set
+// L into disjoint layers L_1, …, L_m: layer i draws a random level
+// λ_i ∈ [β, 2β] with β = B·ceil(log_B n), walks the λ_i-level of the
+// remaining lines H_i, compresses it into the greedy 3λ_i-clustering Γ_i
+// (Lemma 3.2), and peels off L_i = the union of Γ_i's clusters. Each
+// clustering stores its clusters slope-sorted in blocked arrays plus a
+// B-tree over its boundary x-coordinates.
+//
+// A query (§3.3) visits layers in order. In layer i it locates the
+// relevant cluster with O(log_B n) I/Os, scans it (O(λ_i/B) = O(log_B n)
+// I/Os); if fewer than λ_i of its lines lie below q, Lemma 3.1 guarantees
+// the cluster contains every remaining answer, so the query reports and
+// stops. Otherwise it expands to neighboring clusters under the Lemma 3.4
+// stopping rule, reports all of L_i's answers, and proceeds to layer
+// i+1. Every layer visited before the last contributes ≥ λ_i ≥ B·log_B n
+// reported lines, which pays for its O(log_B n) overhead, giving
+// O(log_B n + t) total.
+package halfspace2d
+
+import (
+	"math/rand"
+	"sort"
+
+	"linconstraint/internal/arrangement"
+	"linconstraint/internal/btree"
+	"linconstraint/internal/cluster"
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+)
+
+// Options configure construction.
+type Options struct {
+	Beta int   // level scale β; 0 means B·ceil(log_B n) as in the paper
+	Seed int64 // RNG seed for the random levels λ_i
+	// Walker selects the level-walk oracle used during construction;
+	// nil means arrangement.WalkEW (the Edelsbrunner–Welzl traversal on
+	// dynamic envelopes, §2.3). arrangement.Walk is the parallel-scan
+	// alternative; both produce identical structures.
+	Walker arrangement.WalkFunc
+}
+
+// Index is the §3 structure over a set of lines (duals of the input
+// points). Build with New; query with Below.
+type Index struct {
+	dev    *eio.Device
+	lines  []geom.Line2
+	beta   int
+	phases []phase
+}
+
+// rec is one cluster record: a line id with its coefficients inline, so
+// that a cluster scan is self-contained in the blocks it reads.
+type rec struct {
+	ID   int32
+	Line geom.Line2
+}
+
+// phase is one layer (L_i, Γ_i): the clustering's blocked clusters plus
+// the boundary B-tree T_i.
+type phase struct {
+	lambda   int
+	clusters []*eio.Array[rec]
+	bounds   *btree.Tree[int32] // boundary x -> index of cluster right of it
+	single   bool               // final layer stored as one cluster
+}
+
+// New builds the structure over lines on dev. The paper's construction
+// uses the Edelsbrunner–Welzl walk per layer; see DESIGN.md substitution 1
+// for how construction cost is accounted.
+func New(dev *eio.Device, lines []geom.Line2, opt Options) *Index {
+	idx := &Index{dev: dev, lines: lines}
+	b := dev.B()
+	n := dev.Blocks(len(lines))
+	idx.beta = opt.Beta
+	if idx.beta <= 0 {
+		idx.beta = b * ceilLogB(n, b)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	walker := opt.Walker
+	if walker == nil {
+		walker = arrangement.WalkEW
+	}
+
+	live := make([]int, len(lines))
+	for i := range live {
+		live[i] = i
+	}
+	for len(live) > 0 {
+		lambda := idx.beta + rng.Intn(idx.beta+1) // uniform in [β, 2β]
+		if lambda >= len(live) {
+			// Too few lines to define a λ-level: final single-cluster layer.
+			cl := cluster.Single(lines, live)
+			idx.phases = append(idx.phases, idx.storePhase(cl, lambda, true))
+			break
+		}
+		cl := cluster.BuildGreedyWalk(lines, live, lambda, walker)
+		idx.phases = append(idx.phases, idx.storePhase(cl, lambda, false))
+		if len(cl.Members) == len(live) {
+			break // L_i = H_i: the paper's stopping condition
+		}
+		live = subtractSorted(live, cl.Members)
+	}
+	return idx
+}
+
+// storePhase materializes a clustering on the device.
+func (x *Index) storePhase(cl *cluster.Clustering, lambda int, single bool) phase {
+	p := phase{lambda: lambda, single: single}
+	for _, c := range cl.Clusters {
+		rs := make([]rec, len(c))
+		for i, id := range c {
+			rs[i] = rec{ID: int32(id), Line: x.lines[id]}
+		}
+		p.clusters = append(p.clusters, eio.NewArray(x.dev, rs))
+	}
+	if !single {
+		pairs := make([]btree.Pair[int32], len(cl.Boundaries))
+		for i, bx := range cl.Boundaries {
+			pairs[i] = btree.Pair[int32]{Key: bx, Value: int32(i + 1)}
+		}
+		p.bounds = btree.BulkLoad(x.dev, pairs)
+	}
+	return p
+}
+
+// Phases returns the number of layers m (≤ N/β, see §3.2).
+func (x *Index) Phases() int { return len(x.phases) }
+
+// SpaceBlocks returns the blocks allocated on the device so far.
+func (x *Index) SpaceBlocks() int64 { return x.dev.SpaceBlocks() }
+
+// Below reports the indices of every line lying on or below the point q,
+// in O(log_B n + t) I/Os (Theorem 3.5). The result order is unspecified.
+func (x *Index) Below(q geom.Point2) []int {
+	var out []int
+	reported := make(map[int32]bool)
+	report := func(id int32) {
+		if !reported[id] {
+			reported[id] = true
+			out = append(out, int(id))
+		}
+	}
+
+	for _, p := range x.phases {
+		if p.single {
+			p.clusters[0].All(func(_ int, r rec) bool {
+				if belowOrOn(r, q) {
+					report(r.ID)
+				}
+				return true
+			})
+			return out
+		}
+		// Locate the relevant cluster via the boundary B-tree.
+		j := 0
+		if pr, ok := p.bounds.Predecessor(q.X); ok {
+			j = int(pr.Value)
+		}
+		// Scan it, counting lines below q.
+		below := 0
+		p.clusters[j].All(func(_ int, r rec) bool {
+			if belowOrOn(r, q) {
+				below++
+			}
+			return true
+		})
+		if below < p.lambda {
+			// Lemma 3.1: the relevant cluster contains every line of H_i
+			// below q; report and stop.
+			p.clusters[j].All(func(_ int, r rec) bool {
+				if belowOrOn(r, q) {
+					report(r.ID)
+				}
+				return true
+			})
+			return out
+		}
+		// Expansion (Lemma 3.4): visit clusters rightward until more than
+		// λ_i distinct lines of C_{j+1..r} lie above q, then leftward
+		// symmetrically, reporting below-lines of every visited cluster.
+		p.clusters[j].All(func(_ int, r rec) bool {
+			if belowOrOn(r, q) {
+				report(r.ID)
+			}
+			return true
+		})
+		above := make(map[int32]bool)
+		for r := j + 1; r < len(p.clusters); r++ {
+			stop := false
+			p.clusters[r].All(func(_ int, r rec) bool {
+				if belowOrOn(r, q) {
+					report(r.ID)
+				} else {
+					above[r.ID] = true
+				}
+				return true
+			})
+			if len(above) > p.lambda {
+				stop = true
+			}
+			if stop {
+				break
+			}
+		}
+		above = make(map[int32]bool)
+		for l := j - 1; l >= 0; l-- {
+			stop := false
+			p.clusters[l].All(func(_ int, r rec) bool {
+				if belowOrOn(r, q) {
+					report(r.ID)
+				} else {
+					above[r.ID] = true
+				}
+				return true
+			})
+			if len(above) > p.lambda {
+				stop = true
+			}
+			if stop {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func belowOrOn(r rec, q geom.Point2) bool {
+	return geom.SideOfLine2(r.Line, q) >= 0 // q above or on the line
+}
+
+// ceilLogB returns max(1, ceil(log_b n)).
+func ceilLogB(n, b int) int {
+	if n <= 1 {
+		return 1
+	}
+	log := 0
+	v := 1
+	for v < n {
+		v *= b
+		log++
+	}
+	return log
+}
+
+// subtractSorted returns live minus members; both must be sorted.
+func subtractSorted(live, members []int) []int {
+	out := live[:0:0]
+	j := 0
+	for _, v := range live {
+		for j < len(members) && members[j] < v {
+			j++
+		}
+		if j < len(members) && members[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// PointIndex is the primal-facing wrapper: it stores a point set and
+// answers halfplane queries "report all points p with p.Y <= a·p.X + b"
+// by querying the dual structure at the dual point (a, b).
+type PointIndex struct {
+	*Index
+	points []geom.Point2
+}
+
+// NewPoints builds the §3 structure over a planar point set.
+func NewPoints(dev *eio.Device, points []geom.Point2, opt Options) *PointIndex {
+	lines := make([]geom.Line2, len(points))
+	for i, p := range points {
+		lines[i] = geom.DualOfPoint2(p)
+	}
+	return &PointIndex{Index: New(dev, lines, opt), points: points}
+}
+
+// Halfplane reports the indices of all points on or below y = a·x + b.
+func (pi *PointIndex) Halfplane(a, b float64) []int {
+	// A point p is on/below h iff the dual line p* passes on/below the
+	// dual point h* = (a, b) (Lemma 2.1).
+	ids := pi.Below(geom.Point2{X: a, Y: b})
+	sort.Ints(ids)
+	return ids
+}
+
+// Points returns the stored point set.
+func (pi *PointIndex) Points() []geom.Point2 { return pi.points }

@@ -1,0 +1,176 @@
+// Package harness drives the paper-reproduction experiments: it builds
+// the structures, replays workloads while reading the eio I/O counters,
+// fits growth exponents, and renders paper-vs-measured tables. Every row
+// of the paper's Table 1 and every figure has an experiment here (see
+// DESIGN.md §4 for the index).
+package harness
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	Seed  int64
+	Quick bool // smaller sizes for tests/CI
+}
+
+// Point is one measurement: X is the swept parameter (usually N or r or
+// k), Y the measured quantity (usually I/Os).
+type Point struct {
+	X, Y float64
+}
+
+// Series is a labelled measurement curve.
+type Series struct {
+	Label string
+	Pts   []Point
+}
+
+// Fit is a fitted growth exponent for a series (log-log least squares).
+type Fit struct {
+	Label    string
+	Exponent float64
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	ID     string // e.g. "E1", "F3"
+	Title  string
+	Claim  string // the paper's claim being tested
+	Series []Series
+	Fits   []Fit
+	Notes  []string
+	Pass   bool
+	Why    string // pass/fail criterion, human-readable
+}
+
+// FitExponent returns the least-squares slope of log Y against log X —
+// the empirical growth exponent of the series.
+func FitExponent(pts []Point) float64 {
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for _, p := range pts {
+		if p.X <= 0 || p.Y <= 0 {
+			continue
+		}
+		x, y := math.Log(p.X), math.Log(p.Y)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (fn*sxy - sx*sy) / den
+}
+
+// Mean returns the average of the series' Y values.
+func Mean(pts []Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, p := range pts {
+		s += p.Y
+	}
+	return s / float64(len(pts))
+}
+
+// MaxY returns the largest Y value.
+func MaxY(pts []Point) float64 {
+	m := math.Inf(-1)
+	for _, p := range pts {
+		if p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+// Markdown renders results as a readable report.
+func Markdown(results []Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "## %s — %s [%s]\n\n", r.ID, r.Title, status)
+		fmt.Fprintf(&b, "Paper claim: %s\n\n", r.Claim)
+		fmt.Fprintf(&b, "Criterion: %s\n\n", r.Why)
+		for _, s := range r.Series {
+			fmt.Fprintf(&b, "| %s: X | Y |\n|---:|---:|\n", s.Label)
+			for _, p := range s.Pts {
+				fmt.Fprintf(&b, "| %g | %.2f |\n", p.X, p.Y)
+			}
+			b.WriteString("\n")
+		}
+		for _, f := range r.Fits {
+			fmt.Fprintf(&b, "- fitted exponent (%s): %.3f\n", f.Label, f.Exponent)
+		}
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// WriteCSV writes one CSV per result series into dir.
+func WriteCSV(dir string, results []Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for si, s := range r.Series {
+			var b strings.Builder
+			b.WriteString("x,y\n")
+			for _, p := range s.Pts {
+				fmt.Fprintf(&b, "%g,%g\n", p.X, p.Y)
+			}
+			name := fmt.Sprintf("%s_%d_%s.csv", sanitize(r.ID), si, sanitize(s.Label))
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Summary renders a one-line-per-experiment overview.
+func Summary(results []Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-4s %-4s %s\n", r.ID, status, r.Title)
+	}
+	return b.String()
+}

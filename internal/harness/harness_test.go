@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFitExponent(t *testing.T) {
+	// y = x^1.5 exactly.
+	var pts []Point
+	for _, x := range []float64{2, 4, 8, 16, 32} {
+		pts = append(pts, Point{X: x, Y: math.Pow(x, 1.5)})
+	}
+	if got := FitExponent(pts); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("FitExponent = %v", got)
+	}
+	// Constant series -> exponent 0.
+	flat := []Point{{1, 5}, {10, 5}, {100, 5}}
+	if got := FitExponent(flat); math.Abs(got) > 1e-9 {
+		t.Fatalf("flat exponent = %v", got)
+	}
+	// Degenerate inputs.
+	if FitExponent(nil) != 0 || FitExponent([]Point{{1, 1}}) != 0 {
+		t.Fatal("degenerate fits")
+	}
+	if FitExponent([]Point{{-1, 2}, {0, 3}}) != 0 {
+		t.Fatal("nonpositive X must be skipped")
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	pts := []Point{{1, 2}, {2, 6}, {3, 4}}
+	if Mean(pts) != 4 {
+		t.Fatal("Mean")
+	}
+	if MaxY(pts) != 6 {
+		t.Fatal("MaxY")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean nil")
+	}
+}
+
+func TestMarkdownAndSummary(t *testing.T) {
+	res := []Result{{
+		ID: "E1", Title: "demo", Claim: "c", Why: "w", Pass: true,
+		Series: []Series{{Label: "s", Pts: []Point{{1, 2}}}},
+		Fits:   []Fit{{Label: "f", Exponent: 0.5}},
+		Notes:  []string{"note"},
+	}, {ID: "E2", Title: "demo2", Pass: false}}
+	md := Markdown(res)
+	for _, want := range []string{"E1", "PASS", "FAIL", "fitted exponent", "note"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q", want)
+		}
+	}
+	sum := Summary(res)
+	if !strings.Contains(sum, "E1") || !strings.Contains(sum, "FAIL") {
+		t.Fatal("summary")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	res := []Result{{
+		ID:     "EX",
+		Series: []Series{{Label: "a b/c", Pts: []Point{{1, 2}, {3, 4}}}},
+	}}
+	if err := WriteCSV(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "EX_*.csv"))
+	if len(files) != 1 {
+		t.Fatalf("files: %v", files)
+	}
+	data, _ := os.ReadFile(files[0])
+	if !strings.Contains(string(data), "x,y\n1,2\n3,4\n") {
+		t.Fatalf("csv content %q", data)
+	}
+}
+
+func TestLowestK(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	got := lowestK(vals, 2)
+	if len(got) != 2 || vals[got[0]] != 1 || vals[got[1]] != 2 {
+		t.Fatalf("lowestK = %v", got)
+	}
+}
+
+func TestKthSmallest(t *testing.T) {
+	vals := []float64{9, 1, 8, 2, 7, 3}
+	if got := kthSmallest(vals, 0); got != 1 {
+		t.Fatalf("k=0: %v", got)
+	}
+	if got := kthSmallest(vals, 3); got != 7 {
+		t.Fatalf("k=3: %v", got)
+	}
+	if got := kthSmallest(vals, 99); got != 9 {
+		t.Fatalf("k clamp: %v", got)
+	}
+}
+
+// TestQuickExperimentsPass runs the full experiment suite at quick scale;
+// every experiment must pass its own criterion. This is the master
+// reproduction gate.
+func TestQuickExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, r := range All(Config{Seed: 7, Quick: true}) {
+		if !r.Pass {
+			t.Errorf("%s (%s) failed: %s", r.ID, r.Title, r.Why)
+		}
+	}
+}

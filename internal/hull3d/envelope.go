@@ -1,0 +1,182 @@
+// Package hull3d computes triangulated lower envelopes of planes in R^3
+// with Clarkson–Shor conflict lists, the substrate of the paper's
+// three-dimensional structure (§4.1). The lower envelope A_0(H) of a set
+// of planes is the boundary of an unbounded convex polyhedron — the
+// pointwise minimum of the planes — whose xy-projection is a convex
+// planar subdivision with one face per plane that attains the minimum.
+//
+// The paper computes envelopes with the external randomized algorithm of
+// Crauser et al. [18]; we substitute direct face extraction by halfplane
+// clipping over a bounded query window (DESIGN.md substitution 2): the
+// face of plane h is the window clipped by the halfplanes {h <= g} for
+// every other plane g, which is exact by definition of the envelope. The
+// envelope is then fan-triangulated per face, giving the triangulation
+// Δ(R) of §4.1, and conflict lists K(Δ) are computed exactly: a plane
+// conflicts with a triangle iff it passes strictly below one of the
+// triangle's vertices (the difference of two linear functions attains its
+// extremes at vertices).
+package hull3d
+
+import (
+	"linconstraint/internal/geom"
+)
+
+// Window is the bounded xy-region over which envelopes are materialized.
+// Queries must fall inside the window.
+type Window struct {
+	XMin, XMax, YMin, YMax float64
+}
+
+// Pad returns the window grown by a factor on each side.
+func (w Window) Pad(f float64) Window {
+	dx, dy := (w.XMax-w.XMin)*f, (w.YMax-w.YMin)*f
+	return Window{w.XMin - dx, w.XMax + dx, w.YMin - dy, w.YMax + dy}
+}
+
+// Contains reports whether (x, y) lies in the closed window.
+func (w Window) Contains(x, y float64) bool {
+	return x >= w.XMin && x <= w.XMax && y >= w.YMin && y <= w.YMax
+}
+
+// Triangle is one triangle of the triangulated envelope: the index of its
+// supporting plane (into the envelope's plane slice) and its three
+// vertices on the envelope surface.
+type Triangle struct {
+	Plane int
+	P     [3]geom.Point3
+}
+
+// ContainsXY reports whether (x, y) lies in the closed xy-projection of
+// the triangle.
+func (t Triangle) ContainsXY(x, y float64) bool {
+	q := geom.Point2{X: x, Y: y}
+	a := geom.Point2{X: t.P[0].X, Y: t.P[0].Y}
+	b := geom.Point2{X: t.P[1].X, Y: t.P[1].Y}
+	c := geom.Point2{X: t.P[2].X, Y: t.P[2].Y}
+	s1 := geom.Orient2D(a, b, q)
+	s2 := geom.Orient2D(b, c, q)
+	s3 := geom.Orient2D(c, a, q)
+	return (s1 >= 0 && s2 >= 0 && s3 >= 0) || (s1 <= 0 && s2 <= 0 && s3 <= 0)
+}
+
+// Envelope is a triangulated lower envelope over a window.
+type Envelope struct {
+	Planes []geom.Plane3
+	Window Window
+	Tris   []Triangle
+}
+
+// Build computes the lower envelope of planes over the window. It panics
+// if planes is empty.
+func Build(planes []geom.Plane3, win Window) *Envelope {
+	if len(planes) == 0 {
+		panic("hull3d: envelope of no planes")
+	}
+	env := &Envelope{Planes: planes, Window: win}
+	for i, h := range planes {
+		poly := windowPolygon(win)
+		for j, g := range planes {
+			if j == i {
+				continue
+			}
+			// Keep the region where h(x,y) <= g(x,y):
+			// (h.A-g.A)x + (h.B-g.B)y + (h.C-g.C) <= 0.
+			poly = clipHalfplane(poly, h.A-g.A, h.B-g.B, h.C-g.C)
+			if len(poly) == 0 {
+				break
+			}
+		}
+		if len(poly) < 3 {
+			continue
+		}
+		// Fan-triangulate the convex face and lift vertices onto h.
+		lift := func(p geom.Point2) geom.Point3 {
+			return geom.Point3{X: p.X, Y: p.Y, Z: h.Eval(p.X, p.Y)}
+		}
+		for k := 1; k+1 < len(poly); k++ {
+			env.Tris = append(env.Tris, Triangle{
+				Plane: i,
+				P:     [3]geom.Point3{lift(poly[0]), lift(poly[k]), lift(poly[k+1])},
+			})
+		}
+	}
+	return env
+}
+
+// EvalAt returns the envelope height at (x, y): the minimum plane value.
+func (e *Envelope) EvalAt(x, y float64) float64 {
+	z := e.Planes[0].Eval(x, y)
+	for _, h := range e.Planes[1:] {
+		if v := h.Eval(x, y); v < z {
+			z = v
+		}
+	}
+	return z
+}
+
+// LocateBrute returns the index of a triangle whose projection contains
+// (x, y) by linear scan — the reference locator used to cross-check the
+// external point-location structures.
+func (e *Envelope) LocateBrute(x, y float64) (int, bool) {
+	for i, t := range e.Tris {
+		if t.ContainsXY(x, y) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ConflictLists returns, for each triangle, the indices (into cand) of
+// candidate planes that conflict with it: planes lying strictly below
+// some vertex of the triangle (§4.1). The expected total size is O(N) for
+// a random sample (Lemma 4.1a).
+func (e *Envelope) ConflictLists(cand []geom.Plane3) [][]int32 {
+	out := make([][]int32, len(e.Tris))
+	for ti, tr := range e.Tris {
+		for ci, h := range cand {
+			below := false
+			for _, v := range tr.P {
+				if geom.SideOfPlane3(h, v) > 0 { // v strictly above h
+					below = true
+					break
+				}
+			}
+			if below {
+				out[ti] = append(out[ti], int32(ci))
+			}
+		}
+	}
+	return out
+}
+
+// windowPolygon returns the window's corners counterclockwise.
+func windowPolygon(w Window) []geom.Point2 {
+	return []geom.Point2{
+		{X: w.XMin, Y: w.YMin},
+		{X: w.XMax, Y: w.YMin},
+		{X: w.XMax, Y: w.YMax},
+		{X: w.XMin, Y: w.YMax},
+	}
+}
+
+// clipHalfplane clips a convex polygon against a·x + b·y + c <= 0
+// (Sutherland–Hodgman, one edge).
+func clipHalfplane(poly []geom.Point2, a, b, c float64) []geom.Point2 {
+	if len(poly) == 0 {
+		return nil
+	}
+	eval := func(p geom.Point2) float64 { return a*p.X + b*p.Y + c }
+	var out []geom.Point2
+	for i := range poly {
+		p, q := poly[i], poly[(i+1)%len(poly)]
+		fp, fq := eval(p), eval(q)
+		if fp <= 0 {
+			out = append(out, p)
+		}
+		if (fp < 0 && fq > 0) || (fp > 0 && fq < 0) {
+			t := fp / (fp - fq)
+			out = append(out, geom.Point2{X: p.X + t*(q.X-p.X), Y: p.Y + t*(q.Y-p.Y)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package hull3d
+
+import (
+	"math/rand"
+	"testing"
+
+	"linconstraint/internal/geom"
+)
+
+var testWin = Window{XMin: -1, XMax: 1, YMin: -1, YMax: 1}
+
+func randomPlanes(rng *rand.Rand, n int) []geom.Plane3 {
+	ps := make([]geom.Plane3, n)
+	for i := range ps {
+		ps[i] = geom.Plane3{A: rng.NormFloat64(), B: rng.NormFloat64(), C: rng.NormFloat64()}
+	}
+	return ps
+}
+
+// TestEnvelopeIsMinimum: every triangle's interior points lie on the
+// pointwise minimum of the planes, and no plane dips below the envelope.
+func TestEnvelopeIsMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		planes := randomPlanes(rng, 3+rng.Intn(60))
+		env := Build(planes, testWin)
+		if len(env.Tris) == 0 {
+			t.Fatal("no triangles")
+		}
+		for _, tr := range env.Tris {
+			// Centroid of the triangle must be the envelope value of its plane.
+			cx := (tr.P[0].X + tr.P[1].X + tr.P[2].X) / 3
+			cy := (tr.P[0].Y + tr.P[1].Y + tr.P[2].Y) / 3
+			z := planes[tr.Plane].Eval(cx, cy)
+			if z > env.EvalAt(cx, cy)+1e-9 {
+				t.Fatalf("trial %d: triangle of plane %d above envelope at (%v,%v)", trial, tr.Plane, cx, cy)
+			}
+		}
+	}
+}
+
+// TestEnvelopeCoversWindow: every window point lies in some triangle, and
+// the located triangle's plane attains the minimum there.
+func TestEnvelopeCoversWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	planes := randomPlanes(rng, 40)
+	env := Build(planes, testWin)
+	for s := 0; s < 500; s++ {
+		x := rng.Float64()*2 - 1
+		y := rng.Float64()*2 - 1
+		ti, ok := env.LocateBrute(x, y)
+		if !ok {
+			t.Fatalf("no triangle covers (%v,%v)", x, y)
+		}
+		z := planes[env.Tris[ti].Plane].Eval(x, y)
+		if z > env.EvalAt(x, y)+1e-9 {
+			t.Fatalf("located plane not minimal at (%v,%v): %v > %v", x, y, z, env.EvalAt(x, y))
+		}
+	}
+}
+
+func TestSinglePlane(t *testing.T) {
+	env := Build([]geom.Plane3{{A: 1, B: 2, C: 3}}, testWin)
+	if len(env.Tris) != 2 {
+		t.Fatalf("single plane gives %d triangles, want 2 (fan of the window)", len(env.Tris))
+	}
+	if _, ok := env.LocateBrute(0, 0); !ok {
+		t.Fatal("window point not covered")
+	}
+}
+
+// TestConflictListsExact cross-checks ConflictLists against the
+// definition: plane conflicts with a triangle iff it is strictly below
+// some point of the triangle, which for linear functions reduces to
+// strictly below some vertex.
+func TestConflictListsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sample := randomPlanes(rng, 20)
+	cand := randomPlanes(rng, 200)
+	env := Build(sample, testWin)
+	lists := env.ConflictLists(cand)
+	if len(lists) != len(env.Tris) {
+		t.Fatal("list count mismatch")
+	}
+	for ti, tr := range env.Tris {
+		want := make(map[int32]bool)
+		for ci, h := range cand {
+			for _, v := range tr.P {
+				if geom.SideOfPlane3(h, v) > 0 {
+					want[int32(ci)] = true
+					break
+				}
+			}
+		}
+		if len(lists[ti]) != len(want) {
+			t.Fatalf("triangle %d: %d conflicts, want %d", ti, len(lists[ti]), len(want))
+		}
+		for _, ci := range lists[ti] {
+			if !want[ci] {
+				t.Fatalf("triangle %d: spurious conflict %d", ti, ci)
+			}
+		}
+	}
+}
+
+// TestLemma41ConflictSizes spot-checks Lemma 4.1: for a random sample of
+// size r out of N planes, (a) total conflict size is O(N) and (b) the
+// conflict list of the triangle above a random point is O(N/r).
+func TestLemma41ConflictSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 3000
+	all := randomPlanes(rng, n)
+	for _, r := range []int{8, 32, 128} {
+		perm := rng.Perm(n)
+		sample := make([]geom.Plane3, r)
+		rest := make([]geom.Plane3, 0, n-r)
+		for i, pi := range perm {
+			if i < r {
+				sample[i] = all[pi]
+			} else {
+				rest = append(rest, all[pi])
+			}
+		}
+		env := Build(sample, testWin)
+		lists := env.ConflictLists(rest)
+		total := 0
+		for _, l := range lists {
+			total += len(l)
+		}
+		// (a) expected O(N); generous constant for the bounded window.
+		if total > 40*n {
+			t.Fatalf("r=%d: total conflict size %d not O(N)", r, total)
+		}
+		// (b) average over random query points of |K(triangle hit)| = O(N/r).
+		sum, cnt := 0, 0
+		for s := 0; s < 100; s++ {
+			x, y := rng.Float64()*2-1, rng.Float64()*2-1
+			if ti, ok := env.LocateBrute(x, y); ok {
+				sum += len(lists[ti])
+				cnt++
+			}
+		}
+		avg := float64(sum) / float64(cnt)
+		if avg > 60*float64(n)/float64(r) {
+			t.Fatalf("r=%d: avg hit conflict size %v not O(N/r)=%v", r, avg, float64(n)/float64(r))
+		}
+	}
+}
+
+func TestWindowHelpers(t *testing.T) {
+	w := Window{0, 2, 0, 4}
+	if !w.Contains(1, 1) || w.Contains(3, 1) || w.Contains(1, 5) {
+		t.Fatal("Contains")
+	}
+	p := w.Pad(0.5)
+	if p.XMin != -1 || p.XMax != 3 || p.YMin != -2 || p.YMax != 6 {
+		t.Fatalf("Pad = %+v", p)
+	}
+}
+
+func TestBuildPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(nil, testWin)
+}
+
+func TestClipHalfplane(t *testing.T) {
+	sq := windowPolygon(Window{0, 1, 0, 1})
+	// Keep x <= 0.5.
+	got := clipHalfplane(sq, 1, 0, -0.5)
+	if len(got) != 4 {
+		t.Fatalf("clip yielded %d vertices", len(got))
+	}
+	for _, p := range got {
+		if p.X > 0.5+1e-12 {
+			t.Fatalf("vertex %v outside halfplane", p)
+		}
+	}
+	// Clip everything away.
+	if got := clipHalfplane(sq, 1, 0, 10); len(got) != 0 {
+		t.Fatal("expected empty polygon")
+	}
+	if got := clipHalfplane(nil, 1, 0, 0); got != nil {
+		t.Fatal("empty input")
+	}
+}

@@ -1,0 +1,88 @@
+package hull3d
+
+import "linconstraint/internal/geom"
+
+// RefineConflicts computes conflict lists for the envelope's triangles
+// against cand, subdividing any triangle whose list exceeds tau into four
+// midpoint sub-triangles (up to maxDepth rounds). Subdivision preserves
+// the envelope (children lie on the same supporting plane and partition
+// the parent), and a child's conflict list is a subset of its parent's,
+// because "strictly below some vertex of the child" exhibits a point of
+// the parent below which the plane passes, hence a parent vertex too.
+//
+// This bounds the per-triangle conflict length actually seen by queries,
+// taming the heavy tail that coarse samples' large faces otherwise
+// produce (Lemma 4.1 controls the expectation, not the tail). The
+// envelope's Tris slice is rewritten; the returned lists are parallel to
+// the new Tris.
+func (e *Envelope) RefineConflicts(cand []geom.Plane3, tau, maxDepth int) [][]int32 {
+	if tau < 1 {
+		tau = 1
+	}
+	base := e.ConflictLists(cand)
+	var outTris []Triangle
+	var outLists [][]int32
+
+	// band counts the conflicts that subdivision can actually remove:
+	// planes below some but not all of the triangle's vertices. Planes
+	// below every vertex are below the whole triangle (the minimum of a
+	// linear function over a triangle is at a vertex), belong to every
+	// descendant's list, and are genuine output for queries landing here,
+	// so they never justify further splitting.
+	band := func(tr Triangle, list []int32) int {
+		n := 0
+		for _, ci := range list {
+			h := cand[ci]
+			all := true
+			for _, v := range tr.P {
+				if geom.SideOfPlane3(h, v) <= 0 {
+					all = false
+					break
+				}
+			}
+			if !all {
+				n++
+			}
+		}
+		return n
+	}
+
+	var refine func(tr Triangle, list []int32, depth int)
+	refine = func(tr Triangle, list []int32, depth int) {
+		if len(list) <= tau || depth >= maxDepth || band(tr, list) <= tau {
+			outTris = append(outTris, tr)
+			outLists = append(outLists, list)
+			return
+		}
+		mid := func(a, b geom.Point3) geom.Point3 {
+			return geom.Point3{X: (a.X + b.X) / 2, Y: (a.Y + b.Y) / 2, Z: (a.Z + b.Z) / 2}
+		}
+		m01 := mid(tr.P[0], tr.P[1])
+		m12 := mid(tr.P[1], tr.P[2])
+		m20 := mid(tr.P[2], tr.P[0])
+		kids := [4]Triangle{
+			{Plane: tr.Plane, P: [3]geom.Point3{tr.P[0], m01, m20}},
+			{Plane: tr.Plane, P: [3]geom.Point3{m01, tr.P[1], m12}},
+			{Plane: tr.Plane, P: [3]geom.Point3{m20, m12, tr.P[2]}},
+			{Plane: tr.Plane, P: [3]geom.Point3{m01, m12, m20}},
+		}
+		for _, kid := range kids {
+			var sub []int32
+			for _, ci := range list {
+				h := cand[ci]
+				for _, v := range kid.P {
+					if geom.SideOfPlane3(h, v) > 0 {
+						sub = append(sub, ci)
+						break
+					}
+				}
+			}
+			refine(kid, sub, depth+1)
+		}
+	}
+	for i, tr := range e.Tris {
+		refine(tr, base[i], 0)
+	}
+	e.Tris = outTris
+	return outLists
+}

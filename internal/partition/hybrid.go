@@ -1,0 +1,185 @@
+package partition
+
+import (
+	"math"
+	"sort"
+
+	"linconstraint/internal/chan3d"
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+	"linconstraint/internal/hull3d"
+)
+
+// HybridOptions configure the Theorem 6.1 tradeoff structure.
+type HybridOptions struct {
+	Options
+	// A is the exponent a > 1: the partition-tree recursion stops at
+	// subproblems of at most B^A points, which are then indexed by the §4
+	// structure. Default 1.5.
+	A float64
+	// Window is the dual query window handed to the §4 leaf structures:
+	// it must cover the (a, b) coefficients of future query planes.
+	Window hull3d.Window
+	// Copies and Seed are passed through to the leaf structures.
+	Copies int
+	Seed   int64
+}
+
+// Hybrid is the Theorem 6.1 structure for 3-dimensional halfspace
+// reporting over points: a partition tree with §4 structures at its
+// leaves, using O(n·log2 B) blocks and answering queries in
+// O((n/B^(a-1))^(2/3+ε) + t) expected I/Os.
+type Hybrid struct {
+	dev    *eio.Device
+	opt    HybridOptions
+	root   *hybridNode
+	points []geom.Point3
+}
+
+type hybridNode struct {
+	blk      eio.BlockID
+	nblocks  int
+	box      geom.Box
+	count    int
+	children []*hybridNode
+	leafIdx  *chan3d.Index     // §4 structure over the dual planes
+	leafIDs  []int32           // global ids, parallel to the leaf's plane order
+	raw      *eio.Array[int32] // raw id blocks for whole-subtree reporting
+}
+
+// NewHybrid builds the structure over 3D points on dev.
+func NewHybrid(dev *eio.Device, points []geom.Point3, opt HybridOptions) *Hybrid {
+	if opt.C <= 0 {
+		opt.C = 1
+	}
+	if opt.A <= 1 {
+		opt.A = 1.5
+	}
+	if opt.Window == (hull3d.Window{}) {
+		opt.Window = hull3d.Window{XMin: -16, XMax: 16, YMin: -16, YMax: 16}
+	}
+	h := &Hybrid{dev: dev, opt: opt, points: points}
+	if len(points) == 0 {
+		return h
+	}
+	pd := make([]geom.PointD, len(points))
+	recs := make([]ptRec, len(points))
+	for i, p := range points {
+		pd[i] = geom.PointDOf3(p)
+		recs[i] = ptRec{ID: int32(i), P: pd[i]}
+	}
+	h.root = h.build(recs, geom.BoundingBox(pd), 0)
+	return h
+}
+
+func (h *Hybrid) build(recs []ptRec, box geom.Box, axis int) *hybridNode {
+	v := &hybridNode{box: box, count: len(recs)}
+	leafCap := int(math.Pow(float64(h.dev.B()), h.opt.A))
+	if leafCap < h.dev.B() {
+		leafCap = h.dev.B()
+	}
+	if len(recs) <= leafCap {
+		planes := make([]geom.Plane3, len(recs))
+		v.leafIDs = make([]int32, len(recs))
+		for i, r := range recs {
+			planes[i] = geom.DualOfPoint3(geom.Point3{X: r.P[0], Y: r.P[1], Z: r.P[2]})
+			v.leafIDs[i] = r.ID
+		}
+		v.leafIdx = chan3d.New(h.dev, planes, chan3d.Options{
+			Window: h.opt.Window, Copies: h.opt.Copies, Seed: h.opt.Seed + int64(len(recs)),
+		})
+		v.raw = eio.NewArray(h.dev, v.leafIDs)
+		return v
+	}
+	nv := h.dev.Blocks(len(recs))
+	rv := h.opt.C * h.dev.B()
+	if 2*nv < rv {
+		rv = 2 * nv
+	}
+	if rv < 2 {
+		rv = 2
+	}
+	// Do not overshoot the leaf size: splitting into more cells than
+	// needed to reach it makes leaves smaller than intended (this matters
+	// for the B^a leaves of the Theorem 6.1 hybrid).
+	if want := (len(recs) + leafCap - 1) / leafCap; want >= 2 && want < rv {
+		rv = want
+	}
+	depth := 0
+	for 1<<depth < rv {
+		depth++
+	}
+	helper := &Tree{dev: h.dev, d: 3, opt: h.opt.Options}
+	cells := helper.kdSplit(recs, box, axis, depth)
+	for _, c := range cells {
+		if len(c.recs) == 0 {
+			continue
+		}
+		v.children = append(v.children, h.build(c.recs, c.box, (axis+depth)%3))
+	}
+	words := len(v.children) * 8
+	v.nblocks = h.dev.Blocks(words)
+	if v.nblocks < 1 {
+		v.nblocks = 1
+	}
+	v.blk = h.dev.Alloc(v.nblocks)
+	for i := 0; i < v.nblocks; i++ {
+		h.dev.Write(v.blk + eio.BlockID(i))
+	}
+	return v
+}
+
+// Halfspace reports the ids of all points on or below z = a·x + b·y + c.
+func (h *Hybrid) Halfspace(a, b, c float64) []int {
+	var out []int
+	if h.root == nil {
+		return out
+	}
+	hp := geom.HyperplaneD{Coef: []float64{a, b, c}}
+	h.query(h.root, hp, &out)
+	sort.Ints(out)
+	return out
+}
+
+func (h *Hybrid) query(v *hybridNode, hp geom.HyperplaneD, out *[]int) {
+	if v.leafIdx != nil {
+		// §4 leaf: report dual planes below the dual point (Lemma 2.1).
+		for _, id := range v.leafIdx.Below(geom.Point3{X: hp.Coef[0], Y: hp.Coef[1], Z: hp.Coef[2]}) {
+			*out = append(*out, int(v.leafIDs[id]))
+		}
+		return
+	}
+	h.readNode(v)
+	for _, c := range v.children {
+		switch c.box.RegionSide(hp) {
+		case -1:
+			h.reportSubtree(c, out)
+		case 1:
+		default:
+			h.query(c, hp, out)
+		}
+	}
+}
+
+func (h *Hybrid) reportSubtree(v *hybridNode, out *[]int) {
+	if v.leafIdx != nil {
+		v.raw.All(func(_ int, id int32) bool {
+			*out = append(*out, int(id))
+			return true
+		})
+		return
+	}
+	h.readNode(v)
+	for _, c := range v.children {
+		h.reportSubtree(c, out)
+	}
+}
+
+func (h *Hybrid) readNode(v *hybridNode) {
+	for i := 0; i < v.nblocks; i++ {
+		h.dev.Read(v.blk + eio.BlockID(i))
+	}
+}
+
+// Len returns the number of indexed points.
+func (h *Hybrid) Len() int { return len(h.points) }

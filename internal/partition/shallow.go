@@ -1,0 +1,197 @@
+package partition
+
+import (
+	"math"
+	"sort"
+
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+)
+
+// ShallowOptions configure the shallow partition tree of §6 (Theorem 6.3).
+type ShallowOptions struct {
+	Options
+	// BetaLog is the constant β in the shallow crossing threshold
+	// β·log2(r_v) of Theorem 6.2; default 4.
+	BetaLog float64
+}
+
+// ShallowTree is the §6 structure: a partition tree whose every internal
+// node also carries a full (non-shallow) partition tree as a secondary
+// structure. A query that crosses more than β·log2(r_v) cells of a node's
+// partition concludes the query hyperplane is not shallow there and
+// answers from the secondary structure in O(n_v^(1-1/d)+ε + t_v) =
+// O(t_v) I/Os (since t_v ≥ n_v/c for non-shallow queries); shallow
+// queries recurse into only O(log r) children, giving O(n^ε + t) overall.
+// Space is O(n log_B n) blocks.
+type ShallowTree struct {
+	dev    *eio.Device
+	d      int
+	opt    ShallowOptions
+	root   *shallowNode
+	points []geom.PointD
+}
+
+type shallowNode struct {
+	blk       eio.BlockID
+	nblocks   int
+	box       geom.Box
+	count     int
+	children  []*shallowNode
+	leaf      *eio.Array[ptRec]
+	secondary *Tree // full partition tree over this node's points
+}
+
+// NewShallow builds a shallow partition tree over points on dev.
+func NewShallow(dev *eio.Device, points []geom.PointD, opt ShallowOptions) *ShallowTree {
+	if opt.C <= 0 {
+		opt.C = 1
+	}
+	if opt.LeafSize <= 0 {
+		opt.LeafSize = dev.B()
+	}
+	if opt.BetaLog <= 0 {
+		opt.BetaLog = 4
+	}
+	t := &ShallowTree{dev: dev, opt: opt, points: points}
+	if len(points) == 0 {
+		return t
+	}
+	t.d = len(points[0])
+	recs := make([]ptRec, len(points))
+	for i, p := range points {
+		recs[i] = ptRec{ID: int32(i), P: p}
+	}
+	t.root = t.build(recs, geom.BoundingBox(points), 0)
+	return t
+}
+
+func (t *ShallowTree) build(recs []ptRec, box geom.Box, axis int) *shallowNode {
+	v := &shallowNode{box: box, count: len(recs)}
+	if len(recs) <= t.opt.LeafSize {
+		v.leaf = eio.NewArray(t.dev, recs)
+		return v
+	}
+	// Secondary full partition tree over this node's points (§6).
+	pts := make([]geom.PointD, len(recs))
+	ids := make([]int32, len(recs))
+	for i, r := range recs {
+		pts[i] = r.P
+		ids[i] = r.ID
+	}
+	v.secondary = newRelabelled(t.dev, pts, ids, t.opt.Options)
+
+	nv := t.dev.Blocks(len(recs))
+	rv := t.opt.C * t.dev.B()
+	if 2*nv < rv {
+		rv = 2 * nv
+	}
+	if rv < 2 {
+		rv = 2
+	}
+	// Do not overshoot the leaf size: splitting into more cells than
+	// needed to reach it makes leaves smaller than intended (this matters
+	// for the B^a leaves of the Theorem 6.1 hybrid).
+	if want := (len(recs) + t.opt.LeafSize - 1) / t.opt.LeafSize; want >= 2 && want < rv {
+		rv = want
+	}
+	depth := 0
+	for 1<<depth < rv {
+		depth++
+	}
+	helper := &Tree{dev: t.dev, d: t.d, opt: t.opt.Options}
+	cells := helper.kdSplit(recs, box, axis, depth)
+	for _, c := range cells {
+		if len(c.recs) == 0 {
+			continue
+		}
+		v.children = append(v.children, t.build(c.recs, c.box, (axis+depth)%t.d))
+	}
+	words := len(v.children) * (2*t.d + 2)
+	v.nblocks = t.dev.Blocks(words)
+	if v.nblocks < 1 {
+		v.nblocks = 1
+	}
+	v.blk = t.dev.Alloc(v.nblocks)
+	for i := 0; i < v.nblocks; i++ {
+		t.dev.Write(v.blk + eio.BlockID(i))
+	}
+	return v
+}
+
+// newRelabelled builds a Tree whose reported ids are the supplied global
+// ids rather than positions in pts.
+func newRelabelled(dev *eio.Device, pts []geom.PointD, ids []int32, opt Options) *Tree {
+	t := New(dev, pts, opt)
+	t.relabel = ids
+	return t
+}
+
+// Halfspace reports all points on or below h (Theorem 6.3).
+func (t *ShallowTree) Halfspace(h geom.HyperplaneD) []int {
+	var out []int
+	if t.root == nil {
+		return out
+	}
+	t.query(t.root, h, &out)
+	sort.Ints(out)
+	return out
+}
+
+func (t *ShallowTree) query(v *shallowNode, h geom.HyperplaneD, out *[]int) {
+	if v.leaf != nil {
+		v.leaf.All(func(_ int, r ptRec) bool {
+			if geom.SideOfHyperplane(h, r.P) <= 0 {
+				*out = append(*out, int(r.ID))
+			}
+			return true
+		})
+		return
+	}
+	t.readNode(v)
+	crossed := 0
+	for _, c := range v.children {
+		if c.box.RegionSide(h) == 0 {
+			crossed++
+		}
+	}
+	threshold := t.opt.BetaLog * math.Log2(float64(len(v.children))+2)
+	if float64(crossed) > threshold {
+		// Not shallow here (Theorem 6.2 contrapositive): answer from the
+		// secondary structure, whose cost is dominated by the output.
+		*out = append(*out, v.secondary.Halfspace(h)...)
+		return
+	}
+	for _, c := range v.children {
+		switch c.box.RegionSide(h) {
+		case -1:
+			t.reportSubtree(c, out)
+		case 1:
+		default:
+			t.query(c, h, out)
+		}
+	}
+}
+
+func (t *ShallowTree) reportSubtree(v *shallowNode, out *[]int) {
+	if v.leaf != nil {
+		v.leaf.All(func(_ int, r ptRec) bool {
+			*out = append(*out, int(r.ID))
+			return true
+		})
+		return
+	}
+	t.readNode(v)
+	for _, c := range v.children {
+		t.reportSubtree(c, out)
+	}
+}
+
+func (t *ShallowTree) readNode(v *shallowNode) {
+	for i := 0; i < v.nblocks; i++ {
+		t.dev.Read(v.blk + eio.BlockID(i))
+	}
+}
+
+// Len returns the number of indexed points.
+func (t *ShallowTree) Len() int { return len(t.points) }

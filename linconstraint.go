@@ -1,0 +1,287 @@
+// Package linconstraint is a Go implementation of the external-memory
+// halfspace range reporting data structures of Agarwal, Arge, Erickson,
+// Franciosa and Vitter, "Efficient Searching with Linear Constraints"
+// (PODS 1998; JCSS 61, 194–216, 2000).
+//
+// Given a set of records interpreted as points in R^d, the indexes
+// report every point satisfying a linear constraint
+// x_d <= a_0 + a_1·x_1 + … + a_{d-1}·x_{d-1} — the "PricePerShare <
+// 10 × EarningsPerShare" style of query from the paper's introduction —
+// while provably bounding the number of disk-block transfers:
+//
+//   - PlanarIndex (d = 2): O(log_B n + t) I/Os worst case, O(n) blocks
+//     (§3, Theorem 3.5 — the paper's headline result).
+//   - Index3D (d = 3): O(log_B n + t) expected I/Os, O(n log n) blocks
+//     (§4, Theorem 4.4), plus k-lowest-plane and k-nearest-neighbor
+//     queries (Theorems 4.2 and 4.3).
+//   - PartitionTree (any d): O(n^(1-1/d)+ε + t) I/Os with linear space,
+//     also answering simplex and convex-polytope queries (§5, Theorem
+//     5.2), with shallow and hybrid variants from §6.
+//
+// All structures run against a simulated external-memory device
+// (internal/eio) with exact I/O accounting; Stats exposes the counters
+// so applications and benchmarks can observe the paper's bounds
+// directly. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the reproduction of every table row and figure.
+package linconstraint
+
+import (
+	"linconstraint/internal/chan3d"
+	"linconstraint/internal/dynamic"
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+	"linconstraint/internal/halfspace2d"
+	"linconstraint/internal/hull3d"
+	"linconstraint/internal/partition"
+)
+
+// Point2 is a point in the plane.
+type Point2 = geom.Point2
+
+// Point3 is a point in space.
+type Point3 = geom.Point3
+
+// PointD is a point in R^d.
+type PointD = geom.PointD
+
+// Stats reports I/O counters of an index's simulated device.
+type Stats struct {
+	Reads, Writes, CacheHits int64
+	SpaceBlocks              int64
+}
+
+// IOs returns total block transfers.
+func (s Stats) IOs() int64 { return s.Reads + s.Writes }
+
+// Config tunes the simulated external-memory device.
+type Config struct {
+	// BlockSize B is the number of records per disk block (default 128).
+	BlockSize int
+	// CacheBlocks is the LRU cache capacity M/B in blocks (default 0:
+	// every touch is an I/O, making counts deterministic).
+	CacheBlocks int
+	// Seed drives the structures' randomization.
+	Seed int64
+}
+
+func (c Config) device() *eio.Device {
+	b := c.BlockSize
+	if b <= 0 {
+		b = 128
+	}
+	return eio.NewDevice(b, c.CacheBlocks)
+}
+
+func stats(dev *eio.Device) Stats {
+	s := dev.Stats()
+	return Stats{Reads: s.Reads, Writes: s.Writes, CacheHits: s.Hits, SpaceBlocks: dev.SpaceBlocks()}
+}
+
+// --- 2D: the §3 optimal structure ---------------------------------------
+
+// PlanarIndex answers halfplane reporting queries over planar points with
+// O(log_B n + t) worst-case I/Os and linear space (Theorem 3.5).
+type PlanarIndex struct {
+	dev *eio.Device
+	idx *halfspace2d.PointIndex
+}
+
+// NewPlanarIndex builds the §3 structure over points.
+func NewPlanarIndex(points []Point2, cfg Config) *PlanarIndex {
+	dev := cfg.device()
+	return &PlanarIndex{dev: dev, idx: halfspace2d.NewPoints(dev, points, halfspace2d.Options{Seed: cfg.Seed})}
+}
+
+// Halfplane reports the indices of all points with y <= a·x + b, sorted.
+func (p *PlanarIndex) Halfplane(a, b float64) []int { return p.idx.Halfplane(a, b) }
+
+// Stats returns the device's I/O counters.
+func (p *PlanarIndex) Stats() Stats { return stats(p.dev) }
+
+// ResetStats zeroes the counters and drops the cache.
+func (p *PlanarIndex) ResetStats() { p.dev.ResetCounters() }
+
+// Len returns the number of indexed points.
+func (p *PlanarIndex) Len() int { return len(p.idx.Points()) }
+
+// --- 3D: the §4 structure ------------------------------------------------
+
+// Window bounds the (x, y) range of 3D and k-NN queries; indexes
+// materialize sample envelopes over it.
+type Window struct {
+	XMin, XMax, YMin, YMax float64
+}
+
+func (w Window) toHull() hull3d.Window {
+	return hull3d.Window{XMin: w.XMin, XMax: w.XMax, YMin: w.YMin, YMax: w.YMax}
+}
+
+// Index3D answers 3D halfspace reporting queries over points with
+// O(log_B n + t) expected I/Os (Theorem 4.4).
+type Index3D struct {
+	dev *eio.Device
+	idx *chan3d.PointIndex3
+}
+
+// NewIndex3D builds the §4 structure over points. The window must cover
+// the (a, b) coefficient range of future queries; a zero Window selects
+// [-16, 16]².
+func NewIndex3D(points []Point3, win Window, cfg Config) *Index3D {
+	dev := cfg.device()
+	return &Index3D{dev: dev, idx: chan3d.NewPoints3(dev, points, chan3d.Options{
+		Window: win.toHull(), Seed: cfg.Seed,
+	})}
+}
+
+// Halfspace reports the indices of all points with z <= a·x + b·y + c.
+func (x *Index3D) Halfspace(a, b, c float64) []int { return x.idx.Halfspace(a, b, c) }
+
+// Stats returns the device's I/O counters.
+func (x *Index3D) Stats() Stats { return stats(x.dev) }
+
+// ResetStats zeroes the counters and drops the cache.
+func (x *Index3D) ResetStats() { x.dev.ResetCounters() }
+
+// Len returns the number of indexed points.
+func (x *Index3D) Len() int { return len(x.idx.Points()) }
+
+// --- k-nearest neighbors (Theorem 4.3) ------------------------------------
+
+// KNNIndex answers planar k-nearest-neighbor queries in O(log_B n + k/B)
+// expected I/Os via the lifting map.
+type KNNIndex struct {
+	dev *eio.Device
+	idx *chan3d.KNN
+}
+
+// Neighbor is one k-NN result: the point's index and its squared
+// distance to the query.
+type Neighbor = chan3d.Neighbor
+
+// NewKNNIndex builds the k-NN structure; queries must fall inside the
+// points' padded bounding box.
+func NewKNNIndex(points []Point2, cfg Config) *KNNIndex {
+	dev := cfg.device()
+	return &KNNIndex{dev: dev, idx: chan3d.NewKNN(dev, points, chan3d.Options{Seed: cfg.Seed})}
+}
+
+// Query returns the k nearest indexed points to q, closest first.
+func (s *KNNIndex) Query(k int, q Point2) []Neighbor { return s.idx.Query(k, q) }
+
+// Stats returns the device's I/O counters.
+func (s *KNNIndex) Stats() Stats { return stats(s.dev) }
+
+// ResetStats zeroes the counters and drops the cache.
+func (s *KNNIndex) ResetStats() { s.dev.ResetCounters() }
+
+// --- d-dimensional partition trees (§5, §6) --------------------------------
+
+// Constraint is one linear constraint: x_d <= (or >=, when Below is
+// false) Coef[0]·x_1 + … + Coef[d-2]·x_{d-1} + Coef[d-1].
+type Constraint struct {
+	Coef  []float64
+	Below bool
+}
+
+// PartitionTree answers halfspace and convex-polytope (conjunction of
+// constraints) reporting queries in any fixed dimension with linear
+// space (Theorem 5.2 and §5 Remark i).
+type PartitionTree struct {
+	dev *eio.Device
+	tr  *partition.Tree
+}
+
+// NewPartitionTree builds the §5 structure over d-dimensional points.
+func NewPartitionTree(points []PointD, cfg Config) *PartitionTree {
+	dev := cfg.device()
+	return &PartitionTree{dev: dev, tr: partition.New(dev, points, partition.Options{})}
+}
+
+// Halfspace reports the indices of points with x_d <= coef·(x,1), sorted.
+func (t *PartitionTree) Halfspace(coef []float64) []int {
+	return t.tr.Halfspace(geom.HyperplaneD{Coef: coef})
+}
+
+// Conjunction reports the points satisfying every constraint (a simplex
+// or general convex polytope query).
+func (t *PartitionTree) Conjunction(cs []Constraint) []int {
+	var s geom.Simplex
+	for _, c := range cs {
+		s.Planes = append(s.Planes, geom.HyperplaneD{Coef: c.Coef})
+		s.Below = append(s.Below, c.Below)
+	}
+	return t.tr.Simplex(s)
+}
+
+// Stats returns the device's I/O counters.
+func (t *PartitionTree) Stats() Stats { return stats(t.dev) }
+
+// ResetStats zeroes the counters and drops the cache.
+func (t *PartitionTree) ResetStats() { t.dev.ResetCounters() }
+
+// Len returns the number of indexed points.
+func (t *PartitionTree) Len() int { return t.tr.Len() }
+
+// --- Dynamic indexes (§5 Remark iii; §7 open problem 1) --------------------
+
+// DynamicPlanarIndex supports insertions and deletions of planar points
+// alongside halfplane reporting, via the logarithmic method over the §3
+// structure: queries cost an O(log N) multiple of the static bound,
+// updates amortized polylogarithmic rebuild work.
+type DynamicPlanarIndex struct {
+	dev *eio.Device
+	idx *dynamic.Halfplane2D
+}
+
+// NewDynamicPlanarIndex returns an empty dynamic planar index.
+func NewDynamicPlanarIndex(cfg Config) *DynamicPlanarIndex {
+	dev := cfg.device()
+	return &DynamicPlanarIndex{dev: dev, idx: dynamic.NewHalfplane2D(dev, cfg.Seed)}
+}
+
+// Insert adds a point.
+func (d *DynamicPlanarIndex) Insert(p Point2) { d.idx.Insert(p) }
+
+// Delete removes one copy of p, reporting whether it was present.
+func (d *DynamicPlanarIndex) Delete(p Point2) bool { return d.idx.Delete(p) }
+
+// Halfplane returns the live points with y <= a·x + b.
+func (d *DynamicPlanarIndex) Halfplane(a, b float64) []Point2 { return d.idx.Report(a, b) }
+
+// Len returns the number of live points.
+func (d *DynamicPlanarIndex) Len() int { return d.idx.Len() }
+
+// Stats returns the device's I/O counters.
+func (d *DynamicPlanarIndex) Stats() Stats { return stats(d.dev) }
+
+// ResetStats zeroes the counters and drops the cache.
+func (d *DynamicPlanarIndex) ResetStats() { d.dev.ResetCounters() }
+
+// DynamicPartitionTree is the dynamized d-dimensional partition tree.
+type DynamicPartitionTree struct {
+	dev *eio.Device
+	idx *dynamic.PartitionD
+}
+
+// NewDynamicPartitionTree returns an empty dynamic d-dimensional index.
+func NewDynamicPartitionTree(cfg Config) *DynamicPartitionTree {
+	dev := cfg.device()
+	return &DynamicPartitionTree{dev: dev, idx: dynamic.NewPartitionD(dev)}
+}
+
+// Insert adds a point.
+func (d *DynamicPartitionTree) Insert(p PointD) { d.idx.Insert(p) }
+
+// Delete removes one point equal to p, reporting whether it was present.
+func (d *DynamicPartitionTree) Delete(p PointD) bool { return d.idx.Delete(p) }
+
+// Halfspace returns the live points with x_d <= coef·(x,1).
+func (d *DynamicPartitionTree) Halfspace(coef []float64) []PointD {
+	return d.idx.Report(geom.HyperplaneD{Coef: coef})
+}
+
+// Len returns the number of live points.
+func (d *DynamicPartitionTree) Len() int { return d.idx.Len() }
+
+// Stats returns the device's I/O counters.
+func (d *DynamicPartitionTree) Stats() Stats { return stats(d.dev) }

@@ -1,0 +1,214 @@
+package linconstraint
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestPlanarIndexFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point2, 1000)
+	for i := range pts {
+		pts[i] = Point2{X: rng.Float64(), Y: rng.Float64()}
+	}
+	idx := NewPlanarIndex(pts, Config{BlockSize: 32})
+	if idx.Len() != 1000 {
+		t.Fatal("Len")
+	}
+	idx.ResetStats()
+	got := idx.Halfplane(0.5, 0.2)
+	var want []int
+	for i, p := range pts {
+		if p.Y <= 0.5*p.X+0.2 {
+			want = append(want, i)
+		}
+	}
+	if !sort.IntsAreSorted(got) || len(got) != len(want) {
+		t.Fatalf("got %d sorted=%v, want %d", len(got), sort.IntsAreSorted(got), len(want))
+	}
+	s := idx.Stats()
+	if s.IOs() == 0 || s.SpaceBlocks == 0 {
+		t.Fatal("stats not populated")
+	}
+}
+
+func TestIndex3DFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]Point3, 500)
+	for i := range pts {
+		pts[i] = Point3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+	}
+	idx := NewIndex3D(pts, Window{XMin: -2, XMax: 2, YMin: -2, YMax: 2}, Config{BlockSize: 16})
+	if idx.Len() != 500 {
+		t.Fatal("Len")
+	}
+	idx.ResetStats()
+	got := idx.Halfspace(0.1, -0.2, 0.4)
+	cnt := 0
+	for _, p := range pts {
+		if p.Z <= 0.1*p.X-0.2*p.Y+0.4 {
+			cnt++
+		}
+	}
+	if len(got) != cnt {
+		t.Fatalf("got %d, want %d", len(got), cnt)
+	}
+	if idx.Stats().IOs() == 0 {
+		t.Fatal("stats")
+	}
+}
+
+func TestKNNFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]Point2, 400)
+	for i := range pts {
+		pts[i] = Point2{X: rng.Float64(), Y: rng.Float64()}
+	}
+	idx := NewKNNIndex(pts, Config{BlockSize: 16})
+	idx.ResetStats()
+	got := idx.Query(5, Point2{X: 0.5, Y: 0.5})
+	if len(got) != 5 {
+		t.Fatalf("got %d neighbors", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist2 < got[i-1].Dist2 {
+			t.Fatal("not sorted by distance")
+		}
+	}
+	if idx.Stats().IOs() == 0 {
+		t.Fatal("stats")
+	}
+}
+
+func TestPartitionTreeFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := make([]PointD, 800)
+	for i := range pts {
+		pts[i] = PointD{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	tr := NewPartitionTree(pts, Config{BlockSize: 16})
+	if tr.Len() != 800 {
+		t.Fatal("Len")
+	}
+	tr.ResetStats()
+	got := tr.Halfspace([]float64{0.2, -0.1, 0.5})
+	cnt := 0
+	for _, p := range pts {
+		if p[2] <= 0.2*p[0]-0.1*p[1]+0.5 {
+			cnt++
+		}
+	}
+	if len(got) != cnt {
+		t.Fatalf("halfspace: got %d, want %d", len(got), cnt)
+	}
+	// Conjunction: a slab 0.3 <= z' <= 0.7 where z' = z.
+	res := tr.Conjunction([]Constraint{
+		{Coef: []float64{0, 0, 0.7}, Below: true},
+		{Coef: []float64{0, 0, 0.3}, Below: false},
+	})
+	cnt = 0
+	for _, p := range pts {
+		if p[2] >= 0.3 && p[2] <= 0.7 {
+			cnt++
+		}
+	}
+	if len(res) != cnt {
+		t.Fatalf("conjunction: got %d, want %d", len(res), cnt)
+	}
+	if tr.Stats().IOs() == 0 {
+		t.Fatal("stats")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	idx := NewPlanarIndex([]Point2{{X: 1, Y: 1}}, Config{})
+	if got := idx.Halfplane(0, 2); len(got) != 1 {
+		t.Fatal("default config index broken")
+	}
+	if idx.Stats().SpaceBlocks == 0 {
+		t.Fatal("space")
+	}
+}
+
+func TestCachedDevice(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]Point2, 2000)
+	for i := range pts {
+		pts[i] = Point2{X: rng.Float64(), Y: rng.Float64()}
+	}
+	warm := NewPlanarIndex(pts, Config{BlockSize: 32, CacheBlocks: 1 << 20})
+	cold := NewPlanarIndex(pts, Config{BlockSize: 32})
+	warm.Halfplane(0.1, 0.2) // populate cache
+	warm.ResetStats()        // drops cache too
+	warm.Halfplane(0.1, 0.2)
+	warm.Halfplane(0.1, 0.2) // second run should hit cache
+	cold.ResetStats()
+	cold.Halfplane(0.1, 0.2)
+	cold.Halfplane(0.1, 0.2)
+	if warm.Stats().CacheHits == 0 {
+		t.Fatal("expected cache hits with a large cache")
+	}
+	if warm.Stats().Reads >= cold.Stats().Reads {
+		t.Fatal("cache did not reduce reads")
+	}
+}
+
+func TestDynamicPlanarFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	idx := NewDynamicPlanarIndex(Config{BlockSize: 16, Seed: 2})
+	var model []Point2
+	for i := 0; i < 300; i++ {
+		p := Point2{X: rng.Float64(), Y: rng.Float64()}
+		idx.Insert(p)
+		model = append(model, p)
+	}
+	for i := 0; i < 100; i++ {
+		if !idx.Delete(model[i]) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	model = model[100:]
+	got := idx.Halfplane(0.3, 0.4)
+	want := 0
+	for _, p := range model {
+		if p.Y <= 0.3*p.X+0.4 {
+			want++
+		}
+	}
+	if len(got) != want || idx.Len() != len(model) {
+		t.Fatalf("dynamic facade: got %d want %d (len %d)", len(got), want, idx.Len())
+	}
+	if idx.Stats().IOs() == 0 {
+		t.Fatal("stats")
+	}
+	idx.ResetStats()
+}
+
+func TestDynamicPartitionFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	idx := NewDynamicPartitionTree(Config{BlockSize: 16})
+	var model []PointD
+	for i := 0; i < 200; i++ {
+		p := PointD{rng.Float64(), rng.Float64(), rng.Float64()}
+		idx.Insert(p)
+		model = append(model, p)
+	}
+	if !idx.Delete(model[0]) || idx.Delete(PointD{9, 9, 9}) {
+		t.Fatal("delete behaviour")
+	}
+	model = model[1:]
+	got := idx.Halfspace([]float64{0, 0, 0.5})
+	want := 0
+	for _, p := range model {
+		if p[2] <= 0.5 {
+			want++
+		}
+	}
+	if len(got) != want || idx.Len() != len(model) {
+		t.Fatalf("got %d want %d", len(got), want)
+	}
+	if idx.Stats().SpaceBlocks == 0 {
+		t.Fatal("stats")
+	}
+}
