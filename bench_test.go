@@ -12,8 +12,10 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"linconstraint/internal/harness"
+	"linconstraint/internal/workload"
 )
 
 func runExperiment(b *testing.B, fn func(harness.Config) harness.Result) {
@@ -144,4 +146,92 @@ func BenchmarkPlanarBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		NewPlanarIndex(pts, Config{BlockSize: 64, Seed: int64(i)})
 	}
+}
+
+// --- Sharded engine benchmarks (DESIGN.md §5) -------------------------------
+
+// BenchmarkEngineThroughput compares batched query throughput of the
+// sharded engine at 1 vs S shards over the same n = 100k points, with a
+// 20µs simulated disk latency per block miss so that, as in a real
+// external-memory deployment, concurrency wins by overlapping I/O
+// stalls across shards (it also wins CPU-parallel time on multicore).
+// Before timing, each configuration's result sets are verified
+// byte-identical to the unsharded PlanarIndex.
+func BenchmarkEngineThroughput(b *testing.B) {
+	const (
+		n       = 100_000
+		batch   = 32
+		latency = 20 * time.Microsecond
+	)
+	pts := benchPoints2(n)
+	ref := NewPlanarIndex(pts, Config{BlockSize: 128, Seed: 1})
+	rng := rand.New(rand.NewSource(7))
+	queries := make([]workload.Halfplane, 64)
+	for i := range queries {
+		queries[i] = workload.HalfplaneWithSelectivity(rng, pts, 0.05)
+	}
+
+	for _, cfg := range []struct{ shards, workers int }{{1, 1}, {4, 4}, {8, 8}} {
+		b.Run(fmt.Sprintf("shards=%d,workers=%d", cfg.shards, cfg.workers), func(b *testing.B) {
+			e := NewPlanarEngine(pts, EngineConfig{
+				Shards: cfg.shards, Workers: cfg.workers,
+				BlockSize: 128, Seed: 1, IOLatency: latency,
+			})
+			defer e.Close()
+			for _, q := range queries[:3] {
+				if got, want := e.Halfplane(q.A, q.B), ref.Halfplane(q.A, q.B); !sameInts(got, want) {
+					b.Fatalf("sharded result set differs from unsharded (%d vs %d hits)", len(got), len(want))
+				}
+			}
+			e.ResetStats()
+			qs := make([]Query, batch)
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				for j := range qs {
+					hq := queries[(i*batch+j)%len(queries)]
+					qs[j] = Query{Op: OpHalfplane, A: hq.A, B: hq.B}
+				}
+				for _, r := range e.Batch(qs) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			el := time.Since(start).Seconds()
+			nq := float64(b.N * batch)
+			b.ReportMetric(nq/el, "queries/sec")
+			st := e.Stats()
+			b.ReportMetric(float64(st.Total.IOs())/nq, "IOs/query")
+			b.ReportMetric(float64(st.MaxShardIOs)/nq, "worstShardIOs/query")
+		})
+	}
+}
+
+// BenchmarkEngineBuild measures parallel shard construction against a
+// single unsharded build. Construction cost is superlinear in n, so
+// sharding wins even on one CPU; on multicore the shards also build
+// concurrently.
+func BenchmarkEngineBuild(b *testing.B) {
+	pts := benchPoints2(1 << 15)
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := NewPlanarEngine(pts, EngineConfig{Shards: shards, BlockSize: 128, Seed: int64(i)})
+				e.Close()
+			}
+		})
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,236 @@
+// Command lcserve is a load generator for the sharded concurrent query
+// engine (DESIGN.md §5). It builds an engine over synthetic data,
+// profiles per-query I/O cost sequentially, then drives batched query
+// traffic through the worker pool and reports throughput plus I/O
+// histograms: the distribution of per-query block transfers and the
+// balance of I/O across shards (summed vs worst-shard cost).
+//
+// Usage:
+//
+//	lcserve [-kind planar|3d|knn|partition] [-n N] [-shards S]
+//	        [-workers W] [-batch B] [-queries Q] [-sel F] [-k K]
+//	        [-dim D] [-block B] [-cache M] [-lat DUR] [-seed N]
+//
+// Example — 8 shards, 8 workers, a 100µs simulated disk:
+//
+//	lcserve -kind planar -n 200000 -shards 8 -workers 8 -lat 100us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"linconstraint"
+	"linconstraint/internal/geom"
+	"linconstraint/internal/workload"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "planar", "index family: planar, 3d, knn, partition")
+		n       = flag.Int("n", 100000, "number of records")
+		shards  = flag.Int("shards", 8, "shard count")
+		workers = flag.Int("workers", 8, "query worker pool size")
+		batch   = flag.Int("batch", 32, "queries per batch")
+		queries = flag.Int("queries", 1024, "total queries in the load phase")
+		sel     = flag.Float64("sel", 0.05, "target query selectivity")
+		k       = flag.Int("k", 16, "k for -kind knn")
+		dim     = flag.Int("dim", 3, "dimension for -kind partition")
+		block   = flag.Int("block", 128, "records per disk block")
+		cache   = flag.Int("cache", 0, "LRU cache blocks per shard")
+		lat     = flag.Duration("lat", 0, "simulated disk latency per block miss")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		profile = flag.Int("profile", 128, "sequential queries for the per-query I/O histogram")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	cfg := linconstraint.EngineConfig{
+		Shards: *shards, Workers: *workers,
+		BlockSize: *block, CacheBlocks: *cache,
+		Seed: *seed, IOLatency: *lat,
+	}
+
+	var (
+		eng  *linconstraint.Engine
+		gen  func() linconstraint.Query
+		what string
+	)
+	start := time.Now()
+	switch *kind {
+	case "planar":
+		pts := workload.Uniform2(rng, *n)
+		eng = linconstraint.NewPlanarEngine(pts, cfg)
+		gen = func() linconstraint.Query {
+			h := workload.HalfplaneWithSelectivity(rng, pts, *sel)
+			return linconstraint.Query{Op: linconstraint.OpHalfplane, A: h.A, B: h.B}
+		}
+		what = "halfplane reports"
+	case "3d":
+		pts := workload.Cube3(rng, *n)
+		win := linconstraint.Window{XMin: -4, XMax: 4, YMin: -4, YMax: 4}
+		eng = linconstraint.NewEngine3D(pts, win, cfg)
+		gen = func() linconstraint.Query {
+			p := workload.Plane3WithSelectivity(rng, pts, *sel)
+			return linconstraint.Query{Op: linconstraint.OpHalfspace3, A: p.A, B: p.B, C: p.C}
+		}
+		what = "3D halfspace reports"
+	case "knn":
+		pts := workload.Uniform2(rng, *n)
+		eng = linconstraint.NewKNNEngine(pts, cfg)
+		gen = func() linconstraint.Query {
+			q := geom.Point2{X: rng.Float64(), Y: rng.Float64()}
+			return linconstraint.Query{Op: linconstraint.OpKNN, K: *k, Pt: q}
+		}
+		what = fmt.Sprintf("%d-NN queries", *k)
+	case "partition":
+		pts := workload.CubeD(rng, *n, *dim)
+		eng = linconstraint.NewPartitionEngine(pts, cfg)
+		gen = func() linconstraint.Query {
+			h := workload.HalfspaceWithSelectivityD(rng, pts, *sel)
+			return linconstraint.Query{Op: linconstraint.OpHalfspaceD, Coef: h.H.Coef}
+		}
+		what = fmt.Sprintf("%dD halfspace reports", *dim)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -kind %q\n", *kind)
+		os.Exit(2)
+	}
+	defer eng.Close()
+	buildTime := time.Since(start)
+	st := eng.Stats()
+	fmt.Printf("built %d records on %d shards (%d workers) in %v; %d blocks total, worst shard %d I/Os\n",
+		eng.Len(), eng.NumShards(), eng.NumWorkers(), buildTime.Round(time.Millisecond),
+		st.SpaceBlocks, st.MaxShardIOs)
+
+	// Phase 1: sequential profile for the per-query I/O histogram.
+	var perQuery []int64
+	var hits int64
+	for i := 0; i < *profile; i++ {
+		eng.ResetStats()
+		r := eng.Batch([]linconstraint.Query{gen()})[0]
+		if r.Err != nil {
+			fmt.Fprintln(os.Stderr, r.Err)
+			os.Exit(1)
+		}
+		s := eng.Stats()
+		perQuery = append(perQuery, s.Total.IOs())
+		hits += int64(len(r.IDs) + len(r.Neighbors))
+	}
+	fmt.Printf("\nper-query I/O histogram (%d sequential %s, mean output %d records):\n",
+		*profile, what, hits/int64(maxi(1, *profile)))
+	printHistogram(perQuery, "I/Os")
+
+	// Phase 2: batched load through the worker pool.
+	qs := make([]linconstraint.Query, *queries)
+	for i := range qs {
+		qs[i] = gen()
+	}
+	eng.ResetStats()
+	start = time.Now()
+	done := 0
+	for done < len(qs) {
+		end := mini(done+*batch, len(qs))
+		for _, r := range eng.Batch(qs[done:end]) {
+			if r.Err != nil {
+				fmt.Fprintln(os.Stderr, r.Err)
+				os.Exit(1)
+			}
+		}
+		done = end
+	}
+	el := time.Since(start)
+	st = eng.Stats()
+	fmt.Printf("\nload phase: %d queries in batches of %d: %v (%.0f queries/sec)\n",
+		len(qs), *batch, el.Round(time.Millisecond), float64(len(qs))/el.Seconds())
+	fmt.Printf("aggregate I/O: %d total (%d reads, %d writes, %d cache hits), %.1f I/Os/query\n",
+		st.Total.IOs(), st.Total.Reads, st.Total.Writes, st.Total.Hits,
+		float64(st.Total.IOs())/float64(len(qs)))
+	fmt.Printf("worst shard: #%d with %d I/Os (%.1fx the fair share)\n",
+		st.WorstShard, st.MaxShardIOs,
+		float64(st.MaxShardIOs)*float64(st.Shards)/float64(maxi64(1, st.Total.IOs())))
+
+	shardIOs := make([]int64, len(st.PerShard))
+	for i, ps := range st.PerShard {
+		shardIOs[i] = ps.IO.IOs()
+	}
+	fmt.Println("\nper-shard I/O histogram (load phase):")
+	printHistogram(shardIOs, "I/Os")
+}
+
+// printHistogram prints power-of-two buckets with text bars; zero
+// values (e.g. fully cached queries, idle shards) get their own row.
+func printHistogram(vals []int64, unit string) {
+	if len(vals) == 0 {
+		return
+	}
+	var lo, hi int64 = math.MaxInt64, 0
+	zeros := 0
+	buckets := map[int]int{} // bucket i holds values in [2^i, 2^(i+1))
+	for _, v := range vals {
+		if v == 0 {
+			zeros++
+			continue
+		}
+		lo, hi = mini64(lo, v), maxi64(hi, v)
+		buckets[log2(v)]++
+	}
+	maxCount := zeros
+	for _, c := range buckets {
+		maxCount = maxi(maxCount, c)
+	}
+	if zeros > 0 {
+		fmt.Printf("  %8d–%-8d %s %5d  %s\n", 0, 0, unit, zeros, strings.Repeat("#", zeros*40/maxi(1, maxCount)))
+	}
+	if hi == 0 {
+		return
+	}
+	for b := log2(lo); b <= log2(hi); b++ {
+		c := buckets[b]
+		bar := strings.Repeat("#", c*40/maxi(1, maxCount))
+		fmt.Printf("  %8d–%-8d %s %5d  %s\n", pow2(b), pow2(b+1)-1, unit, c, bar)
+	}
+}
+
+func log2(v int64) int {
+	b := 0
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+func pow2(b int) int64 { return int64(1) << b }
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module linconstraint
+
+go 1.22

@@ -219,7 +219,7 @@ func (x *Index) tryLowestPlanes(h *hierarchy, k int, qx, qy float64, j int) ([]L
 	if len(below) < k {
 		return nil, false // the k lowest are not all captured by K(Δ)
 	}
-	sort.Slice(below, func(a, b int) bool { return below[a].Z < below[b].Z })
+	sortLowest(below)
 	return below[:k], true
 }
 
@@ -261,11 +261,24 @@ func (x *Index) scanLowest(k int, qx, qy float64) []Lowest {
 		all = append(all, Lowest{ID: r.ID, Z: r.Pl.Eval(qx, qy)})
 		return true
 	})
-	sort.Slice(all, func(a, b int) bool { return all[a].Z < all[b].Z })
+	sortLowest(all)
 	if k < len(all) {
 		all = all[:k]
 	}
 	return all
+}
+
+// sortLowest orders candidates by height with ties broken by id, so
+// that which planes survive a truncation to k is deterministic — the
+// sharded engine's per-shard merge relies on this to reproduce the
+// unsharded selection exactly when equal heights straddle the cutoff.
+func sortLowest(ls []Lowest) {
+	sort.Slice(ls, func(a, b int) bool {
+		if ls[a].Z != ls[b].Z {
+			return ls[a].Z < ls[b].Z
+		}
+		return ls[a].ID < ls[b].ID
+	})
 }
 
 // Below reports the ids of every plane passing on or below the point q

@@ -64,7 +64,14 @@ func (s *KNN) Query(k int, q geom.Point2) []Neighbor {
 		dx, dy := p.X-q.X, p.Y-q.Y
 		out[i] = Neighbor{ID: int(l.ID), Dist2: dx*dx + dy*dy}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Dist2 < out[b].Dist2 })
+	// Deterministic order — ties break by id — so the sharded engine's
+	// k-way merge reproduces this ordering exactly.
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist2 != out[b].Dist2 {
+			return out[a].Dist2 < out[b].Dist2
+		}
+		return out[a].ID < out[b].ID
+	})
 	return out
 }
 

@@ -12,7 +12,11 @@
 // allocation counter.
 package eio
 
-import "container/list"
+import (
+	"container/list"
+	"sync/atomic"
+	"time"
+)
 
 // BlockID identifies one disk block. Contiguous allocations receive
 // consecutive IDs, so scanning a blocked array touches consecutive blocks.
@@ -35,13 +39,25 @@ func (s Stats) Sub(t Stats) Stats {
 
 // Device is a simulated disk with block size B (in records) and an LRU
 // cache of CacheBlocks blocks. The zero value is not usable; construct
-// with NewDevice. Device is not safe for concurrent use; the structures in
-// this repository serialize their device accesses.
+// with NewDevice.
+//
+// Ownership invariant: a Device is not safe for concurrent use. The
+// static structures in this repository serialize their device accesses,
+// and internal/engine gives every shard its own Device so shards never
+// share one. Because a data race here would not crash but silently
+// corrupt the LRU and the I/O counters — invalidating every reported
+// bound — Device carries a cheap always-on guard: Read, Write and Alloc
+// take an atomic busy flag for the duration of the call and panic if
+// they observe another goroutine inside the Device. Serialized sharing
+// (e.g. behind a mutex, as the engine's worker pool does per shard) is
+// fine; overlapping use fails loudly.
 type Device struct {
 	b           int
 	cacheBlocks int
 	next        BlockID
 	stats       Stats
+	missLatency time.Duration
+	busy        atomic.Int32
 
 	lru     *list.List // of BlockID, front = most recent
 	present map[BlockID]*list.Element
@@ -68,13 +84,42 @@ func NewDevice(b, cacheBlocks int) *Device {
 // B returns the block size in records.
 func (d *Device) B() int { return d.b }
 
+// SetMissLatency makes every cache miss additionally sleep for lat,
+// simulating the access time of the underlying disk. The default is
+// zero (counting only). A positive latency lets concurrency experiments
+// measure latency hiding: goroutines blocked on one shard's misses
+// yield the processor, so an engine with S shards overlaps up to S
+// outstanding accesses even on a single CPU — the external-memory
+// analog of issuing parallel disk requests.
+func (d *Device) SetMissLatency(lat time.Duration) {
+	if lat < 0 {
+		panic("eio: negative latency")
+	}
+	d.missLatency = lat
+}
+
+// MissLatency returns the simulated per-miss access time.
+func (d *Device) MissLatency() time.Duration { return d.missLatency }
+
+// enter acquires the busy flag, enforcing the ownership invariant.
+func (d *Device) enter() {
+	if !d.busy.CompareAndSwap(0, 1) {
+		panic("eio: concurrent Device use (see the Device ownership invariant)")
+	}
+}
+
+// exit releases the busy flag.
+func (d *Device) exit() { d.busy.Store(0) }
+
 // Alloc reserves n contiguous blocks and returns the first BlockID.
 func (d *Device) Alloc(n int) BlockID {
 	if n < 0 {
 		panic("eio: negative allocation")
 	}
+	d.enter()
 	id := d.next
 	d.next += BlockID(n)
+	d.exit()
 	return id
 }
 
@@ -100,6 +145,8 @@ func (d *Device) DropCache() {
 
 // touch records an access to block id, charging an I/O on a cache miss.
 func (d *Device) touch(id BlockID, write bool) {
+	d.enter()
+	defer d.exit()
 	if e, ok := d.present[id]; ok {
 		d.lru.MoveToFront(e)
 		d.stats.Hits++
@@ -109,6 +156,9 @@ func (d *Device) touch(id BlockID, write bool) {
 		d.stats.Writes++
 	} else {
 		d.stats.Reads++
+	}
+	if d.missLatency > 0 {
+		time.Sleep(d.missLatency)
 	}
 	if d.cacheBlocks == 0 {
 		return

@@ -1,0 +1,257 @@
+// Package engine is the production front-end over the paper's indexes:
+// a sharded concurrent query engine. It splits a point set round-robin
+// across S shards, each owning a private eio.Device and one index
+// (halfspace2d §3, chan3d §4, or a §5 partition tree), builds the
+// shards in parallel, and serves queries through a fixed pool of worker
+// goroutines with a batched scatter-gather API.
+//
+// Validity is preserved exactly: every index reports the precise set of
+// records satisfying a query, so the union of per-shard answers, mapped
+// from local to global record indices, is byte-identical to the answer
+// of one unsharded index over the same points (the property tests and
+// bench_test.go verify this). Cost accounting is preserved too: each
+// shard's Device counts its own I/Os, and Stats aggregates them so both
+// the summed I/O (total work, paper's bound × S in the worst case) and
+// the worst single shard (critical-path I/O, what a parallel disk farm
+// would wait for) remain observable.
+//
+// Concurrency model: a Device is single-owner (see the eio ownership
+// invariant), so each shard carries a mutex and every worker locks the
+// shard before touching its device or index. Different shards proceed
+// in parallel; one shard's queries serialize, exactly like requests
+// queued at one disk. See DESIGN.md §5.
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"linconstraint/internal/chan3d"
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+	"linconstraint/internal/halfspace2d"
+	"linconstraint/internal/hull3d"
+	"linconstraint/internal/partition"
+)
+
+// Options configure an engine.
+type Options struct {
+	// Shards is the number of independent shards S (default 1).
+	Shards int
+	// Workers is the size of the query worker pool (default Shards).
+	Workers int
+	// BlockSize and CacheBlocks configure each shard's Device, exactly
+	// like the root package's Config (defaults 128 and 0).
+	BlockSize   int
+	CacheBlocks int
+	// Seed drives the per-shard index randomization; shard s uses Seed+s.
+	Seed int64
+	// IOLatency, when positive, is charged by each shard's Device per
+	// cache miss (eio.Device.SetMissLatency), so throughput runs model
+	// latency hiding across shards.
+	IOLatency time.Duration
+	// Window bounds 3D queries; used only by New3D (zero means the
+	// chan3d default).
+	Window hull3d.Window
+}
+
+func (o Options) normalized() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = o.Shards
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 128
+	}
+	if o.CacheBlocks < 0 {
+		o.CacheBlocks = 0
+	}
+	return o
+}
+
+// kind is the index family an engine routes to.
+type kind int
+
+const (
+	kindPlanar kind = iota
+	kind3D
+	kindKNN
+	kindPartition
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindPlanar:
+		return "planar"
+	case kind3D:
+		return "3d"
+	case kindKNN:
+		return "knn"
+	case kindPartition:
+		return "partition"
+	}
+	return "unknown"
+}
+
+// shard is one slice of the data: a private device plus the index over
+// the shard's points. mu serializes all device and index access; it is
+// the only synchronization a shard needs because no structure here
+// mutates after construction except the device's LRU and counters.
+type shard struct {
+	mu sync.Mutex
+	n  int // local point count
+	// Exactly one of the following is non-nil (none when n == 0).
+	planar *halfspace2d.PointIndex
+	cube   *chan3d.PointIndex3
+	knn    *chan3d.KNN
+	tree   *partition.Tree
+
+	dev *eio.Device
+}
+
+// Engine is a sharded concurrent front-end over one index family.
+// Engines are safe for concurrent use; Close releases the worker pool.
+type Engine struct {
+	kind    kind
+	n       int
+	shards  []*shard
+	workers int
+
+	tasks     chan func()
+	workersWG sync.WaitGroup
+	closeOnce sync.Once
+
+	// statsMu serializes Stats/ResetStats snapshots so an aggregate is
+	// internally consistent even while queries run on other shards.
+	statsMu sync.Mutex
+}
+
+// split deals xs round-robin into S hands: shard s receives global
+// records s, s+S, s+2S, …, so local index j maps back to global j·S+s.
+// Round-robin keeps every shard a uniform sample of the input, so
+// skewed inputs (clustered, adversarial-diagonal) stay balanced.
+func split[T any](xs []T, s int) [][]T {
+	out := make([][]T, s)
+	for i := range out {
+		out[i] = make([]T, 0, (len(xs)+s-1)/s)
+	}
+	for i, x := range xs {
+		out[i%s] = append(out[i%s], x)
+	}
+	return out
+}
+
+// global maps a shard-local record index back to its global index.
+func global(local, shardIdx, s int) int { return local*s + shardIdx }
+
+// newEngine builds the scaffold and runs build(si, dev) once per shard,
+// in parallel: each builder goroutine is the sole owner of its shard's
+// device during construction, so the eio guard stays quiet.
+func newEngine(k kind, n int, opt Options, build func(si int, dev *eio.Device, sh *shard)) *Engine {
+	opt = opt.normalized()
+	e := &Engine{
+		kind:    k,
+		n:       n,
+		shards:  make([]*shard, opt.Shards),
+		workers: opt.Workers,
+		tasks:   make(chan func(), opt.Workers*4),
+	}
+	var wg sync.WaitGroup
+	for si := range e.shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dev := eio.NewDevice(opt.BlockSize, opt.CacheBlocks)
+			dev.SetMissLatency(opt.IOLatency)
+			sh := &shard{dev: dev}
+			build(si, dev, sh)
+			e.shards[si] = sh
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < e.workers; i++ {
+		e.workersWG.Add(1)
+		go func() {
+			defer e.workersWG.Done()
+			for f := range e.tasks {
+				f()
+			}
+		}()
+	}
+	return e
+}
+
+// NewPlanar builds a sharded engine over the §3 planar structure.
+func NewPlanar(points []geom.Point2, opt Options) *Engine {
+	opt = opt.normalized()
+	parts := split(points, opt.Shards)
+	return newEngine(kindPlanar, len(points), opt, func(si int, dev *eio.Device, sh *shard) {
+		sh.n = len(parts[si])
+		if sh.n == 0 {
+			return
+		}
+		sh.planar = halfspace2d.NewPoints(dev, parts[si], halfspace2d.Options{Seed: opt.Seed + int64(si)})
+	})
+}
+
+// New3D builds a sharded engine over the §4 3D structure. opt.Window
+// must cover the (a, b) coefficient range of future queries.
+func New3D(points []geom.Point3, opt Options) *Engine {
+	opt = opt.normalized()
+	parts := split(points, opt.Shards)
+	return newEngine(kind3D, len(points), opt, func(si int, dev *eio.Device, sh *shard) {
+		sh.n = len(parts[si])
+		if sh.n == 0 {
+			return
+		}
+		sh.cube = chan3d.NewPoints3(dev, parts[si], chan3d.Options{
+			Window: opt.Window, Seed: opt.Seed + int64(si),
+		})
+	})
+}
+
+// NewKNN builds a sharded engine over the Theorem 4.3 k-NN structure.
+func NewKNN(points []geom.Point2, opt Options) *Engine {
+	opt = opt.normalized()
+	parts := split(points, opt.Shards)
+	return newEngine(kindKNN, len(points), opt, func(si int, dev *eio.Device, sh *shard) {
+		sh.n = len(parts[si])
+		if sh.n == 0 {
+			return
+		}
+		sh.knn = chan3d.NewKNN(dev, parts[si], chan3d.Options{Seed: opt.Seed + int64(si)})
+	})
+}
+
+// NewPartition builds a sharded engine over the §5 partition tree.
+func NewPartition(points []geom.PointD, opt Options) *Engine {
+	opt = opt.normalized()
+	parts := split(points, opt.Shards)
+	return newEngine(kindPartition, len(points), opt, func(si int, dev *eio.Device, sh *shard) {
+		sh.n = len(parts[si])
+		if sh.n == 0 {
+			return
+		}
+		sh.tree = partition.New(dev, parts[si], partition.Options{})
+	})
+}
+
+// Len returns the total number of indexed records.
+func (e *Engine) Len() int { return e.n }
+
+// NumShards returns S.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// NumWorkers returns the worker pool size.
+func (e *Engine) NumWorkers() int { return e.workers }
+
+// Close stops the worker pool. Queries issued after Close panic.
+// Close is idempotent and waits for in-flight tasks to finish.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		close(e.tasks)
+		e.workersWG.Wait()
+	})
+}

@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"linconstraint/internal/chan3d"
+	"linconstraint/internal/geom"
+)
+
+// Op selects a query family. Each engine kind answers the ops of its
+// underlying index; Batch reports a per-query error on a mismatch.
+type Op int
+
+const (
+	// OpHalfplane reports points with y <= A·x + B (planar engines).
+	OpHalfplane Op = iota
+	// OpHalfspace3 reports points with z <= A·x + B·y + C (3D engines).
+	OpHalfspace3
+	// OpHalfspaceD reports points with x_d <= Coef·(x,1) (partition engines).
+	OpHalfspaceD
+	// OpConjunction reports points satisfying every Constraint
+	// (partition engines; simplex / convex-polytope queries).
+	OpConjunction
+	// OpKNN reports the K nearest neighbors of Pt (k-NN engines).
+	OpKNN
+)
+
+// Constraint is one linear constraint of a conjunction query:
+// x_d <= (or >=, when Below is false) Coef[0]·x_1 + … + Coef[d-1].
+type Constraint struct {
+	Coef  []float64
+	Below bool
+}
+
+// Query is one element of a batch. Only the fields of its Op are read.
+type Query struct {
+	Op          Op
+	A, B, C     float64      // OpHalfplane (A, B); OpHalfspace3 (A, B, C)
+	Coef        []float64    // OpHalfspaceD
+	Constraints []Constraint // OpConjunction
+	K           int          // OpKNN
+	Pt          geom.Point2  // OpKNN
+}
+
+// Result is the answer to one batch query. Reporting ops fill IDs with
+// sorted global record indices; OpKNN fills Neighbors (global IDs,
+// closest first). Err is non-nil when the op does not match the
+// engine's kind, and the other fields are empty.
+type Result struct {
+	IDs       []int
+	Neighbors []chan3d.Neighbor
+	Err       error
+}
+
+// opsByKind lists which ops an engine kind serves.
+var opsByKind = map[kind][]Op{
+	kindPlanar:    {OpHalfplane},
+	kind3D:        {OpHalfspace3},
+	kindKNN:       {OpKNN},
+	kindPartition: {OpHalfspaceD, OpConjunction},
+}
+
+func (e *Engine) supports(op Op) bool {
+	for _, o := range opsByKind[e.kind] {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// partial is one shard's contribution to one query.
+type partial struct {
+	ids []int
+	nbs []chan3d.Neighbor
+}
+
+// runLocal answers q on shard si, translating local record indices to
+// global ones. It locks the shard: the engine's only mutable state at
+// query time is each device's LRU and counters, and the lock upholds
+// the eio single-owner invariant (one request in service per "disk").
+func (e *Engine) runLocal(si int, q Query) partial {
+	sh := e.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.n == 0 {
+		return partial{}
+	}
+	s := len(e.shards)
+	var p partial
+	switch q.Op {
+	case OpHalfplane:
+		p.ids = sh.planar.Halfplane(q.A, q.B)
+	case OpHalfspace3:
+		p.ids = sh.cube.Halfspace(q.A, q.B, q.C)
+	case OpHalfspaceD:
+		p.ids = sh.tree.Halfspace(geom.HyperplaneD{Coef: q.Coef})
+	case OpConjunction:
+		var sx geom.Simplex
+		for _, c := range q.Constraints {
+			sx.Planes = append(sx.Planes, geom.HyperplaneD{Coef: c.Coef})
+			sx.Below = append(sx.Below, c.Below)
+		}
+		p.ids = sh.tree.Simplex(sx)
+	case OpKNN:
+		p.nbs = sh.knn.Query(q.K, q.Pt)
+	}
+	// Local indices are sorted ascending (each index sorts its output),
+	// and local j ↦ global j·S+si is monotone, so p stays sorted.
+	for i := range p.ids {
+		p.ids[i] = global(p.ids[i], si, s)
+	}
+	for i := range p.nbs {
+		p.nbs[i].ID = global(p.nbs[i].ID, si, s)
+	}
+	return p
+}
+
+// Batch answers queries through the worker pool: every (query, shard)
+// pair becomes one task, tasks run concurrently across shards (and
+// across the queries of the batch, which is where single-disk configs
+// still pipeline), and per-shard answers are merged in order. The
+// returned slice is parallel to qs. Batch is safe for concurrent use.
+func (e *Engine) Batch(qs []Query) []Result {
+	s := len(e.shards)
+	results := make([]Result, len(qs))
+	parts := make([][]partial, len(qs))
+	var wg sync.WaitGroup
+	for qi, q := range qs {
+		if !e.supports(q.Op) {
+			results[qi].Err = fmt.Errorf("engine: %v engine cannot answer op %d", e.kind, q.Op)
+			continue
+		}
+		parts[qi] = make([]partial, s)
+		for si := 0; si < s; si++ {
+			wg.Add(1)
+			e.tasks <- func() {
+				defer wg.Done()
+				parts[qi][si] = e.runLocal(si, q)
+			}
+		}
+	}
+	wg.Wait()
+	for qi := range qs {
+		if results[qi].Err != nil {
+			continue
+		}
+		if qs[qi].Op == OpKNN {
+			results[qi].Neighbors = mergeNeighbors(parts[qi], qs[qi].K)
+		} else {
+			results[qi].IDs = mergeSorted(parts[qi])
+		}
+	}
+	return results
+}
+
+// mergeSorted k-way merges the shards' sorted global id lists. S is
+// small, so a linear scan over the S heads beats a heap.
+func mergeSorted(parts []partial) []int {
+	total := 0
+	for _, p := range parts {
+		total += len(p.ids)
+	}
+	out := make([]int, 0, total)
+	heads := make([]int, len(parts))
+	for len(out) < total {
+		best, bestV := -1, 0
+		for si, p := range parts {
+			if heads[si] >= len(p.ids) {
+				continue
+			}
+			if v := p.ids[heads[si]]; best < 0 || v < bestV {
+				best, bestV = si, v
+			}
+		}
+		out = append(out, bestV)
+		heads[best]++
+	}
+	return out
+}
+
+// mergeNeighbors merges the shards' distance-sorted candidate lists and
+// keeps the k global nearest. Each shard returned its own k nearest, a
+// superset of its members of the global top k, so the merge is exact.
+// Ties break by global id, matching chan3d.KNN's ordering.
+func mergeNeighbors(parts []partial, k int) []chan3d.Neighbor {
+	out := make([]chan3d.Neighbor, 0, k)
+	heads := make([]int, len(parts))
+	for len(out) < k {
+		best := -1
+		var bestN chan3d.Neighbor
+		for si, p := range parts {
+			if heads[si] >= len(p.nbs) {
+				continue
+			}
+			n := p.nbs[heads[si]]
+			if best < 0 || n.Dist2 < bestN.Dist2 ||
+				(n.Dist2 == bestN.Dist2 && n.ID < bestN.ID) {
+				best, bestN = si, n
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, bestN)
+		heads[best]++
+	}
+	return out
+}
+
+// --- scalar conveniences (each is a one-query batch) ----------------------
+//
+// Unlike Batch, which reports an op/kind mismatch as Result.Err, the
+// scalar helpers treat calling the wrong family on an engine as a
+// programming error and panic.
+
+// Halfplane reports the global indices of points with y <= a·x + b.
+func (e *Engine) Halfplane(a, b float64) []int {
+	return e.one(Query{Op: OpHalfplane, A: a, B: b}).IDs
+}
+
+// Halfspace3 reports the global indices of points with z <= a·x + b·y + c.
+func (e *Engine) Halfspace3(a, b, c float64) []int {
+	return e.one(Query{Op: OpHalfspace3, A: a, B: b, C: c}).IDs
+}
+
+// HalfspaceD reports the global indices of points with x_d <= coef·(x,1).
+func (e *Engine) HalfspaceD(coef []float64) []int {
+	return e.one(Query{Op: OpHalfspaceD, Coef: coef}).IDs
+}
+
+// Conjunction reports the global indices of points satisfying every
+// constraint.
+func (e *Engine) Conjunction(cs []Constraint) []int {
+	return e.one(Query{Op: OpConjunction, Constraints: cs}).IDs
+}
+
+// KNN reports the k nearest indexed points to q, closest first, with
+// global ids.
+func (e *Engine) KNN(k int, q geom.Point2) []chan3d.Neighbor {
+	return e.one(Query{Op: OpKNN, K: k, Pt: q}).Neighbors
+}
+
+func (e *Engine) one(q Query) Result {
+	r := e.Batch([]Query{q})[0]
+	if r.Err != nil {
+		panic(r.Err)
+	}
+	return r
+}

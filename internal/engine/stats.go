@@ -1,0 +1,69 @@
+package engine
+
+import "linconstraint/internal/eio"
+
+// ShardStats is one shard's device snapshot.
+type ShardStats struct {
+	IO          eio.Stats
+	SpaceBlocks int64
+}
+
+// Stats is an aggregated snapshot across all shards. Total sums the
+// counters (the paper's bounds apply per shard, so summed I/O is at
+// most S times the single-index bound); MaxShardIOs is the worst single
+// shard — the critical-path cost a parallel disk farm would wait for —
+// and WorstShard its index.
+type Stats struct {
+	Shards, Workers int
+
+	Total       eio.Stats
+	SpaceBlocks int64
+
+	MaxShardIOs int64
+	WorstShard  int
+
+	PerShard []ShardStats
+}
+
+// Snapshot of the busiest shard's counters.
+func (s Stats) Worst() ShardStats { return s.PerShard[s.WorstShard] }
+
+// Stats aggregates every shard's counters and space under the engine's
+// stats mutex (plus each shard's own lock), so the snapshot is
+// consistent even while queries are in flight on other goroutines.
+func (e *Engine) Stats() Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	out := Stats{
+		Shards:   len(e.shards),
+		Workers:  e.workers,
+		PerShard: make([]ShardStats, len(e.shards)),
+	}
+	for si, sh := range e.shards {
+		sh.mu.Lock()
+		io := sh.dev.Stats()
+		sp := sh.dev.SpaceBlocks()
+		sh.mu.Unlock()
+		out.PerShard[si] = ShardStats{IO: io, SpaceBlocks: sp}
+		out.Total.Reads += io.Reads
+		out.Total.Writes += io.Writes
+		out.Total.Hits += io.Hits
+		out.SpaceBlocks += sp
+		if ios := io.IOs(); ios > out.MaxShardIOs {
+			out.MaxShardIOs = ios
+			out.WorstShard = si
+		}
+	}
+	return out
+}
+
+// ResetStats zeroes every shard's counters and drops its cache.
+func (e *Engine) ResetStats() {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.dev.ResetCounters()
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"linconstraint/internal/eio"
+	"linconstraint/internal/halfspace2d"
+	"linconstraint/internal/workload"
+)
+
+// TestConcurrentBatchesStress hammers one engine from many client
+// goroutines at once and checks every answer against precomputed
+// unsharded ground truth. Run with -race (CI does): it exercises the
+// worker pool, the per-shard locks, the stats mutex, and the eio
+// concurrent-use guard simultaneously.
+func TestConcurrentBatchesStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := workload.Uniform2(rng, 4000)
+
+	dev := eio.NewDevice(64, 0)
+	ref := halfspace2d.NewPoints(dev, pts, halfspace2d.Options{Seed: 1})
+	const nq = 24
+	queries := make([]workload.Halfplane, nq)
+	want := make([][]int, nq)
+	for i := range queries {
+		queries[i] = workload.HalfplaneWithSelectivity(rng, pts, float64(i)/nq)
+		want[i] = ref.Halfplane(queries[i].A, queries[i].B)
+	}
+
+	e := NewPlanar(pts, Options{Shards: 6, Workers: 4, BlockSize: 64, CacheBlocks: 4})
+	defer e.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			crng := rand.New(rand.NewSource(int64(100 + c)))
+			for iter := 0; iter < 12; iter++ {
+				// A batch of random size over random known queries,
+				// answers checked in order.
+				idxs := make([]int, 1+crng.Intn(6))
+				qs := make([]Query, len(idxs))
+				for j := range idxs {
+					idxs[j] = crng.Intn(nq)
+					qs[j] = Query{Op: OpHalfplane, A: queries[idxs[j]].A, B: queries[idxs[j]].B}
+				}
+				for j, r := range e.Batch(qs) {
+					if r.Err != nil || !equalInts(r.IDs, want[idxs[j]]) {
+						t.Errorf("client %d iter %d query %d: wrong answer under concurrency", c, iter, j)
+						return
+					}
+				}
+				// Interleave snapshots: must not race or distort results.
+				if iter%3 == 0 {
+					st := e.Stats()
+					if st.Total.IOs() < st.MaxShardIOs {
+						t.Errorf("inconsistent snapshot: total %d < max shard %d", st.Total.IOs(), st.MaxShardIOs)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestParallelBuildIsolation builds many engines with parallel shard
+// construction under -race; each shard's device must only ever be
+// touched by its builder goroutine, so the eio guard stays silent.
+func TestParallelBuildIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pts := workload.Clustered2(rng, 2000, 8)
+	for trial := 0; trial < 3; trial++ {
+		e := NewPlanar(pts, Options{Shards: 8, Workers: 8, BlockSize: 32, Seed: int64(trial)})
+		st := e.Stats()
+		if st.SpaceBlocks == 0 {
+			t.Fatal("parallel build allocated no blocks")
+		}
+		e.Close()
+	}
+}

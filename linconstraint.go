@@ -21,14 +21,23 @@
 // All structures run against a simulated external-memory device
 // (internal/eio) with exact I/O accounting; Stats exposes the counters
 // so applications and benchmarks can observe the paper's bounds
-// directly. See DESIGN.md for the system inventory and EXPERIMENTS.md
-// for the reproduction of every table row and figure.
+// directly. See DESIGN.md for the system inventory and its §4
+// experiment index for the reproduction of every table row and figure.
+//
+// For serving concurrent traffic, Engine (internal/engine, DESIGN.md
+// §5) shards a point set across many single-owner devices, builds the
+// per-shard indexes in parallel, and answers batched queries through a
+// worker pool while preserving exact result sets and aggregate I/O
+// accounting.
 package linconstraint
 
 import (
+	"time"
+
 	"linconstraint/internal/chan3d"
 	"linconstraint/internal/dynamic"
 	"linconstraint/internal/eio"
+	"linconstraint/internal/engine"
 	"linconstraint/internal/geom"
 	"linconstraint/internal/halfspace2d"
 	"linconstraint/internal/hull3d"
@@ -177,11 +186,9 @@ func (s *KNNIndex) ResetStats() { s.dev.ResetCounters() }
 // --- d-dimensional partition trees (§5, §6) --------------------------------
 
 // Constraint is one linear constraint: x_d <= (or >=, when Below is
-// false) Coef[0]·x_1 + … + Coef[d-2]·x_{d-1} + Coef[d-1].
-type Constraint struct {
-	Coef  []float64
-	Below bool
-}
+// false) Coef[0]·x_1 + … + Coef[d-2]·x_{d-1} + Coef[d-1]. It is shared
+// with the sharded engine's conjunction queries.
+type Constraint = engine.Constraint
 
 // PartitionTree answers halfspace and convex-polytope (conjunction of
 // constraints) reporting queries in any fixed dimension with linear
@@ -285,3 +292,132 @@ func (d *DynamicPartitionTree) Len() int { return d.idx.Len() }
 
 // Stats returns the device's I/O counters.
 func (d *DynamicPartitionTree) Stats() Stats { return stats(d.dev) }
+
+// --- Sharded concurrent engine (DESIGN.md §5) -------------------------------
+
+// EngineConfig tunes a sharded engine. The zero value means one shard,
+// one worker, the default block size, no cache and no simulated disk
+// latency.
+type EngineConfig struct {
+	// Shards is the number of independent shards, each with its own
+	// simulated device and index (default 1).
+	Shards int
+	// Workers is the query worker pool size (default Shards).
+	Workers int
+	// BlockSize and CacheBlocks configure every shard's device, as in
+	// Config.
+	BlockSize   int
+	CacheBlocks int
+	// Seed drives per-shard randomization (shard s uses Seed+s).
+	Seed int64
+	// IOLatency, when positive, is slept by a shard's device on every
+	// cache miss, modeling disk access time; the worker pool then
+	// overlaps misses across shards (latency hiding).
+	IOLatency time.Duration
+}
+
+func (c EngineConfig) options() engine.Options {
+	return engine.Options{
+		Shards: c.Shards, Workers: c.Workers,
+		BlockSize: c.BlockSize, CacheBlocks: c.CacheBlocks,
+		Seed: c.Seed, IOLatency: c.IOLatency,
+	}
+}
+
+// Query is one element of an Engine batch; see the Op* constants.
+type Query = engine.Query
+
+// QueryResult is the answer to one batched query.
+type QueryResult = engine.Result
+
+// Op selects the query family of a batched Query.
+type Op = engine.Op
+
+// Batched query ops. An Engine answers the ops of the index family it
+// was built over; mismatches surface as QueryResult.Err.
+const (
+	OpHalfplane   = engine.OpHalfplane
+	OpHalfspace3  = engine.OpHalfspace3
+	OpHalfspaceD  = engine.OpHalfspaceD
+	OpConjunction = engine.OpConjunction
+	OpKNN         = engine.OpKNN
+)
+
+// EngineStats is an aggregated I/O snapshot across an engine's shards:
+// summed counters and space, plus the worst single shard (the
+// critical-path I/O a parallel disk farm would wait for).
+type EngineStats = engine.Stats
+
+// Engine is a sharded concurrent front-end over one of the paper's
+// indexes. It returns exactly the same result sets as the corresponding
+// unsharded index — global record indices, sorted — while building
+// shards in parallel and serving queries from a fixed worker pool.
+// Engines are safe for concurrent use; call Close when done.
+//
+// The scalar query methods (Halfplane, Halfspace3, Halfspace,
+// Conjunction, KNN) panic when called on an engine built over a
+// different index family; Batch reports the mismatch as
+// QueryResult.Err instead.
+type Engine struct {
+	eng *engine.Engine
+}
+
+// NewPlanarEngine shards the §3 planar structure.
+func NewPlanarEngine(points []Point2, cfg EngineConfig) *Engine {
+	return &Engine{eng: engine.NewPlanar(points, cfg.options())}
+}
+
+// NewEngine3D shards the §4 3D structure. The window must cover the
+// (a, b) coefficient range of future queries, as in NewIndex3D.
+func NewEngine3D(points []Point3, win Window, cfg EngineConfig) *Engine {
+	opt := cfg.options()
+	opt.Window = win.toHull()
+	return &Engine{eng: engine.New3D(points, opt)}
+}
+
+// NewKNNEngine shards the Theorem 4.3 k-nearest-neighbor structure.
+func NewKNNEngine(points []Point2, cfg EngineConfig) *Engine {
+	return &Engine{eng: engine.NewKNN(points, cfg.options())}
+}
+
+// NewPartitionEngine shards the §5 d-dimensional partition tree.
+func NewPartitionEngine(points []PointD, cfg EngineConfig) *Engine {
+	return &Engine{eng: engine.NewPartition(points, cfg.options())}
+}
+
+// Halfplane reports the indices of all points with y <= a·x + b, sorted.
+func (e *Engine) Halfplane(a, b float64) []int { return e.eng.Halfplane(a, b) }
+
+// Halfspace3 reports the indices of all points with z <= a·x + b·y + c.
+func (e *Engine) Halfspace3(a, b, c float64) []int { return e.eng.Halfspace3(a, b, c) }
+
+// Halfspace reports the indices of points with x_d <= coef·(x,1), sorted.
+func (e *Engine) Halfspace(coef []float64) []int { return e.eng.HalfspaceD(coef) }
+
+// Conjunction reports the points satisfying every constraint.
+func (e *Engine) Conjunction(cs []Constraint) []int { return e.eng.Conjunction(cs) }
+
+// KNN returns the k nearest indexed points to q, closest first.
+func (e *Engine) KNN(k int, q Point2) []Neighbor { return e.eng.KNN(k, q) }
+
+// Batch answers a batch of queries concurrently (scatter-gather across
+// shards through the worker pool) and returns the answers in order.
+func (e *Engine) Batch(qs []Query) []QueryResult { return e.eng.Batch(qs) }
+
+// Stats aggregates I/O counters and space across shards.
+func (e *Engine) Stats() EngineStats { return e.eng.Stats() }
+
+// ResetStats zeroes every shard's counters and drops their caches.
+func (e *Engine) ResetStats() { e.eng.ResetStats() }
+
+// Len returns the total number of indexed records.
+func (e *Engine) Len() int { return e.eng.Len() }
+
+// NumShards returns the shard count.
+func (e *Engine) NumShards() int { return e.eng.NumShards() }
+
+// NumWorkers returns the worker pool size.
+func (e *Engine) NumWorkers() int { return e.eng.NumWorkers() }
+
+// Close stops the worker pool; queries after Close panic.
+func (e *Engine) Close() { e.eng.Close() }

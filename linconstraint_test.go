@@ -212,3 +212,95 @@ func TestDynamicPartitionFacade(t *testing.T) {
 		t.Fatal("stats")
 	}
 }
+
+func TestEngineFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := make([]Point2, 2000)
+	for i := range pts {
+		pts[i] = Point2{X: rng.Float64(), Y: rng.Float64()}
+	}
+	ref := NewPlanarIndex(pts, Config{BlockSize: 32, Seed: 1})
+	e := NewPlanarEngine(pts, EngineConfig{Shards: 5, Workers: 3, BlockSize: 32, Seed: 1})
+	defer e.Close()
+	if e.Len() != 2000 || e.NumShards() != 5 || e.NumWorkers() != 3 {
+		t.Fatalf("shape: len=%d shards=%d workers=%d", e.Len(), e.NumShards(), e.NumWorkers())
+	}
+
+	// Scalar path: identical result sets, shard for shard merged.
+	for _, q := range []struct{ a, b float64 }{{0.5, 0.2}, {-1, 0.9}, {0, 0.01}} {
+		got, want := e.Halfplane(q.a, q.b), ref.Halfplane(q.a, q.b)
+		if len(got) != len(want) {
+			t.Fatalf("engine %d hits, unsharded %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("result sets differ at %d: %d vs %d", i, got[i], want[i])
+			}
+		}
+	}
+
+	// Batched path answers in order and routes op mismatches to Err.
+	res := e.Batch([]Query{
+		{Op: OpHalfplane, A: 0.5, B: 0.2},
+		{Op: OpKNN, K: 4, Pt: Point2{X: 0.5, Y: 0.5}},
+	})
+	if res[0].Err != nil || len(res[0].IDs) == 0 {
+		t.Fatalf("batched halfplane failed: %+v", res[0].Err)
+	}
+	if res[1].Err == nil {
+		t.Fatal("kNN op on a planar engine must error")
+	}
+
+	// Aggregated stats: totals populated, worst shard bounded by total.
+	e.ResetStats()
+	e.Halfplane(0.5, 0.2)
+	st := e.Stats()
+	if st.Total.IOs() == 0 || st.SpaceBlocks == 0 || len(st.PerShard) != 5 {
+		t.Fatalf("engine stats not aggregated: %+v", st)
+	}
+	if st.MaxShardIOs > st.Total.IOs() {
+		t.Fatalf("worst shard %d exceeds total %d", st.MaxShardIOs, st.Total.IOs())
+	}
+}
+
+func TestEngineConjunctionAndKNNFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ptsD := make([]PointD, 900)
+	for i := range ptsD {
+		ptsD[i] = PointD{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	ref := NewPartitionTree(ptsD, Config{BlockSize: 32})
+	e := NewPartitionEngine(ptsD, EngineConfig{Shards: 4, BlockSize: 32})
+	defer e.Close()
+	cs := []Constraint{
+		{Coef: []float64{0.2, 0.1, 0.7}, Below: true},
+		{Coef: []float64{-0.3, 0.2, 0.1}, Below: false},
+	}
+	got, want := e.Conjunction(cs), ref.Conjunction(cs)
+	if len(got) != len(want) {
+		t.Fatalf("conjunction: engine %d hits, tree %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("conjunction differs at %d", i)
+		}
+	}
+
+	pts2 := make([]Point2, 700)
+	for i := range pts2 {
+		pts2[i] = Point2{X: rng.Float64(), Y: rng.Float64()}
+	}
+	kref := NewKNNIndex(pts2, Config{BlockSize: 32, Seed: 1})
+	ke := NewKNNEngine(pts2, EngineConfig{Shards: 3, BlockSize: 32, Seed: 1})
+	defer ke.Close()
+	q := Point2{X: 0.4, Y: 0.6}
+	gn, wn := ke.KNN(9, q), kref.Query(9, q)
+	if len(gn) != len(wn) {
+		t.Fatalf("kNN: engine %d results, unsharded %d", len(gn), len(wn))
+	}
+	for i := range gn {
+		if gn[i] != wn[i] {
+			t.Fatalf("kNN differs at %d: %+v vs %+v", i, gn[i], wn[i])
+		}
+	}
+}
