@@ -1,19 +1,27 @@
 // Command lcserve is a load generator for the sharded concurrent query
 // engine (DESIGN.md §5). It builds an engine over synthetic data,
-// profiles per-query I/O cost sequentially, then drives batched query
-// traffic through the worker pool and reports throughput plus I/O
-// histograms: the distribution of per-query block transfers and the
-// balance of I/O across shards (summed vs worst-shard cost).
+// profiles per-query I/O cost sequentially, then drives batched traffic
+// through the worker pool and reports throughput plus I/O histograms:
+// the distribution of per-query block transfers and the balance of I/O
+// across shards (summed vs worst-shard cost).
+//
+// The dynamic kinds (dynplanar, dynpartition) build by streaming
+// OpInsert batches through the mutable engine and accept a read/write
+// mix: -mix F makes fraction F of the load-phase ops updates (half
+// inserts, half deletes of live records), the rest queries.
 //
 // Usage:
 //
-//	lcserve [-kind planar|3d|knn|partition] [-n N] [-shards S]
-//	        [-workers W] [-batch B] [-queries Q] [-sel F] [-k K]
-//	        [-dim D] [-block B] [-cache M] [-lat DUR] [-seed N]
+//	lcserve [-kind planar|3d|knn|partition|dynplanar|dynpartition]
+//	        [-n N] [-shards S] [-workers W] [-batch B] [-queries Q]
+//	        [-sel F] [-mix F] [-k K] [-dim D] [-block B] [-cache M]
+//	        [-lat DUR] [-seed N]
 //
-// Example — 8 shards, 8 workers, a 100µs simulated disk:
+// Examples — 8 shards, 8 workers, a 100µs simulated disk; then a
+// mutable engine under a 30% write mix:
 //
 //	lcserve -kind planar -n 200000 -shards 8 -workers 8 -lat 100us
+//	lcserve -kind dynplanar -n 50000 -shards 8 -mix 0.3
 package main
 
 import (
@@ -32,15 +40,16 @@ import (
 
 func main() {
 	var (
-		kind    = flag.String("kind", "planar", "index family: planar, 3d, knn, partition")
+		kind    = flag.String("kind", "planar", "index family: planar, 3d, knn, partition, dynplanar, dynpartition")
 		n       = flag.Int("n", 100000, "number of records")
 		shards  = flag.Int("shards", 8, "shard count")
 		workers = flag.Int("workers", 8, "query worker pool size")
-		batch   = flag.Int("batch", 32, "queries per batch")
-		queries = flag.Int("queries", 1024, "total queries in the load phase")
+		batch   = flag.Int("batch", 32, "ops per batch")
+		queries = flag.Int("queries", 1024, "total ops in the load phase")
 		sel     = flag.Float64("sel", 0.05, "target query selectivity")
+		mix     = flag.Float64("mix", 0, "fraction of load-phase ops that are updates (dynamic kinds)")
 		k       = flag.Int("k", 16, "k for -kind knn")
-		dim     = flag.Int("dim", 3, "dimension for -kind partition")
+		dim     = flag.Int("dim", 3, "dimension for -kind partition/dynpartition")
 		block   = flag.Int("block", 128, "records per disk block")
 		cache   = flag.Int("cache", 0, "LRU cache blocks per shard")
 		lat     = flag.Duration("lat", 0, "simulated disk latency per block miss")
@@ -48,6 +57,11 @@ func main() {
 		profile = flag.Int("profile", 128, "sequential queries for the per-query I/O histogram")
 	)
 	flag.Parse()
+
+	if *mix > 0 && *kind != "dynplanar" && *kind != "dynpartition" {
+		fmt.Fprintf(os.Stderr, "-mix requires a dynamic kind (dynplanar, dynpartition)\n")
+		os.Exit(2)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	cfg := linconstraint.EngineConfig{
@@ -57,10 +71,28 @@ func main() {
 	}
 
 	var (
-		eng  *linconstraint.Engine
-		gen  func() linconstraint.Query
-		what string
+		eng    *linconstraint.Engine
+		gen    func() linconstraint.Query
+		genUpd func() linconstraint.Query // nil for the static kinds
+		what   string
 	)
+	// feed streams records into a mutable engine as OpInsert batches.
+	feed := func(recs []linconstraint.Record) {
+		for done := 0; done < len(recs); {
+			end := mini(done+*batch, len(recs))
+			qs := make([]linconstraint.Query, 0, end-done)
+			for _, r := range recs[done:end] {
+				qs = append(qs, linconstraint.Query{Op: linconstraint.OpInsert, Rec: r})
+			}
+			for _, r := range eng.Batch(qs) {
+				if r.Err != nil {
+					fmt.Fprintln(os.Stderr, r.Err)
+					os.Exit(1)
+				}
+			}
+			done = end
+		}
+	}
 	start := time.Now()
 	switch *kind {
 	case "planar":
@@ -96,6 +128,42 @@ func main() {
 			return linconstraint.Query{Op: linconstraint.OpHalfspaceD, Coef: h.H.Coef}
 		}
 		what = fmt.Sprintf("%dD halfspace reports", *dim)
+	case "dynplanar":
+		pts := workload.Uniform2(rng, *n)
+		eng = linconstraint.NewDynamicPlanarEngine(cfg)
+		recs := make([]linconstraint.Record, len(pts))
+		for i, p := range pts {
+			recs[i] = linconstraint.Rec2(p)
+		}
+		feed(recs)
+		gen = func() linconstraint.Query {
+			h := workload.HalfplaneWithSelectivity(rng, pts, *sel)
+			return linconstraint.Query{Op: linconstraint.OpHalfplane, A: h.A, B: h.B}
+		}
+		genUpd = updGen(rng, recs, func() linconstraint.Record {
+			return linconstraint.Rec2(geom.Point2{X: rng.Float64(), Y: rng.Float64()})
+		})
+		what = "live halfplane reports"
+	case "dynpartition":
+		pts := workload.CubeD(rng, *n, *dim)
+		eng = linconstraint.NewDynamicPartitionEngine(cfg)
+		recs := make([]linconstraint.Record, len(pts))
+		for i, p := range pts {
+			recs[i] = linconstraint.RecD(p)
+		}
+		feed(recs)
+		gen = func() linconstraint.Query {
+			h := workload.HalfspaceWithSelectivityD(rng, pts, *sel)
+			return linconstraint.Query{Op: linconstraint.OpHalfspaceD, Coef: h.H.Coef}
+		}
+		genUpd = updGen(rng, recs, func() linconstraint.Record {
+			p := make(geom.PointD, *dim)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			return linconstraint.RecD(p)
+		})
+		what = fmt.Sprintf("live %dD halfspace reports", *dim)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -kind %q\n", *kind)
 		os.Exit(2)
@@ -119,25 +187,41 @@ func main() {
 		}
 		s := eng.Stats()
 		perQuery = append(perQuery, s.Total.IOs())
-		hits += int64(len(r.IDs) + len(r.Neighbors))
+		hits += int64(len(r.IDs) + len(r.Recs) + len(r.Neighbors))
 	}
 	fmt.Printf("\nper-query I/O histogram (%d sequential %s, mean output %d records):\n",
 		*profile, what, hits/int64(maxi(1, *profile)))
 	printHistogram(perQuery, "I/Os")
 
-	// Phase 2: batched load through the worker pool.
+	// Phase 2: batched load through the worker pool, with an optional
+	// read/write mix on the mutable kinds.
 	qs := make([]linconstraint.Query, *queries)
+	nq, nins, ndel := 0, 0, 0
 	for i := range qs {
-		qs[i] = gen()
+		if genUpd != nil && rng.Float64() < *mix {
+			qs[i] = genUpd()
+			if qs[i].Op == linconstraint.OpInsert {
+				nins++
+			} else {
+				ndel++
+			}
+		} else {
+			qs[i] = gen()
+			nq++
+		}
 	}
 	eng.ResetStats()
 	start = time.Now()
 	done := 0
 	for done < len(qs) {
 		end := mini(done+*batch, len(qs))
-		for _, r := range eng.Batch(qs[done:end]) {
+		for i, r := range eng.Batch(qs[done:end]) {
 			if r.Err != nil {
 				fmt.Fprintln(os.Stderr, r.Err)
+				os.Exit(1)
+			}
+			if qs[done+i].Op == linconstraint.OpDelete && !r.Deleted {
+				fmt.Fprintln(os.Stderr, "delete of a live record missed")
 				os.Exit(1)
 			}
 		}
@@ -145,9 +229,12 @@ func main() {
 	}
 	el := time.Since(start)
 	st = eng.Stats()
-	fmt.Printf("\nload phase: %d queries in batches of %d: %v (%.0f queries/sec)\n",
-		len(qs), *batch, el.Round(time.Millisecond), float64(len(qs))/el.Seconds())
-	fmt.Printf("aggregate I/O: %d total (%d reads, %d writes, %d cache hits), %.1f I/Os/query\n",
+	fmt.Printf("\nload phase: %d ops (%d queries, %d inserts, %d deletes) in batches of %d: %v (%.0f ops/sec)\n",
+		len(qs), nq, nins, ndel, *batch, el.Round(time.Millisecond), float64(len(qs))/el.Seconds())
+	if genUpd != nil {
+		fmt.Printf("live records after load: %d\n", eng.Len())
+	}
+	fmt.Printf("aggregate I/O: %d total (%d reads, %d writes, %d cache hits), %.1f I/Os/op\n",
 		st.Total.IOs(), st.Total.Reads, st.Total.Writes, st.Total.Hits,
 		float64(st.Total.IOs())/float64(len(qs)))
 	fmt.Printf("worst shard: #%d with %d I/Os (%.1fx the fair share)\n",
@@ -160,6 +247,26 @@ func main() {
 	}
 	fmt.Println("\nper-shard I/O histogram (load phase):")
 	printHistogram(shardIOs, "I/Os")
+}
+
+// updGen returns an update generator over a live book of records
+// seeded with the prepopulated set: half inserts (fresh records from
+// newRec), half deletes of a random live record (swap-remove), so
+// every generated delete targets a record that is live when it
+// applies.
+func updGen(rng *rand.Rand, book []linconstraint.Record, newRec func() linconstraint.Record) func() linconstraint.Query {
+	return func() linconstraint.Query {
+		if rng.Intn(2) == 0 || len(book) == 0 {
+			r := newRec()
+			book = append(book, r)
+			return linconstraint.Query{Op: linconstraint.OpInsert, Rec: r}
+		}
+		i := rng.Intn(len(book))
+		r := book[i]
+		book[i] = book[len(book)-1]
+		book = book[:len(book)-1]
+		return linconstraint.Query{Op: linconstraint.OpDelete, Rec: r}
+	}
 }
 
 // printHistogram prints power-of-two buckets with text bars; zero

@@ -1,37 +1,46 @@
 // Package engine is the production front-end over the paper's indexes:
-// a sharded concurrent query engine. It splits a point set round-robin
-// across S shards, each owning a private eio.Device and one index
-// (halfspace2d §3, chan3d §4, or a §5 partition tree), builds the
-// shards in parallel, and serves queries through a fixed pool of worker
-// goroutines with a batched scatter-gather API.
+// a sharded concurrent query engine. It splits records across S shards,
+// each owning a private eio.Device and one index.Index (any family —
+// planar §3, 3D §4, k-NN, §5 partition tree, or the two mutable
+// logarithmic-method dynamizations), builds the shards in parallel, and
+// serves queries through a fixed pool of worker goroutines with a
+// batched scatter-gather API. Capability is discovered by probing the
+// interface, never by a family enum: an op a shard's index does not
+// serve surfaces as an error wrapping index.ErrUnsupported, and update
+// support is the index.Mutable assertion.
 //
 // Validity is preserved exactly: every index reports the precise set of
-// records satisfying a query, so the union of per-shard answers, mapped
-// from local to global record indices, is byte-identical to the answer
-// of one unsharded index over the same points (the property tests and
-// bench_test.go verify this). Cost accounting is preserved too: each
-// shard's Device counts its own I/Os, and Stats aggregates them so both
-// the summed I/O (total work, paper's bound × S in the worst case) and
-// the worst single shard (critical-path I/O, what a parallel disk farm
-// would wait for) remain observable.
+// records satisfying a query, so the union of per-shard answers —
+// global record indices for the static families, canonically ordered
+// records for the mutable ones — is byte-identical to the answer of one
+// unsharded index over the same records, after any interleaving of
+// updates and queries (the property tests verify this). Cost accounting
+// is preserved too: each shard's Device counts its own I/Os, including
+// all rebuild (compaction) work of the mutable families, and Stats
+// aggregates them so both the summed I/O (total work, paper's bound × S
+// in the worst case) and the worst single shard (critical-path I/O,
+// what a parallel disk farm would wait for) remain observable.
 //
 // Concurrency model: a Device is single-owner (see the eio ownership
 // invariant), so each shard carries a mutex and every worker locks the
-// shard before touching its device or index. Different shards proceed
-// in parallel; one shard's queries serialize, exactly like requests
-// queued at one disk. See DESIGN.md §5.
+// shard before touching its index. Different shards proceed in
+// parallel; one shard's operations serialize, exactly like requests
+// queued at one disk. Updates route through the same locks: an insert
+// goes to the currently-smallest shard, a delete probes the shards in
+// order until one holds the record. See DESIGN.md §5.
 package engine
 
 import (
+	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"linconstraint/internal/chan3d"
 	"linconstraint/internal/eio"
 	"linconstraint/internal/geom"
-	"linconstraint/internal/halfspace2d"
 	"linconstraint/internal/hull3d"
-	"linconstraint/internal/partition"
+	"linconstraint/internal/index"
 )
 
 // Options configure an engine.
@@ -71,53 +80,38 @@ func (o Options) normalized() Options {
 	return o
 }
 
-// kind is the index family an engine routes to.
-type kind int
+// ErrImmutable is returned by Insert/Delete on an engine whose index
+// family does not implement index.Mutable.
+var ErrImmutable = errors.New("engine: index family does not support updates")
 
-const (
-	kindPlanar kind = iota
-	kind3D
-	kindKNN
-	kindPartition
-)
-
-func (k kind) String() string {
-	switch k {
-	case kindPlanar:
-		return "planar"
-	case kind3D:
-		return "3d"
-	case kindKNN:
-		return "knn"
-	case kindPartition:
-		return "partition"
-	}
-	return "unknown"
-}
-
-// shard is one slice of the data: a private device plus the index over
-// the shard's points. mu serializes all device and index access; it is
-// the only synchronization a shard needs because no structure here
-// mutates after construction except the device's LRU and counters.
+// shard is one slice of the data: one index.Index (which owns its
+// private device). mu serializes all access; it is the only
+// synchronization a shard needs and it upholds the eio single-owner
+// invariant (one request in service per "disk").
 type shard struct {
-	mu sync.Mutex
-	n  int // local point count
-	// Exactly one of the following is non-nil (none when n == 0).
-	planar *halfspace2d.PointIndex
-	cube   *chan3d.PointIndex3
-	knn    *chan3d.KNN
-	tree   *partition.Tree
-
-	dev *eio.Device
+	mu  sync.Mutex
+	idx index.Index
 }
 
 // Engine is a sharded concurrent front-end over one index family.
 // Engines are safe for concurrent use; Close releases the worker pool.
 type Engine struct {
-	kind    kind
-	n       int
 	shards  []*shard
 	workers int
+	// counts mirrors each shard's live record count so insert routing
+	// (smallest shard first) and Len need no shard locks. Updated under
+	// the owning shard's mutex; reads are racy by design — a stale
+	// count only skews balance, never correctness.
+	counts []atomic.Int64
+	// mutable records whether the shards implement index.Mutable
+	// (probed once at build; all shards share one family).
+	mutable bool
+	// dim pins the PD dimension across the whole engine on the first
+	// successful insert (0 = none yet). Each shard pins its own
+	// dimension too, but shards see disjoint insert streams, so without
+	// this engine-level pin two shards could accept records of
+	// different dimensions — which one unsharded index would reject.
+	dim atomic.Int64
 
 	tasks     chan func()
 	workersWG sync.WaitGroup
@@ -149,12 +143,11 @@ func global(local, shardIdx, s int) int { return local*s + shardIdx }
 // newEngine builds the scaffold and runs build(si, dev) once per shard,
 // in parallel: each builder goroutine is the sole owner of its shard's
 // device during construction, so the eio guard stays quiet.
-func newEngine(k kind, n int, opt Options, build func(si int, dev *eio.Device, sh *shard)) *Engine {
+func newEngine(opt Options, build func(si int, dev *eio.Device) index.Index) *Engine {
 	opt = opt.normalized()
 	e := &Engine{
-		kind:    k,
-		n:       n,
 		shards:  make([]*shard, opt.Shards),
+		counts:  make([]atomic.Int64, opt.Shards),
 		workers: opt.Workers,
 		tasks:   make(chan func(), opt.Workers*4),
 	}
@@ -165,12 +158,13 @@ func newEngine(k kind, n int, opt Options, build func(si int, dev *eio.Device, s
 			defer wg.Done()
 			dev := eio.NewDevice(opt.BlockSize, opt.CacheBlocks)
 			dev.SetMissLatency(opt.IOLatency)
-			sh := &shard{dev: dev}
-			build(si, dev, sh)
+			sh := &shard{idx: build(si, dev)}
 			e.shards[si] = sh
+			e.counts[si].Store(int64(sh.idx.Len()))
 		}()
 	}
 	wg.Wait()
+	_, e.mutable = e.shards[0].idx.(index.Mutable)
 	for i := 0; i < e.workers; i++ {
 		e.workersWG.Add(1)
 		go func() {
@@ -187,12 +181,8 @@ func newEngine(k kind, n int, opt Options, build func(si int, dev *eio.Device, s
 func NewPlanar(points []geom.Point2, opt Options) *Engine {
 	opt = opt.normalized()
 	parts := split(points, opt.Shards)
-	return newEngine(kindPlanar, len(points), opt, func(si int, dev *eio.Device, sh *shard) {
-		sh.n = len(parts[si])
-		if sh.n == 0 {
-			return
-		}
-		sh.planar = halfspace2d.NewPoints(dev, parts[si], halfspace2d.Options{Seed: opt.Seed + int64(si)})
+	return newEngine(opt, func(si int, dev *eio.Device) index.Index {
+		return index.NewPlanar(dev, parts[si], opt.Seed+int64(si))
 	})
 }
 
@@ -201,14 +191,8 @@ func NewPlanar(points []geom.Point2, opt Options) *Engine {
 func New3D(points []geom.Point3, opt Options) *Engine {
 	opt = opt.normalized()
 	parts := split(points, opt.Shards)
-	return newEngine(kind3D, len(points), opt, func(si int, dev *eio.Device, sh *shard) {
-		sh.n = len(parts[si])
-		if sh.n == 0 {
-			return
-		}
-		sh.cube = chan3d.NewPoints3(dev, parts[si], chan3d.Options{
-			Window: opt.Window, Seed: opt.Seed + int64(si),
-		})
+	return newEngine(opt, func(si int, dev *eio.Device) index.Index {
+		return index.NewSpatial3(dev, parts[si], opt.Window, opt.Seed+int64(si))
 	})
 }
 
@@ -216,12 +200,8 @@ func New3D(points []geom.Point3, opt Options) *Engine {
 func NewKNN(points []geom.Point2, opt Options) *Engine {
 	opt = opt.normalized()
 	parts := split(points, opt.Shards)
-	return newEngine(kindKNN, len(points), opt, func(si int, dev *eio.Device, sh *shard) {
-		sh.n = len(parts[si])
-		if sh.n == 0 {
-			return
-		}
-		sh.knn = chan3d.NewKNN(dev, parts[si], chan3d.Options{Seed: opt.Seed + int64(si)})
+	return newEngine(opt, func(si int, dev *eio.Device) index.Index {
+		return index.NewKNN(dev, parts[si], opt.Seed+int64(si))
 	})
 }
 
@@ -229,17 +209,119 @@ func NewKNN(points []geom.Point2, opt Options) *Engine {
 func NewPartition(points []geom.PointD, opt Options) *Engine {
 	opt = opt.normalized()
 	parts := split(points, opt.Shards)
-	return newEngine(kindPartition, len(points), opt, func(si int, dev *eio.Device, sh *shard) {
-		sh.n = len(parts[si])
-		if sh.n == 0 {
-			return
-		}
-		sh.tree = partition.New(dev, parts[si], partition.Options{})
+	return newEngine(opt, func(si int, dev *eio.Device) index.Index {
+		return index.NewPartition(dev, parts[si])
 	})
 }
 
-// Len returns the total number of indexed records.
-func (e *Engine) Len() int { return e.n }
+// NewDynamicPlanar builds an empty mutable engine over the dynamized
+// §3 planar structure: Insert/Delete route through the shards, queries
+// report records in canonical order.
+func NewDynamicPlanar(opt Options) *Engine {
+	opt = opt.normalized()
+	return newEngine(opt, func(si int, dev *eio.Device) index.Index {
+		return index.NewDynamicPlanar(dev, opt.Seed+int64(si))
+	})
+}
+
+// NewDynamicPartition builds an empty mutable engine over the
+// dynamized §5 partition tree.
+func NewDynamicPartition(opt Options) *Engine {
+	opt = opt.normalized()
+	return newEngine(opt, func(si int, dev *eio.Device) index.Index {
+		return index.NewDynamicPartition(dev)
+	})
+}
+
+// Mutable reports whether the engine's index family supports
+// Insert/Delete.
+func (e *Engine) Mutable() bool { return e.mutable }
+
+// Insert adds a record, routing it to the currently-smallest shard (by
+// live record count) so shards stay balanced under any insert stream.
+// It returns ErrImmutable when the engine's family is static, and the
+// index's validation error for a record of the wrong shape.
+func (e *Engine) Insert(r index.Record) error {
+	if !e.mutable {
+		return ErrImmutable
+	}
+	// Pin the PD dimension before inserting so two concurrent first
+	// inserts of different dimensions cannot both land (on different
+	// shards); a failed shard insert releases a pin it took, so a
+	// rejected record — e.g. a PD record offered to the planar family —
+	// never leaves a stale pin behind.
+	pinned := false
+	if r.PD != nil {
+		if len(r.PD) == 0 {
+			// Rejected before pinning: a zero dimension would make the
+			// CAS below a no-op "success" whose failure rollback could
+			// erase a concurrently-taken valid pin.
+			return fmt.Errorf("engine: empty PD record")
+		}
+		d := int64(len(r.PD))
+		if e.dim.CompareAndSwap(0, d) {
+			pinned = true
+		} else if e.dim.Load() != d {
+			return fmt.Errorf("engine: index is %d-dimensional, got a %d-dimensional record", e.dim.Load(), d)
+		}
+	}
+	si := 0
+	for i := 1; i < len(e.counts); i++ {
+		if e.counts[i].Load() < e.counts[si].Load() {
+			si = i
+		}
+	}
+	sh := e.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.idx.(index.Mutable).Insert(r); err != nil {
+		if pinned {
+			e.dim.Store(0)
+		}
+		return err
+	}
+	e.counts[si].Add(1)
+	return nil
+}
+
+// Delete removes one record equal to r, reporting whether one was
+// present. A record may live in any shard (inserts route by load, not
+// by value), so Delete probes the shards in order, locking one at a
+// time, and stops at the first shard that held a copy — exactly one
+// copy is removed even when several shards hold equal records. It
+// returns ErrImmutable when the engine's family is static, and the
+// index's validation error for a record of the wrong shape.
+func (e *Engine) Delete(r index.Record) (bool, error) {
+	if !e.mutable {
+		return false, ErrImmutable
+	}
+	for si, sh := range e.shards {
+		sh.mu.Lock()
+		ok, err := sh.idx.(index.Mutable).Delete(r)
+		if ok {
+			e.counts[si].Add(-1)
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			// All shards share one family: a shape error from one would
+			// come from every other too.
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Len returns the total number of live records across shards.
+func (e *Engine) Len() int {
+	var n int64
+	for i := range e.counts {
+		n += e.counts[i].Load()
+	}
+	return int(n)
+}
 
 // NumShards returns S.
 func (e *Engine) NumShards() int { return len(e.shards) }

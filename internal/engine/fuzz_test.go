@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"linconstraint/internal/chan3d"
+)
+
+// FuzzMergeSorted: for any multiset of ids dealt into any number of
+// sorted per-shard lists — round-robin or contiguous chunks — the
+// k-way merge must equal the sorted concatenation.
+func FuzzMergeSorted(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6}, uint8(3))
+	f.Add([]byte{0, 0, 0, 255, 255}, uint8(8))
+	f.Add([]byte{7}, uint8(200))
+	f.Fuzz(func(t *testing.T, data []byte, shards uint8) {
+		s := 1 + int(shards)%8
+		all := make([]int, len(data))
+		for i, b := range data {
+			all[i] = int(b)
+		}
+		sort.Ints(all)
+
+		// Scheme 1: round-robin deal of the sorted ids (what the engine
+		// produces: each shard's list is sorted).
+		rr := make([]partial, s)
+		for i, v := range all {
+			rr[i%s].ids = append(rr[i%s].ids, v)
+		}
+		if got := mergeSorted(rr); !reflect.DeepEqual(got, append(make([]int, 0, len(all)), all...)) {
+			t.Fatalf("round-robin: got %v, want %v", got, all)
+		}
+
+		// Scheme 2: contiguous chunks, including empty shards.
+		ch := make([]partial, s)
+		for i := 0; i < s; i++ {
+			lo, hi := i*len(all)/s, (i+1)*len(all)/s
+			ch[i].ids = all[lo:hi]
+		}
+		if got := mergeSorted(ch); !reflect.DeepEqual(got, append(make([]int, 0, len(all)), all...)) {
+			t.Fatalf("chunks: got %v, want %v", got, all)
+		}
+	})
+}
+
+// FuzzMergeNeighbors: dealing any neighbor multiset across shards and
+// merging the per-shard (distance, id)-sorted lists must produce the
+// global k nearest in (distance, id) order — including duplicate
+// distances straddling the k cutoff.
+func FuzzMergeNeighbors(f *testing.F) {
+	f.Add([]byte{}, uint8(1), uint8(1))
+	f.Add([]byte{5, 1, 1, 3, 200, 7, 7, 7}, uint8(3), uint8(4))
+	f.Add([]byte{0, 0, 0, 0}, uint8(2), uint8(2))
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1}, uint8(5), uint8(40))
+	f.Fuzz(func(t *testing.T, data []byte, shards, kk uint8) {
+		s := 1 + int(shards)%8
+		k := 1 + int(kk)%32
+		all := make([]chan3d.Neighbor, len(data))
+		for i, b := range data {
+			// Coarse distances force ties; the id is the tiebreak.
+			all[i] = chan3d.Neighbor{ID: i, Dist2: float64(b % 16)}
+		}
+		byDistID := func(ns []chan3d.Neighbor) func(i, j int) bool {
+			return func(i, j int) bool {
+				if ns[i].Dist2 != ns[j].Dist2 {
+					return ns[i].Dist2 < ns[j].Dist2
+				}
+				return ns[i].ID < ns[j].ID
+			}
+		}
+		parts := make([]partial, s)
+		for _, n := range all {
+			parts[n.ID%s].nbs = append(parts[n.ID%s].nbs, n)
+		}
+		for i := range parts {
+			sort.Slice(parts[i].nbs, byDistID(parts[i].nbs))
+		}
+		want := append([]chan3d.Neighbor(nil), all...)
+		sort.Slice(want, byDistID(want))
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := mergeNeighbors(parts, k)
+		if len(got) != len(want) {
+			t.Fatalf("got %d neighbors, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("neighbor %d: %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	})
+}

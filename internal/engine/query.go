@@ -6,130 +6,128 @@ import (
 
 	"linconstraint/internal/chan3d"
 	"linconstraint/internal/geom"
+	"linconstraint/internal/index"
 )
 
-// Op selects a query family. Each engine kind answers the ops of its
-// underlying index; Batch reports a per-query error on a mismatch.
-type Op int
+// The engine's operation surface is defined by internal/index; the
+// aliases keep one vocabulary across the layers.
+type (
+	// Op selects a query or update family; see the index package.
+	Op = index.Op
+	// Query is one element of a batch.
+	Query = index.Query
+	// Constraint is one linear constraint of a conjunction query.
+	Constraint = index.Constraint
+	// Record is one record of a mutable engine.
+	Record = index.Record
+)
 
+// Re-exported ops. An engine answers whatever ops its index family
+// serves; Batch reports a per-query error on a mismatch.
 const (
-	// OpHalfplane reports points with y <= A·x + B (planar engines).
-	OpHalfplane Op = iota
-	// OpHalfspace3 reports points with z <= A·x + B·y + C (3D engines).
-	OpHalfspace3
-	// OpHalfspaceD reports points with x_d <= Coef·(x,1) (partition engines).
-	OpHalfspaceD
-	// OpConjunction reports points satisfying every Constraint
-	// (partition engines; simplex / convex-polytope queries).
-	OpConjunction
-	// OpKNN reports the K nearest neighbors of Pt (k-NN engines).
-	OpKNN
+	OpHalfplane   = index.OpHalfplane
+	OpHalfspace3  = index.OpHalfspace3
+	OpHalfspaceD  = index.OpHalfspaceD
+	OpConjunction = index.OpConjunction
+	OpKNN         = index.OpKNN
+	OpInsert      = index.OpInsert
+	OpDelete      = index.OpDelete
 )
 
-// Constraint is one linear constraint of a conjunction query:
-// x_d <= (or >=, when Below is false) Coef[0]·x_1 + … + Coef[d-1].
-type Constraint struct {
-	Coef  []float64
-	Below bool
-}
-
-// Query is one element of a batch. Only the fields of its Op are read.
-type Query struct {
-	Op          Op
-	A, B, C     float64      // OpHalfplane (A, B); OpHalfspace3 (A, B, C)
-	Coef        []float64    // OpHalfspaceD
-	Constraints []Constraint // OpConjunction
-	K           int          // OpKNN
-	Pt          geom.Point2  // OpKNN
-}
-
-// Result is the answer to one batch query. Reporting ops fill IDs with
-// sorted global record indices; OpKNN fills Neighbors (global IDs,
-// closest first). Err is non-nil when the op does not match the
-// engine's kind, and the other fields are empty.
+// Result is the answer to one batch op. Static reporting ops fill IDs
+// with sorted global record indices; mutable-engine reporting ops fill
+// Recs with the matching records in canonical order; OpKNN fills
+// Neighbors (global IDs, closest first); OpDelete sets Deleted when a
+// record was removed. Err is non-nil when the op is outside the
+// engine's capability, and the other fields are empty.
 type Result struct {
 	IDs       []int
+	Recs      []Record
 	Neighbors []chan3d.Neighbor
+	Deleted   bool
 	Err       error
-}
-
-// opsByKind lists which ops an engine kind serves.
-var opsByKind = map[kind][]Op{
-	kindPlanar:    {OpHalfplane},
-	kind3D:        {OpHalfspace3},
-	kindKNN:       {OpKNN},
-	kindPartition: {OpHalfspaceD, OpConjunction},
-}
-
-func (e *Engine) supports(op Op) bool {
-	for _, o := range opsByKind[e.kind] {
-		if o == op {
-			return true
-		}
-	}
-	return false
 }
 
 // partial is one shard's contribution to one query.
 type partial struct {
-	ids []int
-	nbs []chan3d.Neighbor
+	ids  []int
+	recs []Record
+	nbs  []chan3d.Neighbor
+	err  error
 }
 
 // runLocal answers q on shard si, translating local record indices to
-// global ones. It locks the shard: the engine's only mutable state at
-// query time is each device's LRU and counters, and the lock upholds
-// the eio single-owner invariant (one request in service per "disk").
+// global ones. It locks the shard: all index state (device LRU and
+// counters, and the mutable families' buckets) is behind the lock,
+// which also upholds the eio single-owner invariant (one request in
+// service per "disk").
 func (e *Engine) runLocal(si int, q Query) partial {
 	sh := e.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if sh.n == 0 {
-		return partial{}
-	}
-	s := len(e.shards)
-	var p partial
-	switch q.Op {
-	case OpHalfplane:
-		p.ids = sh.planar.Halfplane(q.A, q.B)
-	case OpHalfspace3:
-		p.ids = sh.cube.Halfspace(q.A, q.B, q.C)
-	case OpHalfspaceD:
-		p.ids = sh.tree.Halfspace(geom.HyperplaneD{Coef: q.Coef})
-	case OpConjunction:
-		var sx geom.Simplex
-		for _, c := range q.Constraints {
-			sx.Planes = append(sx.Planes, geom.HyperplaneD{Coef: c.Coef})
-			sx.Below = append(sx.Below, c.Below)
-		}
-		p.ids = sh.tree.Simplex(sx)
-	case OpKNN:
-		p.nbs = sh.knn.Query(q.K, q.Pt)
+	ans, err := sh.idx.Query(q)
+	if err != nil {
+		return partial{err: err}
 	}
 	// Local indices are sorted ascending (each index sorts its output),
-	// and local j ↦ global j·S+si is monotone, so p stays sorted.
-	for i := range p.ids {
-		p.ids[i] = global(p.ids[i], si, s)
+	// and local j ↦ global j·S+si is monotone, so the ids stay sorted.
+	s := len(e.shards)
+	for i := range ans.IDs {
+		ans.IDs[i] = global(ans.IDs[i], si, s)
 	}
-	for i := range p.nbs {
-		p.nbs[i].ID = global(p.nbs[i].ID, si, s)
+	for i := range ans.Neighbors {
+		ans.Neighbors[i].ID = global(ans.Neighbors[i].ID, si, s)
 	}
-	return p
+	return partial{ids: ans.IDs, recs: ans.Recs, nbs: ans.Neighbors}
 }
 
-// Batch answers queries through the worker pool: every (query, shard)
-// pair becomes one task, tasks run concurrently across shards (and
-// across the queries of the batch, which is where single-disk configs
-// still pipeline), and per-shard answers are merged in order. The
-// returned slice is parallel to qs. Batch is safe for concurrent use.
+// Batch executes ops in batch order: update ops (OpInsert, OpDelete)
+// apply at their position in the batch, and each maximal run of
+// consecutive query ops fans out concurrently — every (query, shard)
+// pair becomes one task for the worker pool, tasks run concurrently
+// across shards and across the queries of the run, and per-shard
+// answers are merged in order. A pure-query batch therefore pipelines
+// exactly as before updates existed, while a mixed batch sees each
+// query observe precisely the updates that precede it. The returned
+// slice is parallel to qs. Batch is safe for concurrent use (batches
+// running concurrently interleave at shard granularity).
 func (e *Engine) Batch(qs []Query) []Result {
-	s := len(e.shards)
 	results := make([]Result, len(qs))
+	for i := 0; i < len(qs); {
+		if op := qs[i].Op; op == OpInsert || op == OpDelete {
+			results[i] = e.applyUpdate(qs[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(qs) && qs[j].Op != OpInsert && qs[j].Op != OpDelete {
+			j++
+		}
+		e.runQueries(qs[i:j], results[i:j])
+		i = j
+	}
+	return results
+}
+
+func (e *Engine) applyUpdate(q Query) Result {
+	if q.Op == OpInsert {
+		return Result{Err: e.Insert(q.Rec)}
+	}
+	deleted, err := e.Delete(q.Rec)
+	return Result{Deleted: deleted, Err: err}
+}
+
+// runQueries scatter-gathers one run of query ops through the worker
+// pool; results is parallel to qs. Ops outside the family's capability
+// (probed on shard 0 — capability is constant per family, so no lock
+// is needed) error without fanning out to any shard.
+func (e *Engine) runQueries(qs []Query, results []Result) {
+	s := len(e.shards)
 	parts := make([][]partial, len(qs))
 	var wg sync.WaitGroup
 	for qi, q := range qs {
-		if !e.supports(q.Op) {
-			results[qi].Err = fmt.Errorf("engine: %v engine cannot answer op %d", e.kind, q.Op)
+		if !e.shards[0].idx.Supports(q.Op) {
+			results[qi].Err = fmt.Errorf("engine: index family: %w %v", index.ErrUnsupported, q.Op)
 			continue
 		}
 		parts[qi] = make([]partial, s)
@@ -143,34 +141,49 @@ func (e *Engine) Batch(qs []Query) []Result {
 	}
 	wg.Wait()
 	for qi := range qs {
-		if results[qi].Err != nil {
-			continue
-		}
-		if qs[qi].Op == OpKNN {
-			results[qi].Neighbors = mergeNeighbors(parts[qi], qs[qi].K)
-		} else {
-			results[qi].IDs = mergeSorted(parts[qi])
+		if results[qi].Err == nil {
+			results[qi] = e.merge(qs[qi], parts[qi])
 		}
 	}
-	return results
 }
 
-// mergeSorted k-way merges the shards' sorted global id lists. S is
-// small, so a linear scan over the S heads beats a heap.
-func mergeSorted(parts []partial) []int {
+// merge combines one query's per-shard answers. Any shard error (an
+// unsupported op — every shard runs the same family, so all agree)
+// becomes the query's error.
+func (e *Engine) merge(q Query, parts []partial) Result {
+	for _, p := range parts {
+		if p.err != nil {
+			return Result{Err: p.err}
+		}
+	}
+	if q.Op == OpKNN {
+		return Result{Neighbors: mergeNeighbors(parts, q.K)}
+	}
+	if e.mutable {
+		return Result{Recs: mergeRecs(parts)}
+	}
+	return Result{IDs: mergeSorted(parts)}
+}
+
+// mergeK k-way merges the shards' sorted lists, selected from each
+// partial by items and ordered by less. S is small, so a linear scan
+// over the S heads beats a heap.
+func mergeK[T any](parts []partial, items func(partial) []T, less func(a, b T) bool) []T {
 	total := 0
 	for _, p := range parts {
-		total += len(p.ids)
+		total += len(items(p))
 	}
-	out := make([]int, 0, total)
+	out := make([]T, 0, total)
 	heads := make([]int, len(parts))
 	for len(out) < total {
-		best, bestV := -1, 0
+		best := -1
+		var bestV T
 		for si, p := range parts {
-			if heads[si] >= len(p.ids) {
+			xs := items(p)
+			if heads[si] >= len(xs) {
 				continue
 			}
-			if v := p.ids[heads[si]]; best < 0 || v < bestV {
+			if v := xs[heads[si]]; best < 0 || less(v, bestV) {
 				best, bestV = si, v
 			}
 		}
@@ -178,6 +191,18 @@ func mergeSorted(parts []partial) []int {
 		heads[best]++
 	}
 	return out
+}
+
+// mergeSorted merges the shards' sorted global id lists.
+func mergeSorted(parts []partial) []int {
+	return mergeK(parts, func(p partial) []int { return p.ids }, func(a, b int) bool { return a < b })
+}
+
+// mergeRecs merges the shards' canonically ordered record lists; the
+// result is the canonical order of the union, so it is independent of
+// how records were dealt to shards.
+func mergeRecs(parts []partial) []Record {
+	return mergeK(parts, func(p partial) []Record { return p.recs }, Record.Less)
 }
 
 // mergeNeighbors merges the shards' distance-sorted candidate lists and
@@ -209,15 +234,38 @@ func mergeNeighbors(parts []partial, k int) []chan3d.Neighbor {
 	return out
 }
 
-// --- scalar conveniences (each is a one-query batch) ----------------------
+// --- scalar conveniences (each is a one-op batch) --------------------------
 //
-// Unlike Batch, which reports an op/kind mismatch as Result.Err, the
-// scalar helpers treat calling the wrong family on an engine as a
-// programming error and panic.
+// Unlike Batch, which reports an op/capability mismatch as Result.Err,
+// the scalar helpers treat calling the wrong family on an engine as a
+// programming error and panic. That includes the id-vs-record answer
+// shape: the static families answer with ids, the mutable ones with
+// records, and asking a family for the shape it does not produce would
+// otherwise return a plausible-looking empty answer.
+
+func (e *Engine) wantStatic(method, recsMethod string) {
+	if e.mutable {
+		panic("engine: " + method + " returns record ids, but a mutable engine answers with records; use " + recsMethod)
+	}
+}
+
+func (e *Engine) wantMutable(method, idsMethod string) {
+	if !e.mutable {
+		panic("engine: " + method + " returns records, but a static engine answers with record ids; use " + idsMethod)
+	}
+}
 
 // Halfplane reports the global indices of points with y <= a·x + b.
 func (e *Engine) Halfplane(a, b float64) []int {
+	e.wantStatic("Halfplane", "HalfplaneRecs")
 	return e.one(Query{Op: OpHalfplane, A: a, B: b}).IDs
+}
+
+// HalfplaneRecs reports the live records with y <= a·x + b of a
+// mutable planar engine, in canonical order.
+func (e *Engine) HalfplaneRecs(a, b float64) []Record {
+	e.wantMutable("HalfplaneRecs", "Halfplane")
+	return e.one(Query{Op: OpHalfplane, A: a, B: b}).Recs
 }
 
 // Halfspace3 reports the global indices of points with z <= a·x + b·y + c.
@@ -227,7 +275,15 @@ func (e *Engine) Halfspace3(a, b, c float64) []int {
 
 // HalfspaceD reports the global indices of points with x_d <= coef·(x,1).
 func (e *Engine) HalfspaceD(coef []float64) []int {
+	e.wantStatic("HalfspaceD", "HalfspaceDRecs")
 	return e.one(Query{Op: OpHalfspaceD, Coef: coef}).IDs
+}
+
+// HalfspaceDRecs reports the live records with x_d <= coef·(x,1) of a
+// mutable partition engine, in canonical order.
+func (e *Engine) HalfspaceDRecs(coef []float64) []Record {
+	e.wantMutable("HalfspaceDRecs", "HalfspaceD")
+	return e.one(Query{Op: OpHalfspaceD, Coef: coef}).Recs
 }
 
 // Conjunction reports the global indices of points satisfying every

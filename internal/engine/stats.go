@@ -1,12 +1,13 @@
 package engine
 
-import "linconstraint/internal/eio"
+import (
+	"linconstraint/internal/eio"
+	"linconstraint/internal/index"
+)
 
-// ShardStats is one shard's device snapshot.
-type ShardStats struct {
-	IO          eio.Stats
-	SpaceBlocks int64
-}
+// ShardStats is one shard's device snapshot, as reported by its
+// index.Index (construction, query, and rebuild work included).
+type ShardStats = index.Stats
 
 // Stats is an aggregated snapshot across all shards. Total sums the
 // counters (the paper's bounds apply per shard, so summed I/O is at
@@ -30,7 +31,8 @@ func (s Stats) Worst() ShardStats { return s.PerShard[s.WorstShard] }
 
 // Stats aggregates every shard's counters and space under the engine's
 // stats mutex (plus each shard's own lock), so the snapshot is
-// consistent even while queries are in flight on other goroutines.
+// consistent even while queries or updates are in flight on other
+// goroutines.
 func (e *Engine) Stats() Stats {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
@@ -41,15 +43,14 @@ func (e *Engine) Stats() Stats {
 	}
 	for si, sh := range e.shards {
 		sh.mu.Lock()
-		io := sh.dev.Stats()
-		sp := sh.dev.SpaceBlocks()
+		st := sh.idx.Stats()
 		sh.mu.Unlock()
-		out.PerShard[si] = ShardStats{IO: io, SpaceBlocks: sp}
-		out.Total.Reads += io.Reads
-		out.Total.Writes += io.Writes
-		out.Total.Hits += io.Hits
-		out.SpaceBlocks += sp
-		if ios := io.IOs(); ios > out.MaxShardIOs {
+		out.PerShard[si] = st
+		out.Total.Reads += st.IO.Reads
+		out.Total.Writes += st.IO.Writes
+		out.Total.Hits += st.IO.Hits
+		out.SpaceBlocks += st.SpaceBlocks
+		if ios := st.IO.IOs(); ios > out.MaxShardIOs {
 			out.MaxShardIOs = ios
 			out.WorstShard = si
 		}
@@ -63,7 +64,7 @@ func (e *Engine) ResetStats() {
 	defer e.statsMu.Unlock()
 	for _, sh := range e.shards {
 		sh.mu.Lock()
-		sh.dev.ResetCounters()
+		sh.idx.ResetStats()
 		sh.mu.Unlock()
 	}
 }

@@ -1,0 +1,176 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"linconstraint/internal/dynamic"
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+)
+
+// The dynamic adapters wrap the logarithmic-method structures
+// (internal/dynamic) and implement Mutable. Because the logarithmic
+// method moves items between buckets on every carry and compaction,
+// positional ids are unstable; answers are therefore the records
+// themselves, reported in canonical Record order so that any sharding
+// of the same multiset of records yields byte-identical answers.
+
+// DynamicPlanar adapts the dynamized §3 planar structure (the
+// engineering answer to §7 open problem 1).
+type DynamicPlanar struct {
+	dev *eio.Device
+	idx *dynamic.Halfplane2D
+}
+
+// NewDynamicPlanar returns an empty mutable planar index on dev.
+func NewDynamicPlanar(dev *eio.Device, seed int64) *DynamicPlanar {
+	return &DynamicPlanar{dev: dev, idx: dynamic.NewHalfplane2D(dev, seed)}
+}
+
+func (d *DynamicPlanar) check(r Record) error {
+	if r.PD != nil {
+		return fmt.Errorf("index: dynamic planar index takes P2 records, got a %d-dimensional PD", len(r.PD))
+	}
+	return nil
+}
+
+// Insert adds r.P2.
+func (d *DynamicPlanar) Insert(r Record) error {
+	if err := d.check(r); err != nil {
+		return err
+	}
+	d.idx.Insert(r.P2)
+	return nil
+}
+
+// Delete removes one copy of r.P2, reporting whether one was present.
+func (d *DynamicPlanar) Delete(r Record) (bool, error) {
+	if err := d.check(r); err != nil {
+		return false, err
+	}
+	return d.idx.Delete(r.P2), nil
+}
+
+// Halfplane returns the live points with y <= a·x + b in canonical
+// (X, Y) order.
+func (d *DynamicPlanar) Halfplane(a, b float64) []geom.Point2 {
+	pts := d.idx.Report(a, b)
+	sort.Slice(pts, func(i, j int) bool {
+		return Record{P2: pts[i]}.Less(Record{P2: pts[j]})
+	})
+	return pts
+}
+
+// Len returns the number of live points.
+func (d *DynamicPlanar) Len() int { return d.idx.Len() }
+
+// Stats snapshots the device counters, including rebuild work.
+func (d *DynamicPlanar) Stats() Stats { return devStats(d.dev) }
+
+// ResetStats zeroes the counters and drops the cache.
+func (d *DynamicPlanar) ResetStats() { d.dev.ResetCounters() }
+
+// Supports reports the ops the dynamic planar family serves.
+func (d *DynamicPlanar) Supports(op Op) bool { return op == OpHalfplane }
+
+// Query dispatches the ops the dynamic planar family serves.
+func (d *DynamicPlanar) Query(q Query) (Answer, error) {
+	if !d.Supports(q.Op) {
+		return Answer{}, unsupported("dynamic planar", q.Op)
+	}
+	pts := d.Halfplane(q.A, q.B)
+	recs := make([]Record, len(pts))
+	for i, p := range pts {
+		recs[i] = Record{P2: p}
+	}
+	return Answer{Recs: recs}, nil
+}
+
+// DynamicPartition adapts the dynamized §5 partition tree (§5 Remark
+// iii).
+type DynamicPartition struct {
+	dev *eio.Device
+	idx *dynamic.PartitionD
+	dim int // dimension pinned by the first insert (0 = none yet)
+}
+
+// NewDynamicPartition returns an empty mutable d-dimensional index on
+// dev.
+func NewDynamicPartition(dev *eio.Device) *DynamicPartition {
+	return &DynamicPartition{dev: dev, idx: dynamic.NewPartitionD(dev)}
+}
+
+func (d *DynamicPartition) check(r Record) error {
+	if len(r.PD) == 0 {
+		return fmt.Errorf("index: dynamic partition index takes non-empty PD records")
+	}
+	return nil
+}
+
+// Insert adds r.PD. The first insert pins the dimension; later records
+// must match it (the underlying tree cannot mix dimensions).
+func (d *DynamicPartition) Insert(r Record) error {
+	if err := d.check(r); err != nil {
+		return err
+	}
+	if d.dim == 0 {
+		d.dim = len(r.PD)
+	} else if len(r.PD) != d.dim {
+		return fmt.Errorf("index: dynamic partition index is %d-dimensional, got a %d-dimensional record", d.dim, len(r.PD))
+	}
+	d.idx.Insert(r.PD)
+	return nil
+}
+
+// Delete removes one point equal to r.PD, reporting whether one was
+// present. A record of another dimension cannot be present and misses.
+func (d *DynamicPartition) Delete(r Record) (bool, error) {
+	if err := d.check(r); err != nil {
+		return false, err
+	}
+	if d.dim != 0 && len(r.PD) != d.dim {
+		return false, nil
+	}
+	return d.idx.Delete(r.PD), nil
+}
+
+// Halfspace returns the live points with x_d <= coef·(x,1) in
+// lexicographic order.
+func (d *DynamicPartition) Halfspace(coef []float64) []geom.PointD {
+	pts := d.idx.Report(geom.HyperplaneD{Coef: coef})
+	sort.Slice(pts, func(i, j int) bool {
+		return Record{PD: pts[i]}.Less(Record{PD: pts[j]})
+	})
+	return pts
+}
+
+// Len returns the number of live points.
+func (d *DynamicPartition) Len() int { return d.idx.Len() }
+
+// Stats snapshots the device counters, including rebuild work.
+func (d *DynamicPartition) Stats() Stats { return devStats(d.dev) }
+
+// ResetStats zeroes the counters and drops the cache.
+func (d *DynamicPartition) ResetStats() { d.dev.ResetCounters() }
+
+// Supports reports the ops the dynamic partition family serves.
+func (d *DynamicPartition) Supports(op Op) bool { return op == OpHalfspaceD }
+
+// Query dispatches the ops the dynamic partition family serves.
+func (d *DynamicPartition) Query(q Query) (Answer, error) {
+	if !d.Supports(q.Op) {
+		return Answer{}, unsupported("dynamic partition", q.Op)
+	}
+	pts := d.Halfspace(q.Coef)
+	recs := make([]Record, len(pts))
+	for i, p := range pts {
+		recs[i] = Record{PD: p}
+	}
+	return Answer{Recs: recs}, nil
+}
+
+var (
+	_ Mutable = (*DynamicPlanar)(nil)
+	_ Mutable = (*DynamicPartition)(nil)
+)

@@ -1,0 +1,189 @@
+// Package index is the uniform interface layer between the paper's
+// index families and everything above them (the sharded engine, the
+// public facade). Each family — planar §3, 3D §4, k-NN Theorem 4.3,
+// partition tree §5/§6, and the two logarithmic-method dynamizations —
+// is wrapped by a thin adapter that owns its eio.Device and implements
+// Index: a single Query dispatch entry point plus Stats/Len. Mutable
+// extends Index with Insert/Delete for the dynamized families.
+//
+// The layer exists so that capability is discovered by probing (does
+// this index answer this Op? does it implement Mutable?) instead of by
+// a central enum: adding a family means adding one adapter here, not
+// editing a switch in every caller. Unsupported ops surface as errors
+// wrapping ErrUnsupported.
+package index
+
+import (
+	"errors"
+	"fmt"
+
+	"linconstraint/internal/chan3d"
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+)
+
+// Op identifies one operation of the unified query/update surface.
+type Op int
+
+const (
+	// OpHalfplane reports points with y <= A·x + B (planar families).
+	OpHalfplane Op = iota
+	// OpHalfspace3 reports points with z <= A·x + B·y + C (3D family).
+	OpHalfspace3
+	// OpHalfspaceD reports points with x_d <= Coef·(x,1) (partition families).
+	OpHalfspaceD
+	// OpConjunction reports points satisfying every Constraint
+	// (partition family; simplex / convex-polytope queries).
+	OpConjunction
+	// OpKNN reports the K nearest neighbors of Pt (k-NN family).
+	OpKNN
+	// OpInsert adds Rec (mutable families; routed by the engine).
+	OpInsert
+	// OpDelete removes one record equal to Rec (mutable families).
+	OpDelete
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpHalfplane:
+		return "halfplane"
+	case OpHalfspace3:
+		return "halfspace3"
+	case OpHalfspaceD:
+		return "halfspaceD"
+	case OpConjunction:
+		return "conjunction"
+	case OpKNN:
+		return "knn"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Constraint is one linear constraint of a conjunction query:
+// x_d <= (or >=, when Below is false) Coef[0]·x_1 + … + Coef[d-1].
+type Constraint struct {
+	Coef  []float64
+	Below bool
+}
+
+// Record is one record of a mutable family: a planar point (P2) for
+// the dynamic §3 structure, a d-dimensional point (PD, non-nil) for
+// the dynamic partition tree. Which field is meaningful is fixed by
+// the family; callers above treat Records opaquely.
+type Record struct {
+	P2 geom.Point2
+	PD geom.PointD
+}
+
+// Less orders records canonically: d-dimensional points
+// lexicographically, planar points by (X, Y). The mutable families
+// report answers in this order, so any sharding of the same multiset
+// of records yields byte-identical answers.
+func (r Record) Less(s Record) bool {
+	if r.PD != nil || s.PD != nil {
+		n := len(r.PD)
+		if len(s.PD) < n {
+			n = len(s.PD)
+		}
+		for i := 0; i < n; i++ {
+			if r.PD[i] != s.PD[i] {
+				return r.PD[i] < s.PD[i]
+			}
+		}
+		return len(r.PD) < len(s.PD)
+	}
+	if r.P2.X != s.P2.X {
+		return r.P2.X < s.P2.X
+	}
+	return r.P2.Y < s.P2.Y
+}
+
+// Query is one operation: an Op plus the parameter fields that Op
+// reads (the rest are ignored).
+type Query struct {
+	Op          Op
+	A, B, C     float64      // OpHalfplane (A, B); OpHalfspace3 (A, B, C)
+	Coef        []float64    // OpHalfspaceD
+	Constraints []Constraint // OpConjunction
+	K           int          // OpKNN
+	Pt          geom.Point2  // OpKNN
+	Rec         Record       // OpInsert / OpDelete
+}
+
+// Answer is one index's reply to a Query. Static reporting families
+// fill IDs with sorted positions into the build slice; mutable
+// families fill Recs with the matching records in canonical Record
+// order; the k-NN family fills Neighbors, closest first.
+type Answer struct {
+	IDs       []int
+	Recs      []Record
+	Neighbors []chan3d.Neighbor
+}
+
+// Stats is an I/O snapshot of the device an index runs against.
+type Stats struct {
+	IO          eio.Stats
+	SpaceBlocks int64
+}
+
+// ErrUnsupported is wrapped by Query errors for ops outside an index
+// family's capability; probe with errors.Is.
+var ErrUnsupported = errors.New("unsupported op")
+
+func unsupported(family string, op Op) error {
+	return fmt.Errorf("index: %s index: %w %v", family, ErrUnsupported, op)
+}
+
+// Index is the capability every family provides: answer the ops it
+// serves through one dispatch point, and report its size and the I/O
+// counters of the device it owns. Implementations are single-owner,
+// like their devices: callers serialize access (the engine locks a
+// shard before touching its index).
+type Index interface {
+	// Query answers q, or returns an error wrapping ErrUnsupported
+	// when the family does not serve q.Op.
+	Query(q Query) (Answer, error)
+	// Supports reports whether Query serves op. It is a pure
+	// capability probe — constant per family, callable without
+	// serialization.
+	Supports(op Op) bool
+	// Len is the number of live records.
+	Len() int
+	// Stats snapshots the underlying device's counters, including all
+	// construction and rebuild (compaction) work charged so far.
+	Stats() Stats
+	// ResetStats zeroes the device counters and drops its cache.
+	ResetStats()
+}
+
+// Mutable is the extra capability of the dynamized families: live
+// inserts and deletes. Rebuild work triggered by either is charged to
+// the same device Stats reports. Both methods validate that the
+// record's populated variant (P2 vs PD, and the PD dimension) matches
+// the family, so a wrong-family record fails loudly at the call site
+// instead of corrupting the index or panicking in a later rebuild.
+type Mutable interface {
+	Index
+	// Insert adds r, or rejects a record of the wrong shape.
+	Insert(r Record) error
+	// Delete removes one record equal to r, reporting whether one was
+	// present, or rejects a record of the wrong shape.
+	Delete(r Record) (bool, error)
+}
+
+func devStats(dev *eio.Device) Stats {
+	return Stats{IO: dev.Stats(), SpaceBlocks: dev.SpaceBlocks()}
+}
+
+func simplex(cs []Constraint) geom.Simplex {
+	var s geom.Simplex
+	for _, c := range cs {
+		s.Planes = append(s.Planes, geom.HyperplaneD{Coef: c.Coef})
+		s.Below = append(s.Below, c.Below)
+	}
+	return s
+}

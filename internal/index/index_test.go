@@ -1,0 +1,192 @@
+package index
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"linconstraint/internal/chan3d"
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+	"linconstraint/internal/halfspace2d"
+	"linconstraint/internal/hull3d"
+	"linconstraint/internal/partition"
+	"linconstraint/internal/workload"
+)
+
+// TestAdaptersMatchWrappedStructures: every static adapter must answer
+// exactly what the structure it wraps answers, through both the typed
+// methods and the Query dispatch path.
+func TestAdaptersMatchWrappedStructures(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+
+	pts2 := workload.Uniform2(rng, 600)
+	dev := eio.NewDevice(32, 0)
+	refPlanar := halfspace2d.NewPoints(dev, pts2, halfspace2d.Options{Seed: 3})
+	pl := NewPlanar(eio.NewDevice(32, 0), pts2, 3)
+	h := workload.HalfplaneWithSelectivity(rng, pts2, 0.2)
+	want := refPlanar.Halfplane(h.A, h.B)
+	if got := pl.Halfplane(h.A, h.B); !reflect.DeepEqual(got, want) {
+		t.Fatalf("planar typed: %d hits, want %d", len(got), len(want))
+	}
+	ans, err := pl.Query(Query{Op: OpHalfplane, A: h.A, B: h.B})
+	if err != nil || !reflect.DeepEqual(ans.IDs, want) {
+		t.Fatalf("planar dispatch: err=%v, %d hits, want %d", err, len(ans.IDs), len(want))
+	}
+	if pl.Len() != 600 {
+		t.Fatalf("planar Len = %d", pl.Len())
+	}
+
+	pts3 := workload.Cube3(rng, 400)
+	win := hull3d.Window{XMin: -2, XMax: 2, YMin: -2, YMax: 2}
+	ref3 := chan3d.NewPoints3(eio.NewDevice(32, 0), pts3, chan3d.Options{Window: win, Seed: 1})
+	sp := NewSpatial3(eio.NewDevice(32, 0), pts3, win, 1)
+	p3 := workload.Plane3WithSelectivity(rng, pts3, 0.1)
+	ans, err = sp.Query(Query{Op: OpHalfspace3, A: p3.A, B: p3.B, C: p3.C})
+	if err != nil || !reflect.DeepEqual(ans.IDs, ref3.Halfspace(p3.A, p3.B, p3.C)) {
+		t.Fatalf("3d dispatch mismatch (err=%v)", err)
+	}
+
+	refK := chan3d.NewKNN(eio.NewDevice(32, 0), pts2, chan3d.Options{Seed: 1})
+	kn := NewKNN(eio.NewDevice(32, 0), pts2, 1)
+	q := geom.Point2{X: 0.4, Y: 0.6}
+	ans, err = kn.Query(Query{Op: OpKNN, K: 7, Pt: q})
+	if err != nil || !reflect.DeepEqual(ans.Neighbors, refK.Query(7, q)) {
+		t.Fatalf("knn dispatch mismatch (err=%v)", err)
+	}
+
+	ptsD := workload.CubeD(rng, 500, 3)
+	refT := partition.New(eio.NewDevice(32, 0), ptsD, partition.Options{})
+	pt := NewPartition(eio.NewDevice(32, 0), ptsD)
+	hd := workload.HalfspaceWithSelectivityD(rng, ptsD, 0.3)
+	ans, err = pt.Query(Query{Op: OpHalfspaceD, Coef: hd.H.Coef})
+	if err != nil || !reflect.DeepEqual(ans.IDs, refT.Halfspace(hd.H)) {
+		t.Fatalf("partition dispatch mismatch (err=%v)", err)
+	}
+	cs := []Constraint{
+		{Coef: hd.H.Coef, Below: true},
+		{Coef: []float64{0.1, -0.2, 0.6}, Below: true},
+	}
+	ans, err = pt.Query(Query{Op: OpConjunction, Constraints: cs})
+	if err != nil || !reflect.DeepEqual(ans.IDs, refT.Simplex(simplex(cs))) {
+		t.Fatalf("conjunction dispatch mismatch (err=%v)", err)
+	}
+}
+
+// TestUnsupportedOps: every adapter must reject ops outside its family
+// with an error wrapping ErrUnsupported — that is the capability probe
+// the engine relies on.
+func TestUnsupportedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts2 := workload.Uniform2(rng, 50)
+	cases := []struct {
+		name   string
+		idx    Index
+		serves map[Op]bool
+	}{
+		{"planar", NewPlanar(eio.NewDevice(16, 0), pts2, 1), map[Op]bool{OpHalfplane: true}},
+		{"spatial3", NewSpatial3(eio.NewDevice(16, 0), nil, hull3d.Window{}, 1), map[Op]bool{OpHalfspace3: true}},
+		{"knn", NewKNN(eio.NewDevice(16, 0), pts2, 1), map[Op]bool{OpKNN: true}},
+		{"partition", NewPartition(eio.NewDevice(16, 0), nil), map[Op]bool{OpHalfspaceD: true, OpConjunction: true}},
+		{"dynplanar", NewDynamicPlanar(eio.NewDevice(16, 0), 1), map[Op]bool{OpHalfplane: true}},
+		{"dynpartition", NewDynamicPartition(eio.NewDevice(16, 0)), map[Op]bool{OpHalfspaceD: true}},
+	}
+	allOps := []Op{OpHalfplane, OpHalfspace3, OpHalfspaceD, OpConjunction, OpKNN, OpInsert, OpDelete}
+	for _, c := range cases {
+		for _, op := range allOps {
+			_, err := c.idx.Query(Query{Op: op, K: 1, Coef: []float64{0.5}})
+			if c.serves[op] && err != nil {
+				t.Errorf("%s must serve %v, got %v", c.name, op, err)
+			}
+			if !c.serves[op] && !errors.Is(err, ErrUnsupported) {
+				t.Errorf("%s op %v: want ErrUnsupported, got %v", c.name, op, err)
+			}
+		}
+	}
+}
+
+// TestEmptyAdapters: zero-point static adapters answer their ops with
+// empty results and zero Len instead of building (or crashing on) an
+// empty structure.
+func TestEmptyAdapters(t *testing.T) {
+	pl := NewPlanar(eio.NewDevice(16, 0), nil, 1)
+	if ans, err := pl.Query(Query{Op: OpHalfplane, A: 0, B: 1}); err != nil || len(ans.IDs) != 0 || pl.Len() != 0 {
+		t.Fatalf("empty planar: %v %v", ans, err)
+	}
+	kn := NewKNN(eio.NewDevice(16, 0), nil, 1)
+	if ans, err := kn.Query(Query{Op: OpKNN, K: 3}); err != nil || len(ans.Neighbors) != 0 || kn.Len() != 0 {
+		t.Fatalf("empty knn: %v %v", ans, err)
+	}
+}
+
+// TestRecordLess pins the canonical record order the sharded merge
+// depends on.
+func TestRecordLess(t *testing.T) {
+	cases := []struct {
+		a, b Record
+		want bool
+	}{
+		{Record{P2: geom.Point2{X: 1, Y: 5}}, Record{P2: geom.Point2{X: 2, Y: 0}}, true},
+		{Record{P2: geom.Point2{X: 1, Y: 5}}, Record{P2: geom.Point2{X: 1, Y: 6}}, true},
+		{Record{P2: geom.Point2{X: 1, Y: 5}}, Record{P2: geom.Point2{X: 1, Y: 5}}, false},
+		{Record{PD: geom.PointD{1, 2}}, Record{PD: geom.PointD{1, 3}}, true},
+		{Record{PD: geom.PointD{1, 2}}, Record{PD: geom.PointD{1, 2, 0}}, true},
+		{Record{PD: geom.PointD{2}}, Record{PD: geom.PointD{1, 9}}, false},
+	}
+	for i, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("case %d: Less = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// TestDynamicAdapterCanonicalOrder: the mutable adapters must report
+// query answers sorted canonically regardless of insertion order, and
+// their Stats must include the rebuild work the logarithmic method
+// performs.
+func TestDynamicAdapterCanonicalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDynamicPlanar(eio.NewDevice(16, 0), 1)
+	var model []geom.Point2
+	for i := 0; i < 300; i++ {
+		p := geom.Point2{X: rng.Float64(), Y: rng.Float64()}
+		d.Insert(Record{P2: p})
+		model = append(model, p)
+	}
+	for i := 0; i < 100; i++ {
+		if ok, err := d.Delete(Record{P2: model[i]}); err != nil || !ok {
+			t.Fatalf("delete %d failed (%v, %v)", i, ok, err)
+		}
+	}
+	model = model[100:]
+	ans, err := d.Query(Query{Op: OpHalfplane, A: 0.2, B: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for _, p := range model {
+		if geom.SideOfLine2(geom.Line2{A: 0.2, B: 0.5}, p) <= 0 {
+			want = append(want, Record{P2: p})
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].Less(want[j]) })
+	if !reflect.DeepEqual(append([]Record{}, ans.Recs...), append([]Record{}, want...)) {
+		t.Fatalf("canonical answer mismatch: got %d recs, want %d", len(ans.Recs), len(want))
+	}
+	if !sort.SliceIsSorted(ans.Recs, func(i, j int) bool { return ans.Recs[i].Less(ans.Recs[j]) }) {
+		t.Fatal("answer not canonically sorted")
+	}
+	if d.Len() != len(model) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(model))
+	}
+	st := d.Stats()
+	if st.IO.Writes == 0 || st.SpaceBlocks == 0 {
+		t.Fatalf("stats must include rebuild work: %+v", st)
+	}
+	d.ResetStats()
+	if d.Stats().IO != (eio.Stats{}) {
+		t.Fatal("ResetStats left counters")
+	}
+}

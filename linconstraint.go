@@ -17,31 +17,37 @@
 //   - PartitionTree (any d): O(n^(1-1/d)+ε + t) I/Os with linear space,
 //     also answering simplex and convex-polytope queries (§5, Theorem
 //     5.2), with shallow and hybrid variants from §6.
+//   - DynamicPlanarIndex / DynamicPartitionTree: the logarithmic-method
+//     dynamizations (§5 Remark iii; the engineering answer to §7 open
+//     problem 1) with live Insert/Delete.
 //
-// All structures run against a simulated external-memory device
-// (internal/eio) with exact I/O accounting; Stats exposes the counters
-// so applications and benchmarks can observe the paper's bounds
-// directly. See DESIGN.md for the system inventory and its §4
+// All six families implement the uniform internal/index interface
+// (query dispatch + Stats/Len, plus Insert/Delete for the mutable
+// ones); every structure runs against a simulated external-memory
+// device (internal/eio) with exact I/O accounting, and Stats exposes
+// the counters so applications and benchmarks can observe the paper's
+// bounds directly. See DESIGN.md for the system inventory and its §4
 // experiment index for the reproduction of every table row and figure.
 //
 // For serving concurrent traffic, Engine (internal/engine, DESIGN.md
-// §5) shards a point set across many single-owner devices, builds the
+// §5) shards records across many single-owner devices, builds the
 // per-shard indexes in parallel, and answers batched queries through a
 // worker pool while preserving exact result sets and aggregate I/O
-// accounting.
+// accounting. Engines over the dynamic families additionally accept
+// live Insert/Delete (scalar or as OpInsert/OpDelete batch ops),
+// routed through the shards under the same invariant: answers stay
+// byte-identical to one unsharded dynamic index fed the same updates.
 package linconstraint
 
 import (
 	"time"
 
 	"linconstraint/internal/chan3d"
-	"linconstraint/internal/dynamic"
 	"linconstraint/internal/eio"
 	"linconstraint/internal/engine"
 	"linconstraint/internal/geom"
-	"linconstraint/internal/halfspace2d"
 	"linconstraint/internal/hull3d"
-	"linconstraint/internal/partition"
+	"linconstraint/internal/index"
 )
 
 // Point2 is a point in the plane.
@@ -52,6 +58,17 @@ type Point3 = geom.Point3
 
 // PointD is a point in R^d.
 type PointD = geom.PointD
+
+// Record is one record of a mutable index or engine: P2 for the
+// planar family, PD for the partition family. Build one with Rec2 or
+// RecD.
+type Record = index.Record
+
+// Rec2 wraps a planar point as a Record.
+func Rec2(p Point2) Record { return Record{P2: p} }
+
+// RecD wraps a d-dimensional point as a Record.
+func RecD(p PointD) Record { return Record{PD: p} }
 
 // Stats reports I/O counters of an index's simulated device.
 type Stats struct {
@@ -81,9 +98,8 @@ func (c Config) device() *eio.Device {
 	return eio.NewDevice(b, c.CacheBlocks)
 }
 
-func stats(dev *eio.Device) Stats {
-	s := dev.Stats()
-	return Stats{Reads: s.Reads, Writes: s.Writes, CacheHits: s.Hits, SpaceBlocks: dev.SpaceBlocks()}
+func fromIndexStats(s index.Stats) Stats {
+	return Stats{Reads: s.IO.Reads, Writes: s.IO.Writes, CacheHits: s.IO.Hits, SpaceBlocks: s.SpaceBlocks}
 }
 
 // --- 2D: the §3 optimal structure ---------------------------------------
@@ -91,27 +107,25 @@ func stats(dev *eio.Device) Stats {
 // PlanarIndex answers halfplane reporting queries over planar points with
 // O(log_B n + t) worst-case I/Os and linear space (Theorem 3.5).
 type PlanarIndex struct {
-	dev *eio.Device
-	idx *halfspace2d.PointIndex
+	idx *index.Planar
 }
 
 // NewPlanarIndex builds the §3 structure over points.
 func NewPlanarIndex(points []Point2, cfg Config) *PlanarIndex {
-	dev := cfg.device()
-	return &PlanarIndex{dev: dev, idx: halfspace2d.NewPoints(dev, points, halfspace2d.Options{Seed: cfg.Seed})}
+	return &PlanarIndex{idx: index.NewPlanar(cfg.device(), points, cfg.Seed)}
 }
 
 // Halfplane reports the indices of all points with y <= a·x + b, sorted.
 func (p *PlanarIndex) Halfplane(a, b float64) []int { return p.idx.Halfplane(a, b) }
 
 // Stats returns the device's I/O counters.
-func (p *PlanarIndex) Stats() Stats { return stats(p.dev) }
+func (p *PlanarIndex) Stats() Stats { return fromIndexStats(p.idx.Stats()) }
 
 // ResetStats zeroes the counters and drops the cache.
-func (p *PlanarIndex) ResetStats() { p.dev.ResetCounters() }
+func (p *PlanarIndex) ResetStats() { p.idx.ResetStats() }
 
 // Len returns the number of indexed points.
-func (p *PlanarIndex) Len() int { return len(p.idx.Points()) }
+func (p *PlanarIndex) Len() int { return p.idx.Len() }
 
 // --- 3D: the §4 structure ------------------------------------------------
 
@@ -128,39 +142,34 @@ func (w Window) toHull() hull3d.Window {
 // Index3D answers 3D halfspace reporting queries over points with
 // O(log_B n + t) expected I/Os (Theorem 4.4).
 type Index3D struct {
-	dev *eio.Device
-	idx *chan3d.PointIndex3
+	idx *index.Spatial3
 }
 
 // NewIndex3D builds the §4 structure over points. The window must cover
 // the (a, b) coefficient range of future queries; a zero Window selects
 // [-16, 16]².
 func NewIndex3D(points []Point3, win Window, cfg Config) *Index3D {
-	dev := cfg.device()
-	return &Index3D{dev: dev, idx: chan3d.NewPoints3(dev, points, chan3d.Options{
-		Window: win.toHull(), Seed: cfg.Seed,
-	})}
+	return &Index3D{idx: index.NewSpatial3(cfg.device(), points, win.toHull(), cfg.Seed)}
 }
 
 // Halfspace reports the indices of all points with z <= a·x + b·y + c.
 func (x *Index3D) Halfspace(a, b, c float64) []int { return x.idx.Halfspace(a, b, c) }
 
 // Stats returns the device's I/O counters.
-func (x *Index3D) Stats() Stats { return stats(x.dev) }
+func (x *Index3D) Stats() Stats { return fromIndexStats(x.idx.Stats()) }
 
 // ResetStats zeroes the counters and drops the cache.
-func (x *Index3D) ResetStats() { x.dev.ResetCounters() }
+func (x *Index3D) ResetStats() { x.idx.ResetStats() }
 
 // Len returns the number of indexed points.
-func (x *Index3D) Len() int { return len(x.idx.Points()) }
+func (x *Index3D) Len() int { return x.idx.Len() }
 
 // --- k-nearest neighbors (Theorem 4.3) ------------------------------------
 
 // KNNIndex answers planar k-nearest-neighbor queries in O(log_B n + k/B)
 // expected I/Os via the lifting map.
 type KNNIndex struct {
-	dev *eio.Device
-	idx *chan3d.KNN
+	idx *index.KNN
 }
 
 // Neighbor is one k-NN result: the point's index and its squared
@@ -170,64 +179,55 @@ type Neighbor = chan3d.Neighbor
 // NewKNNIndex builds the k-NN structure; queries must fall inside the
 // points' padded bounding box.
 func NewKNNIndex(points []Point2, cfg Config) *KNNIndex {
-	dev := cfg.device()
-	return &KNNIndex{dev: dev, idx: chan3d.NewKNN(dev, points, chan3d.Options{Seed: cfg.Seed})}
+	return &KNNIndex{idx: index.NewKNN(cfg.device(), points, cfg.Seed)}
 }
 
 // Query returns the k nearest indexed points to q, closest first.
-func (s *KNNIndex) Query(k int, q Point2) []Neighbor { return s.idx.Query(k, q) }
+func (s *KNNIndex) Query(k int, q Point2) []Neighbor { return s.idx.Nearest(k, q) }
 
 // Stats returns the device's I/O counters.
-func (s *KNNIndex) Stats() Stats { return stats(s.dev) }
+func (s *KNNIndex) Stats() Stats { return fromIndexStats(s.idx.Stats()) }
 
 // ResetStats zeroes the counters and drops the cache.
-func (s *KNNIndex) ResetStats() { s.dev.ResetCounters() }
+func (s *KNNIndex) ResetStats() { s.idx.ResetStats() }
+
+// Len returns the number of indexed points.
+func (s *KNNIndex) Len() int { return s.idx.Len() }
 
 // --- d-dimensional partition trees (§5, §6) --------------------------------
 
 // Constraint is one linear constraint: x_d <= (or >=, when Below is
 // false) Coef[0]·x_1 + … + Coef[d-2]·x_{d-1} + Coef[d-1]. It is shared
-// with the sharded engine's conjunction queries.
-type Constraint = engine.Constraint
+// with the engine's conjunction queries.
+type Constraint = index.Constraint
 
 // PartitionTree answers halfspace and convex-polytope (conjunction of
 // constraints) reporting queries in any fixed dimension with linear
 // space (Theorem 5.2 and §5 Remark i).
 type PartitionTree struct {
-	dev *eio.Device
-	tr  *partition.Tree
+	idx *index.Partition
 }
 
 // NewPartitionTree builds the §5 structure over d-dimensional points.
 func NewPartitionTree(points []PointD, cfg Config) *PartitionTree {
-	dev := cfg.device()
-	return &PartitionTree{dev: dev, tr: partition.New(dev, points, partition.Options{})}
+	return &PartitionTree{idx: index.NewPartition(cfg.device(), points)}
 }
 
 // Halfspace reports the indices of points with x_d <= coef·(x,1), sorted.
-func (t *PartitionTree) Halfspace(coef []float64) []int {
-	return t.tr.Halfspace(geom.HyperplaneD{Coef: coef})
-}
+func (t *PartitionTree) Halfspace(coef []float64) []int { return t.idx.Halfspace(coef) }
 
 // Conjunction reports the points satisfying every constraint (a simplex
 // or general convex polytope query).
-func (t *PartitionTree) Conjunction(cs []Constraint) []int {
-	var s geom.Simplex
-	for _, c := range cs {
-		s.Planes = append(s.Planes, geom.HyperplaneD{Coef: c.Coef})
-		s.Below = append(s.Below, c.Below)
-	}
-	return t.tr.Simplex(s)
-}
+func (t *PartitionTree) Conjunction(cs []Constraint) []int { return t.idx.Conjunction(cs) }
 
 // Stats returns the device's I/O counters.
-func (t *PartitionTree) Stats() Stats { return stats(t.dev) }
+func (t *PartitionTree) Stats() Stats { return fromIndexStats(t.idx.Stats()) }
 
 // ResetStats zeroes the counters and drops the cache.
-func (t *PartitionTree) ResetStats() { t.dev.ResetCounters() }
+func (t *PartitionTree) ResetStats() { t.idx.ResetStats() }
 
 // Len returns the number of indexed points.
-func (t *PartitionTree) Len() int { return t.tr.Len() }
+func (t *PartitionTree) Len() int { return t.idx.Len() }
 
 // --- Dynamic indexes (§5 Remark iii; §7 open problem 1) --------------------
 
@@ -236,62 +236,84 @@ func (t *PartitionTree) Len() int { return t.tr.Len() }
 // structure: queries cost an O(log N) multiple of the static bound,
 // updates amortized polylogarithmic rebuild work.
 type DynamicPlanarIndex struct {
-	dev *eio.Device
-	idx *dynamic.Halfplane2D
+	idx *index.DynamicPlanar
 }
 
 // NewDynamicPlanarIndex returns an empty dynamic planar index.
 func NewDynamicPlanarIndex(cfg Config) *DynamicPlanarIndex {
-	dev := cfg.device()
-	return &DynamicPlanarIndex{dev: dev, idx: dynamic.NewHalfplane2D(dev, cfg.Seed)}
+	return &DynamicPlanarIndex{idx: index.NewDynamicPlanar(cfg.device(), cfg.Seed)}
 }
 
 // Insert adds a point.
-func (d *DynamicPlanarIndex) Insert(p Point2) { d.idx.Insert(p) }
+func (d *DynamicPlanarIndex) Insert(p Point2) {
+	if err := d.idx.Insert(Rec2(p)); err != nil {
+		panic(err) // unreachable: Rec2 records always fit the planar family
+	}
+}
 
 // Delete removes one copy of p, reporting whether it was present.
-func (d *DynamicPlanarIndex) Delete(p Point2) bool { return d.idx.Delete(p) }
+func (d *DynamicPlanarIndex) Delete(p Point2) bool {
+	ok, err := d.idx.Delete(Rec2(p))
+	if err != nil {
+		panic(err) // unreachable: Rec2 records always fit the planar family
+	}
+	return ok
+}
 
-// Halfplane returns the live points with y <= a·x + b.
-func (d *DynamicPlanarIndex) Halfplane(a, b float64) []Point2 { return d.idx.Report(a, b) }
+// Halfplane returns the live points with y <= a·x + b, in canonical
+// (X, Y) order.
+func (d *DynamicPlanarIndex) Halfplane(a, b float64) []Point2 { return d.idx.Halfplane(a, b) }
 
 // Len returns the number of live points.
 func (d *DynamicPlanarIndex) Len() int { return d.idx.Len() }
 
-// Stats returns the device's I/O counters.
-func (d *DynamicPlanarIndex) Stats() Stats { return stats(d.dev) }
+// Stats returns the device's I/O counters, including rebuild work.
+func (d *DynamicPlanarIndex) Stats() Stats { return fromIndexStats(d.idx.Stats()) }
 
 // ResetStats zeroes the counters and drops the cache.
-func (d *DynamicPlanarIndex) ResetStats() { d.dev.ResetCounters() }
+func (d *DynamicPlanarIndex) ResetStats() { d.idx.ResetStats() }
 
 // DynamicPartitionTree is the dynamized d-dimensional partition tree.
 type DynamicPartitionTree struct {
-	dev *eio.Device
-	idx *dynamic.PartitionD
+	idx *index.DynamicPartition
 }
 
 // NewDynamicPartitionTree returns an empty dynamic d-dimensional index.
 func NewDynamicPartitionTree(cfg Config) *DynamicPartitionTree {
-	dev := cfg.device()
-	return &DynamicPartitionTree{dev: dev, idx: dynamic.NewPartitionD(dev)}
+	return &DynamicPartitionTree{idx: index.NewDynamicPartition(cfg.device())}
 }
 
-// Insert adds a point.
-func (d *DynamicPartitionTree) Insert(p PointD) { d.idx.Insert(p) }
+// Insert adds a point. It panics on an empty point or a dimension
+// mismatch with earlier inserts (the tree cannot mix dimensions).
+func (d *DynamicPartitionTree) Insert(p PointD) {
+	if err := d.idx.Insert(RecD(p)); err != nil {
+		panic(err)
+	}
+}
 
 // Delete removes one point equal to p, reporting whether it was present.
-func (d *DynamicPartitionTree) Delete(p PointD) bool { return d.idx.Delete(p) }
+func (d *DynamicPartitionTree) Delete(p PointD) bool {
+	ok, err := d.idx.Delete(RecD(p))
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
 
-// Halfspace returns the live points with x_d <= coef·(x,1).
+// Halfspace returns the live points with x_d <= coef·(x,1), in
+// lexicographic order.
 func (d *DynamicPartitionTree) Halfspace(coef []float64) []PointD {
-	return d.idx.Report(geom.HyperplaneD{Coef: coef})
+	return d.idx.Halfspace(coef)
 }
 
 // Len returns the number of live points.
 func (d *DynamicPartitionTree) Len() int { return d.idx.Len() }
 
-// Stats returns the device's I/O counters.
-func (d *DynamicPartitionTree) Stats() Stats { return stats(d.dev) }
+// Stats returns the device's I/O counters, including rebuild work.
+func (d *DynamicPartitionTree) Stats() Stats { return fromIndexStats(d.idx.Stats()) }
+
+// ResetStats zeroes the counters and drops the cache.
+func (d *DynamicPartitionTree) ResetStats() { d.idx.ResetStats() }
 
 // --- Sharded concurrent engine (DESIGN.md §5) -------------------------------
 
@@ -327,21 +349,29 @@ func (c EngineConfig) options() engine.Options {
 // Query is one element of an Engine batch; see the Op* constants.
 type Query = engine.Query
 
-// QueryResult is the answer to one batched query.
+// QueryResult is the answer to one batched op.
 type QueryResult = engine.Result
 
-// Op selects the query family of a batched Query.
+// Op selects the query or update family of a batched Query.
 type Op = engine.Op
 
-// Batched query ops. An Engine answers the ops of the index family it
-// was built over; mismatches surface as QueryResult.Err.
+// Batched ops. An Engine answers the ops of the index family it was
+// built over; mismatches surface as QueryResult.Err. OpInsert and
+// OpDelete (mutable engines only) take the record in Query.Rec and
+// apply at their position in the batch.
 const (
 	OpHalfplane   = engine.OpHalfplane
 	OpHalfspace3  = engine.OpHalfspace3
 	OpHalfspaceD  = engine.OpHalfspaceD
 	OpConjunction = engine.OpConjunction
 	OpKNN         = engine.OpKNN
+	OpInsert      = engine.OpInsert
+	OpDelete      = engine.OpDelete
 )
+
+// ErrImmutable is returned by Insert/Delete on an engine built over a
+// static index family.
+var ErrImmutable = engine.ErrImmutable
 
 // EngineStats is an aggregated I/O snapshot across an engine's shards:
 // summed counters and space, plus the worst single shard (the
@@ -349,15 +379,22 @@ const (
 type EngineStats = engine.Stats
 
 // Engine is a sharded concurrent front-end over one of the paper's
-// indexes. It returns exactly the same result sets as the corresponding
-// unsharded index — global record indices, sorted — while building
-// shards in parallel and serving queries from a fixed worker pool.
-// Engines are safe for concurrent use; call Close when done.
+// index families. It returns exactly the same result sets as the
+// corresponding unsharded index — global record indices for the static
+// families, canonically ordered records for the dynamic ones — while
+// building shards in parallel and serving queries from a fixed worker
+// pool. Engines are safe for concurrent use; call Close when done.
+//
+// Engines over the dynamic families (NewDynamicPlanarEngine,
+// NewDynamicPartitionEngine) also accept live updates: Insert routes
+// the record to the currently-smallest shard, Delete scatter-gathers
+// by value across the shards, and both are also available as OpInsert/
+// OpDelete batch ops. Static engines return ErrImmutable.
 //
 // The scalar query methods (Halfplane, Halfspace3, Halfspace,
-// Conjunction, KNN) panic when called on an engine built over a
-// different index family; Batch reports the mismatch as
-// QueryResult.Err instead.
+// Conjunction, KNN, LiveHalfplane, LiveHalfspace) panic when called on
+// an engine built over a family that does not serve them; Batch
+// reports the mismatch as QueryResult.Err instead.
 type Engine struct {
 	eng *engine.Engine
 }
@@ -385,8 +422,45 @@ func NewPartitionEngine(points []PointD, cfg EngineConfig) *Engine {
 	return &Engine{eng: engine.NewPartition(points, cfg.options())}
 }
 
+// NewDynamicPlanarEngine returns an empty mutable engine over the
+// dynamized §3 planar structure: live inserts and deletes of Point2
+// records alongside halfplane reporting.
+func NewDynamicPlanarEngine(cfg EngineConfig) *Engine {
+	return &Engine{eng: engine.NewDynamicPlanar(cfg.options())}
+}
+
+// NewDynamicPartitionEngine returns an empty mutable engine over the
+// dynamized §5 partition tree: live inserts and deletes of PointD
+// records alongside halfspace reporting.
+func NewDynamicPartitionEngine(cfg EngineConfig) *Engine {
+	return &Engine{eng: engine.NewDynamicPartition(cfg.options())}
+}
+
+// Mutable reports whether the engine accepts Insert/Delete.
+func (e *Engine) Mutable() bool { return e.eng.Mutable() }
+
+// Insert adds a record to the currently-smallest shard. It returns
+// ErrImmutable on a static engine.
+func (e *Engine) Insert(r Record) error { return e.eng.Insert(r) }
+
+// Delete removes one record equal to r (scatter-gather by value across
+// the shards), reporting whether one was present. It returns
+// ErrImmutable on a static engine.
+func (e *Engine) Delete(r Record) (bool, error) { return e.eng.Delete(r) }
+
 // Halfplane reports the indices of all points with y <= a·x + b, sorted.
 func (e *Engine) Halfplane(a, b float64) []int { return e.eng.Halfplane(a, b) }
+
+// LiveHalfplane reports the live points of a dynamic planar engine
+// with y <= a·x + b, in canonical (X, Y) order.
+func (e *Engine) LiveHalfplane(a, b float64) []Point2 {
+	recs := e.eng.HalfplaneRecs(a, b)
+	out := make([]Point2, len(recs))
+	for i, r := range recs {
+		out[i] = r.P2
+	}
+	return out
+}
 
 // Halfspace3 reports the indices of all points with z <= a·x + b·y + c.
 func (e *Engine) Halfspace3(a, b, c float64) []int { return e.eng.Halfspace3(a, b, c) }
@@ -394,23 +468,37 @@ func (e *Engine) Halfspace3(a, b, c float64) []int { return e.eng.Halfspace3(a, 
 // Halfspace reports the indices of points with x_d <= coef·(x,1), sorted.
 func (e *Engine) Halfspace(coef []float64) []int { return e.eng.HalfspaceD(coef) }
 
+// LiveHalfspace reports the live points of a dynamic partition engine
+// with x_d <= coef·(x,1), in lexicographic order.
+func (e *Engine) LiveHalfspace(coef []float64) []PointD {
+	recs := e.eng.HalfspaceDRecs(coef)
+	out := make([]PointD, len(recs))
+	for i, r := range recs {
+		out[i] = r.PD
+	}
+	return out
+}
+
 // Conjunction reports the points satisfying every constraint.
 func (e *Engine) Conjunction(cs []Constraint) []int { return e.eng.Conjunction(cs) }
 
 // KNN returns the k nearest indexed points to q, closest first.
 func (e *Engine) KNN(k int, q Point2) []Neighbor { return e.eng.KNN(k, q) }
 
-// Batch answers a batch of queries concurrently (scatter-gather across
-// shards through the worker pool) and returns the answers in order.
+// Batch executes a batch of ops: update ops apply at their position in
+// the batch, runs of consecutive queries are answered concurrently
+// (scatter-gather across shards through the worker pool), and the
+// answers return in order.
 func (e *Engine) Batch(qs []Query) []QueryResult { return e.eng.Batch(qs) }
 
-// Stats aggregates I/O counters and space across shards.
+// Stats aggregates I/O counters and space across shards, including all
+// construction and rebuild (compaction) work.
 func (e *Engine) Stats() EngineStats { return e.eng.Stats() }
 
 // ResetStats zeroes every shard's counters and drops their caches.
 func (e *Engine) ResetStats() { e.eng.ResetStats() }
 
-// Len returns the total number of indexed records.
+// Len returns the total number of live records.
 func (e *Engine) Len() int { return e.eng.Len() }
 
 // NumShards returns the shard count.

@@ -263,6 +263,105 @@ func TestEngineFacade(t *testing.T) {
 	}
 }
 
+// TestMutableEngineFacade drives the public mutable-engine surface:
+// scalar Insert/Delete, OpInsert/OpDelete batch ops, LiveHalfplane /
+// LiveHalfspace answers byte-identical to an unsharded dynamic index
+// fed the same updates, and ErrImmutable on static engines.
+func TestMutableEngineFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	e := NewDynamicPlanarEngine(EngineConfig{Shards: 4, Workers: 2, BlockSize: 16, Seed: 3})
+	defer e.Close()
+	ref := NewDynamicPlanarIndex(Config{BlockSize: 16, Seed: 3})
+	if !e.Mutable() {
+		t.Fatal("dynamic engine must be mutable")
+	}
+
+	var pts []Point2
+	for i := 0; i < 400; i++ {
+		p := Point2{X: rng.Float64(), Y: rng.Float64()}
+		pts = append(pts, p)
+		if err := e.Insert(Rec2(p)); err != nil {
+			t.Fatal(err)
+		}
+		ref.Insert(p)
+	}
+	for i := 0; i < 150; i++ {
+		ok, err := e.Delete(Rec2(pts[i]))
+		if err != nil || !ok || !ref.Delete(pts[i]) {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	if e.Len() != 250 || ref.Len() != 250 {
+		t.Fatalf("Len %d/%d", e.Len(), ref.Len())
+	}
+	for _, q := range []struct{ a, b float64 }{{0.5, 0.2}, {-1, 0.9}, {0, 0.4}} {
+		got, want := e.LiveHalfplane(q.a, q.b), ref.Halfplane(q.a, q.b)
+		if len(got) != len(want) {
+			t.Fatalf("engine %d hits, unsharded %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("answers differ at %d: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+
+	// Batched updates apply in order; stats cover the rebuild work.
+	p := Point2{X: 2, Y: 2}
+	res := e.Batch([]Query{
+		{Op: OpInsert, Rec: Rec2(p)},
+		{Op: OpHalfplane, A: 0, B: 3},
+		{Op: OpDelete, Rec: Rec2(p)},
+		{Op: OpDelete, Rec: Rec2(p)},
+	})
+	if res[0].Err != nil || res[1].Err != nil || len(res[1].Recs) == 0 {
+		t.Fatalf("batched insert+query failed: %+v", res[:2])
+	}
+	if !res[2].Deleted || res[3].Deleted {
+		t.Fatalf("batched delete flags: %+v", res[2:])
+	}
+	if st := e.Stats(); st.Total.Writes == 0 {
+		t.Fatalf("update traffic charged no writes: %+v", st.Total)
+	}
+
+	// d-dimensional variant.
+	ed := NewDynamicPartitionEngine(EngineConfig{Shards: 3, BlockSize: 16})
+	defer ed.Close()
+	refD := NewDynamicPartitionTree(Config{BlockSize: 16})
+	for i := 0; i < 200; i++ {
+		pd := PointD{rng.Float64(), rng.Float64(), rng.Float64()}
+		if err := ed.Insert(RecD(pd)); err != nil {
+			t.Fatal(err)
+		}
+		refD.Insert(pd)
+	}
+	got, want := ed.LiveHalfspace([]float64{0.1, 0.1, 0.5}), refD.Halfspace([]float64{0.1, 0.1, 0.5})
+	if len(got) != len(want) {
+		t.Fatalf("partition engine %d hits, unsharded %d", len(got), len(want))
+	}
+	for i := range got {
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("partition answers differ at %d", i)
+			}
+		}
+	}
+	refD.ResetStats() // API symmetry: every root index exposes ResetStats
+	if refD.Stats().IOs() != 0 {
+		t.Fatal("DynamicPartitionTree.ResetStats did not zero counters")
+	}
+
+	// Static engines refuse updates.
+	se := NewPlanarEngine(pts[:10], EngineConfig{Shards: 2})
+	defer se.Close()
+	if se.Mutable() {
+		t.Fatal("static engine claims mutability")
+	}
+	if err := se.Insert(Rec2(p)); err != ErrImmutable {
+		t.Fatalf("static Insert: %v", err)
+	}
+}
+
 func TestEngineConjunctionAndKNNFacade(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	ptsD := make([]PointD, 900)
