@@ -208,6 +208,69 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEnginePruning measures the shard planner on selective
+// halfplane queries (≤1% selectivity) at n = 100k and 8 shards: the
+// locality-aware layouts (kd-cut, SFC) must report mean ShardsVisited
+// at most 4 — versus the full fan-out of 8 under round-robin — while
+// returning byte-identical result sets; the benchmark fails otherwise.
+// The lcbench -pruning smoke asserts the same bar in CI.
+func BenchmarkEnginePruning(b *testing.B) {
+	const (
+		n      = 100_000
+		shards = 8
+		sel    = 0.01
+	)
+	pts := benchPoints2(n)
+	rng := rand.New(rand.NewSource(17))
+	queries := make([]workload.Halfplane, 64)
+	for i := range queries {
+		queries[i] = workload.HalfplaneWithSelectivity(rng, pts, sel)
+	}
+	baseline := NewPlanarEngine(pts, EngineConfig{
+		Shards: shards, Workers: shards, BlockSize: 128, Seed: 1, DisablePlanner: true,
+	})
+	defer baseline.Close()
+
+	for _, l := range []struct {
+		name      string
+		mk        func() Partitioner
+		mustPrune bool
+	}{
+		{"layout=roundrobin", RoundRobinLayout, false},
+		{"layout=sfc", SFCLayout, true},
+		{"layout=kdcut", KDCutLayout, true},
+	} {
+		b.Run(l.name, func(b *testing.B) {
+			e := NewPlanarEngine(pts, EngineConfig{
+				Shards: shards, Workers: shards, BlockSize: 128, Seed: 1, Partitioner: l.mk(),
+			})
+			defer e.Close()
+			for _, q := range queries[:8] {
+				if got, want := e.Halfplane(q.A, q.B), baseline.Halfplane(q.A, q.B); !sameInts(got, want) {
+					b.Fatalf("planned result set differs from unpruned (%d vs %d hits)", len(got), len(want))
+				}
+			}
+			e.ResetStats()
+			b.ResetTimer()
+			nq := 0
+			for i := 0; i < b.N; i++ {
+				for _, hq := range queries {
+					e.Halfplane(hq.A, hq.B)
+					nq++
+				}
+			}
+			st := e.Stats()
+			meanVisited := float64(st.ShardsVisited) / float64(nq)
+			b.ReportMetric(meanVisited, "shardsVisited/query")
+			b.ReportMetric(float64(st.ShardsPruned)/float64(nq), "shardsPruned/query")
+			b.ReportMetric(float64(st.Total.IOs())/float64(nq), "IOs/query")
+			if l.mustPrune && meanVisited > 4 {
+				b.Fatalf("mean shards visited %.2f > 4 at %d shards", meanVisited, shards)
+			}
+		})
+	}
+}
+
 // BenchmarkEngineBuild measures parallel shard construction against a
 // single unsharded build. Construction cost is superlinear in n, so
 // sharding wins even on one CPU; on multicore the shards also build

@@ -4,18 +4,30 @@
 // paper's claim, the measured series, fitted growth exponents and a
 // pass/fail verdict, and writes the raw series as CSV.
 //
+// With -pruning it instead runs the shard-pruning efficiency smoke for
+// the engine's query planner: it builds 8-shard planar engines under
+// the round-robin, space-filling-curve and kd-cut layouts over the same
+// points, verifies the three report byte-identical result sets on
+// selective (1%) halfplane queries, and fails unless the locality-aware
+// layouts prune shards with mean shards-visited at or below half the
+// shard count — the engine-level payoff the planner exists for.
+//
 // Usage:
 //
-//	lcbench [-quick] [-seed N] [-out DIR] [-only E1,E7,...]
+//	lcbench [-quick] [-seed N] [-out DIR] [-only E1,E7,...] [-pruning]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"slices"
 	"strings"
 
+	"linconstraint"
 	"linconstraint/internal/harness"
+	"linconstraint/internal/workload"
 )
 
 func main() {
@@ -23,7 +35,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment RNG seed")
 	out := flag.String("out", "results", "directory for CSV output")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default all)")
+	pruning := flag.Bool("pruning", false, "run the shard-pruning efficiency smoke instead of the experiments")
 	flag.Parse()
+
+	if *pruning {
+		if !pruningSmoke(*seed, *quick) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := harness.Config{Seed: *seed, Quick: *quick}
 	all := map[string]func(harness.Config) harness.Result{
@@ -68,4 +88,78 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// pruningSmoke builds the same n=100k points into 8-shard engines under
+// every layout, checks the layouts answer 64 selective halfplane
+// queries byte-identically, and asserts the locality-aware layouts
+// prune: ShardsPruned > 0 and mean ShardsVisited <= shards/2.
+func pruningSmoke(seed int64, quick bool) bool {
+	const shards = 8
+	n := 100_000
+	if quick {
+		n = 20_000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pts := workload.Uniform2(rng, n)
+	queries := make([]workload.Halfplane, 64)
+	for i := range queries {
+		queries[i] = workload.HalfplaneWithSelectivity(rng, pts, 0.01)
+	}
+
+	type row struct {
+		name        string
+		layout      linconstraint.Partitioner
+		mustPrune   bool
+		meanVisited float64
+		pruned      int64
+		ios         int64
+		results     [][]int
+	}
+	rows := []*row{
+		{name: "roundrobin", layout: linconstraint.RoundRobinLayout()},
+		{name: "sfc", layout: linconstraint.SFCLayout(), mustPrune: true},
+		{name: "kdcut", layout: linconstraint.KDCutLayout(), mustPrune: true},
+	}
+	for _, r := range rows {
+		eng := linconstraint.NewPlanarEngine(pts, linconstraint.EngineConfig{
+			Shards: shards, Workers: shards, BlockSize: 128, Seed: seed, Partitioner: r.layout,
+		})
+		eng.ResetStats()
+		for _, q := range queries {
+			r.results = append(r.results, eng.Halfplane(q.A, q.B))
+		}
+		st := eng.Stats()
+		r.meanVisited = float64(st.ShardsVisited) / float64(len(queries))
+		r.pruned = st.ShardsPruned
+		r.ios = st.Total.IOs()
+		eng.Close()
+	}
+
+	ok := true
+	fmt.Printf("pruning smoke: n=%d, %d shards, %d halfplane queries at 1%% selectivity\n\n", n, shards, len(queries))
+	fmt.Printf("%-12s %14s %14s %12s\n", "layout", "mean visited", "total pruned", "query I/Os")
+	for _, r := range rows {
+		fmt.Printf("%-12s %14.2f %14d %12d\n", r.name, r.meanVisited, r.pruned, r.ios)
+		for qi := range queries {
+			if !slices.Equal(r.results[qi], rows[0].results[qi]) {
+				fmt.Printf("FAIL: %s query %d differs from roundrobin (%d vs %d hits)\n",
+					r.name, qi, len(r.results[qi]), len(rows[0].results[qi]))
+				ok = false
+				break
+			}
+		}
+		if r.mustPrune && r.pruned == 0 {
+			fmt.Printf("FAIL: %s layout pruned no shards on selective queries\n", r.name)
+			ok = false
+		}
+		if r.mustPrune && r.meanVisited > shards/2 {
+			fmt.Printf("FAIL: %s layout mean shards visited %.2f > %d\n", r.name, r.meanVisited, shards/2)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Println("\nPASS")
+	}
+	return ok
 }

@@ -10,18 +10,28 @@
 // mix: -mix F makes fraction F of the load-phase ops updates (half
 // inserts, half deletes of live records), the rest queries.
 //
+// The shard layout is selectable: -layout rr deals records round-robin
+// (every query fans out to every shard), -layout sfc or -layout kd
+// places spatially close records together so the query planner can
+// skip shards whose bounding region misses the query; the report then
+// shows per-query shards-visited/pruned columns alongside the I/O
+// histograms.
+//
 // Usage:
 //
 //	lcserve [-kind planar|3d|knn|partition|dynplanar|dynpartition]
+//	        [-layout rr|sfc|kd] [-noplan]
 //	        [-n N] [-shards S] [-workers W] [-batch B] [-queries Q]
 //	        [-sel F] [-mix F] [-k K] [-dim D] [-block B] [-cache M]
 //	        [-lat DUR] [-seed N]
 //
-// Examples — 8 shards, 8 workers, a 100µs simulated disk; then a
-// mutable engine under a 30% write mix:
+// Examples — 8 shards, 8 workers, a 100µs simulated disk; a mutable
+// engine under a 30% write mix; then a kd-cut layout whose planner
+// prunes shards on selective queries:
 //
 //	lcserve -kind planar -n 200000 -shards 8 -workers 8 -lat 100us
 //	lcserve -kind dynplanar -n 50000 -shards 8 -mix 0.3
+//	lcserve -kind planar -n 100000 -shards 8 -layout kd -sel 0.01
 package main
 
 import (
@@ -41,6 +51,8 @@ import (
 func main() {
 	var (
 		kind    = flag.String("kind", "planar", "index family: planar, 3d, knn, partition, dynplanar, dynpartition")
+		layoutF = flag.String("layout", "rr", "shard layout: rr (round-robin), sfc (space-filling curve), kd (kd-cut)")
+		noplan  = flag.Bool("noplan", false, "disable the query planner (full fan-out baseline)")
 		n       = flag.Int("n", 100000, "number of records")
 		shards  = flag.Int("shards", 8, "shard count")
 		workers = flag.Int("workers", 8, "query worker pool size")
@@ -68,6 +80,18 @@ func main() {
 		Shards: *shards, Workers: *workers,
 		BlockSize: *block, CacheBlocks: *cache,
 		Seed: *seed, IOLatency: *lat,
+		DisablePlanner: *noplan,
+	}
+	switch *layoutF {
+	case "rr":
+		cfg.Partitioner = linconstraint.RoundRobinLayout()
+	case "sfc":
+		cfg.Partitioner = linconstraint.SFCLayout()
+	case "kd":
+		cfg.Partitioner = linconstraint.KDCutLayout()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -layout %q (want rr, sfc or kd)\n", *layoutF)
+		os.Exit(2)
 	}
 
 	var (
@@ -175,9 +199,10 @@ func main() {
 		eng.Len(), eng.NumShards(), eng.NumWorkers(), buildTime.Round(time.Millisecond),
 		st.SpaceBlocks, st.MaxShardIOs)
 
-	// Phase 1: sequential profile for the per-query I/O histogram.
-	var perQuery []int64
-	var hits int64
+	// Phase 1: sequential profile for the per-query I/O histogram and
+	// the per-query plan (shards visited/pruned) columns.
+	var perQuery, perVisited []int64
+	var hits, visited, pruned int64
 	for i := 0; i < *profile; i++ {
 		eng.ResetStats()
 		r := eng.Batch([]linconstraint.Query{gen()})[0]
@@ -187,11 +212,19 @@ func main() {
 		}
 		s := eng.Stats()
 		perQuery = append(perQuery, s.Total.IOs())
+		perVisited = append(perVisited, int64(r.ShardsVisited))
+		visited += int64(r.ShardsVisited)
+		pruned += int64(r.ShardsPruned)
 		hits += int64(len(r.IDs) + len(r.Recs) + len(r.Neighbors))
 	}
 	fmt.Printf("\nper-query I/O histogram (%d sequential %s, mean output %d records):\n",
 		*profile, what, hits/int64(maxi(1, *profile)))
 	printHistogram(perQuery, "I/Os")
+	fmt.Printf("\nplan (%s layout): mean shards visited %.2f, pruned %.2f of %d per query\n",
+		*layoutF, float64(visited)/float64(maxi(1, *profile)),
+		float64(pruned)/float64(maxi(1, *profile)), *shards)
+	fmt.Println("per-query shards-visited histogram:")
+	printHistogram(perVisited, "shards")
 
 	// Phase 2: batched load through the worker pool, with an optional
 	// read/write mix on the mutable kinds.
@@ -237,6 +270,11 @@ func main() {
 	fmt.Printf("aggregate I/O: %d total (%d reads, %d writes, %d cache hits), %.1f I/Os/op\n",
 		st.Total.IOs(), st.Total.Reads, st.Total.Writes, st.Total.Hits,
 		float64(st.Total.IOs())/float64(len(qs)))
+	if nq > 0 {
+		fmt.Printf("planner: %d shard visits, %d pruned (%.2f visited / %.2f pruned of %d per query)\n",
+			st.ShardsVisited, st.ShardsPruned,
+			float64(st.ShardsVisited)/float64(nq), float64(st.ShardsPruned)/float64(nq), st.Shards)
+	}
 	fmt.Printf("worst shard: #%d with %d I/Os (%.1fx the fair share)\n",
 		st.WorstShard, st.MaxShardIOs,
 		float64(st.MaxShardIOs)*float64(st.Shards)/float64(maxi64(1, st.Total.IOs())))

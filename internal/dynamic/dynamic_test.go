@@ -177,6 +177,51 @@ func TestPartitionDAgainstModel(t *testing.T) {
 	}
 }
 
+// TestPartitionDSimplexAgainstModel: the dynamized tree's simplex
+// dispatch (matching the static adapter's OpConjunction coverage) must
+// agree with a brute-force containment model under interleaved updates.
+func TestPartitionDSimplexAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dev := eio.NewDevice(16, 0)
+	idx := NewPartitionD(dev)
+	var model []geom.PointD
+	for op := 0; op < 600; op++ {
+		switch r := rng.Intn(10); {
+		case r < 6:
+			p := geom.PointD{rng.Float64(), rng.Float64(), rng.Float64()}
+			idx.Insert(p)
+			model = append(model, p)
+		case r < 7:
+			if len(model) == 0 {
+				continue
+			}
+			i := rng.Intn(len(model))
+			if !idx.Delete(model[i]) {
+				t.Fatalf("op %d: delete failed", op)
+			}
+			model = append(model[:i], model[i+1:]...)
+		default:
+			// A slab between two parallel hyperplanes plus one more cut.
+			hi := []float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3, 0.4 + rng.Float64()*0.4}
+			lo := []float64{hi[0], hi[1], hi[2] - 0.3}
+			sx := geom.Simplex{
+				Planes: []geom.HyperplaneD{{Coef: hi}, {Coef: lo}, {Coef: []float64{0.2, -0.1, 0.6}}},
+				Below:  []bool{true, false, true},
+			}
+			got := idx.ReportSimplex(sx)
+			want := 0
+			for _, p := range model {
+				if sx.Contains(p) {
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("op %d: simplex got %d, want %d", op, len(got), want)
+			}
+		}
+	}
+}
+
 // TestAmortizedInsertCost: total build work over N inserts is
 // O(N log N)-ish, so average per-insert device writes stay polylog.
 func TestAmortizedInsertCost(t *testing.T) {

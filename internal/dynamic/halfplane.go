@@ -58,8 +58,18 @@ type PartitionD struct {
 
 type partIndex struct{ tr *partition.Tree }
 
+// Query dispatches on the query's type: a hyperplane runs a halfspace
+// report, a simplex (any conjunction of constraints, §5 Remark i) runs
+// a simplex report — so the dynamized tree serves the static tree's
+// full op surface.
 func (x partIndex) Query(q any) []int {
-	return x.tr.Halfspace(q.(geom.HyperplaneD))
+	switch v := q.(type) {
+	case geom.HyperplaneD:
+		return x.tr.Halfspace(v)
+	case geom.Simplex:
+		return x.tr.Simplex(v)
+	}
+	panic("dynamic: partition tree: unsupported query type")
 }
 
 // NewPartitionD returns an empty dynamic d-dimensional index on dev.
@@ -94,5 +104,13 @@ func (h *PartitionD) Len() int { return h.set.Len() }
 func (h *PartitionD) Report(hp geom.HyperplaneD) []geom.PointD {
 	var out []geom.PointD
 	h.set.Query(hp, func(p geom.PointD) { out = append(out, p) })
+	return out
+}
+
+// ReportSimplex returns the live points satisfying every constraint of
+// the simplex (a general convex-polytope query, §5 Remark i).
+func (h *PartitionD) ReportSimplex(s geom.Simplex) []geom.PointD {
+	var out []geom.PointD
+	h.set.Query(s, func(p geom.PointD) { out = append(out, p) })
 	return out
 }

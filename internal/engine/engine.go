@@ -26,8 +26,19 @@
 // shard before touching its index. Different shards proceed in
 // parallel; one shard's operations serialize, exactly like requests
 // queued at one disk. Updates route through the same locks: an insert
-// goes to the currently-smallest shard, a delete probes the shards in
-// order until one holds the record. See DESIGN.md §5.
+// goes to the shard the layout's Place picks (or the currently-smallest
+// shard when the layout delegates), a delete probes the shards in order
+// until one holds the record. See DESIGN.md §5.
+//
+// Shard layout and planning: Options.Partitioner (internal/partition)
+// decides which records share a shard, the engine maintains one
+// partition.ShardSummary per shard (grown on insert, never shrunk), and
+// every query is first planned (internal/planner) against a snapshot of
+// the summaries — only the shards whose region can intersect the query
+// are visited, the rest are counted as pruned in Stats and per-query in
+// Result. Round-robin layouts summarize to near-identical full-extent
+// boxes, so they plan full fan-out; the locality-aware layouts are what
+// make pruning bite. See DESIGN.md §6.
 package engine
 
 import (
@@ -41,6 +52,7 @@ import (
 	"linconstraint/internal/geom"
 	"linconstraint/internal/hull3d"
 	"linconstraint/internal/index"
+	"linconstraint/internal/partition"
 )
 
 // Options configure an engine.
@@ -62,6 +74,15 @@ type Options struct {
 	// Window bounds 3D queries; used only by New3D (zero means the
 	// chan3d default).
 	Window hull3d.Window
+	// Partitioner is the record-to-shard layout (default round-robin).
+	// A locality-aware layout (partition.NewSFC, partition.NewKDCut)
+	// gives shards disjoint regions so the planner can skip shards.
+	Partitioner partition.Partitioner
+	// NoPlanner disables shard pruning: every query fans out to every
+	// shard, as in the pre-planner engine. Answers are identical either
+	// way (that is the planner's contract); the switch exists as the
+	// baseline for pruning-efficiency measurements and property tests.
+	NoPlanner bool
 }
 
 func (o Options) normalized() Options {
@@ -76,6 +97,9 @@ func (o Options) normalized() Options {
 	}
 	if o.CacheBlocks < 0 {
 		o.CacheBlocks = 0
+	}
+	if o.Partitioner == nil {
+		o.Partitioner = partition.RoundRobin{}
 	}
 	return o
 }
@@ -113,6 +137,23 @@ type Engine struct {
 	// different dimensions — which one unsharded index would reject.
 	dim atomic.Int64
 
+	// part is the record-to-shard layout; noPlan disables pruning.
+	part   partition.Partitioner
+	noPlan bool
+	// globals maps shard-local record indices back to build-set indices
+	// for the static families (globals[si][local] = global id, strictly
+	// increasing per shard so sorted local answers stay sorted). Nil for
+	// the mutable families, which answer with records, not ids.
+	globals [][]int
+	// sums holds one geometry summary per shard for the planner. Static
+	// engines fill them at build and never change them; mutable engines
+	// grow them on insert and decrement Count on delete, all under
+	// sumsMu (queries snapshot under the read lock).
+	sums   []partition.ShardSummary
+	sumsMu sync.RWMutex
+	// visited/pruned accumulate planner outcomes across queries.
+	visited, pruned atomic.Int64
+
 	tasks     chan func()
 	workersWG sync.WaitGroup
 	closeOnce sync.Once
@@ -122,23 +163,28 @@ type Engine struct {
 	statsMu sync.Mutex
 }
 
-// split deals xs round-robin into S hands: shard s receives global
-// records s, s+S, s+2S, …, so local index j maps back to global j·S+s.
-// Round-robin keeps every shard a uniform sample of the input, so
-// skewed inputs (clustered, adversarial-diagonal) stay balanced.
-func split[T any](xs []T, s int) [][]T {
-	out := make([][]T, s)
-	for i := range out {
-		out[i] = make([]T, 0, (len(xs)+s-1)/s)
-	}
+// splitBy groups xs into the S hands the layout assigned, remembering
+// each hand's global indices. Hands keep input order, so globals[si] is
+// strictly increasing and sorted local answers map to sorted global
+// answers.
+func splitBy[T any](xs []T, asg []int, s int) (parts [][]T, globals [][]int) {
+	parts = make([][]T, s)
+	globals = make([][]int, s)
 	for i, x := range xs {
-		out[i%s] = append(out[i%s], x)
+		si := asg[i]
+		parts[si] = append(parts[si], x)
+		globals[si] = append(globals[si], i)
 	}
-	return out
+	return parts, globals
 }
 
-// global maps a shard-local record index back to its global index.
-func global(local, shardIdx, s int) int { return local*s + shardIdx }
+// layout runs the configured partitioner over the build set (given as
+// PointD views of the records) and returns the assignment plus the
+// per-shard summaries the planner will prune against.
+func layout(opt Options, pd []geom.PointD) ([]int, []partition.ShardSummary) {
+	asg := opt.Partitioner.Split(pd, opt.Shards)
+	return asg, partition.Summarize(pd, asg, opt.Shards)
+}
 
 // newEngine builds the scaffold and runs build(si, dev) once per shard,
 // in parallel: each builder goroutine is the sole owner of its shard's
@@ -149,6 +195,9 @@ func newEngine(opt Options, build func(si int, dev *eio.Device) index.Index) *En
 		shards:  make([]*shard, opt.Shards),
 		counts:  make([]atomic.Int64, opt.Shards),
 		workers: opt.Workers,
+		part:    opt.Partitioner,
+		noPlan:  opt.NoPlanner,
+		sums:    make([]partition.ShardSummary, opt.Shards),
 		tasks:   make(chan func(), opt.Workers*4),
 	}
 	var wg sync.WaitGroup
@@ -180,38 +229,62 @@ func newEngine(opt Options, build func(si int, dev *eio.Device) index.Index) *En
 // NewPlanar builds a sharded engine over the §3 planar structure.
 func NewPlanar(points []geom.Point2, opt Options) *Engine {
 	opt = opt.normalized()
-	parts := split(points, opt.Shards)
-	return newEngine(opt, func(si int, dev *eio.Device) index.Index {
+	pd := make([]geom.PointD, len(points))
+	for i, p := range points {
+		pd[i] = geom.PointD{p.X, p.Y}
+	}
+	asg, sums := layout(opt, pd)
+	parts, globals := splitBy(points, asg, opt.Shards)
+	e := newEngine(opt, func(si int, dev *eio.Device) index.Index {
 		return index.NewPlanar(dev, parts[si], opt.Seed+int64(si))
 	})
+	e.globals, e.sums = globals, sums
+	return e
 }
 
 // New3D builds a sharded engine over the §4 3D structure. opt.Window
 // must cover the (a, b) coefficient range of future queries.
 func New3D(points []geom.Point3, opt Options) *Engine {
 	opt = opt.normalized()
-	parts := split(points, opt.Shards)
-	return newEngine(opt, func(si int, dev *eio.Device) index.Index {
+	pd := make([]geom.PointD, len(points))
+	for i, p := range points {
+		pd[i] = geom.PointD{p.X, p.Y, p.Z}
+	}
+	asg, sums := layout(opt, pd)
+	parts, globals := splitBy(points, asg, opt.Shards)
+	e := newEngine(opt, func(si int, dev *eio.Device) index.Index {
 		return index.NewSpatial3(dev, parts[si], opt.Window, opt.Seed+int64(si))
 	})
+	e.globals, e.sums = globals, sums
+	return e
 }
 
 // NewKNN builds a sharded engine over the Theorem 4.3 k-NN structure.
 func NewKNN(points []geom.Point2, opt Options) *Engine {
 	opt = opt.normalized()
-	parts := split(points, opt.Shards)
-	return newEngine(opt, func(si int, dev *eio.Device) index.Index {
+	pd := make([]geom.PointD, len(points))
+	for i, p := range points {
+		pd[i] = geom.PointD{p.X, p.Y}
+	}
+	asg, sums := layout(opt, pd)
+	parts, globals := splitBy(points, asg, opt.Shards)
+	e := newEngine(opt, func(si int, dev *eio.Device) index.Index {
 		return index.NewKNN(dev, parts[si], opt.Seed+int64(si))
 	})
+	e.globals, e.sums = globals, sums
+	return e
 }
 
 // NewPartition builds a sharded engine over the §5 partition tree.
 func NewPartition(points []geom.PointD, opt Options) *Engine {
 	opt = opt.normalized()
-	parts := split(points, opt.Shards)
-	return newEngine(opt, func(si int, dev *eio.Device) index.Index {
+	asg, sums := layout(opt, points)
+	parts, globals := splitBy(points, asg, opt.Shards)
+	e := newEngine(opt, func(si int, dev *eio.Device) index.Index {
 		return index.NewPartition(dev, parts[si])
 	})
+	e.globals, e.sums = globals, sums
+	return e
 }
 
 // NewDynamicPlanar builds an empty mutable engine over the dynamized
@@ -237,10 +310,22 @@ func NewDynamicPartition(opt Options) *Engine {
 // Insert/Delete.
 func (e *Engine) Mutable() bool { return e.mutable }
 
-// Insert adds a record, routing it to the currently-smallest shard (by
-// live record count) so shards stay balanced under any insert stream.
-// It returns ErrImmutable when the engine's family is static, and the
-// index's validation error for a record of the wrong shape.
+// recPoint views a record as the d-dimensional point the layouts and
+// summaries work on.
+func recPoint(r index.Record) geom.PointD {
+	if r.PD != nil {
+		return r.PD
+	}
+	return geom.PointD{r.P2.X, r.P2.Y}
+}
+
+// Insert adds a record, routed to the shard the layout's Place picks —
+// or, when the layout delegates (round-robin always does; the
+// locality-aware layouts do until trained by a build set), to the
+// currently-smallest shard by live record count so shards stay
+// balanced under any insert stream. It returns ErrImmutable when the
+// engine's family is static, and the index's validation error for a
+// record of the wrong shape.
 func (e *Engine) Insert(r index.Record) error {
 	if !e.mutable {
 		return ErrImmutable
@@ -265,22 +350,37 @@ func (e *Engine) Insert(r index.Record) error {
 			return fmt.Errorf("engine: index is %d-dimensional, got a %d-dimensional record", e.dim.Load(), d)
 		}
 	}
-	si := 0
-	for i := 1; i < len(e.counts); i++ {
-		if e.counts[i].Load() < e.counts[si].Load() {
-			si = i
+	pd := recPoint(r)
+	si := e.part.Place(pd, len(e.shards))
+	if si < 0 || si >= len(e.shards) {
+		si = 0
+		for i := 1; i < len(e.counts); i++ {
+			if e.counts[i].Load() < e.counts[si].Load() {
+				si = i
+			}
 		}
 	}
 	sh := e.shards[si]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if err := sh.idx.(index.Mutable).Insert(r); err != nil {
+	err := sh.idx.(index.Mutable).Insert(r)
+	if err == nil {
+		e.counts[si].Add(1)
+	}
+	sh.mu.Unlock()
+	if err != nil {
 		if pinned {
 			e.dim.Store(0)
 		}
 		return err
 	}
-	e.counts[si].Add(1)
+	// Grow the shard's summary only after the index accepted the
+	// record: a rejected record must not distort the region, and a
+	// query planned between the shard insert and this update can at
+	// worst miss a record whose Insert has not yet returned — the
+	// summary update is the insert's linearization point for planning.
+	e.sumsMu.Lock()
+	e.sums[si].Add(pd)
+	e.sumsMu.Unlock()
 	return nil
 }
 
@@ -308,10 +408,33 @@ func (e *Engine) Delete(r index.Record) (bool, error) {
 			return false, err
 		}
 		if ok {
+			// Count down but keep the region: a too-large box only
+			// costs an unpruned shard. Count 0 prunes exactly.
+			e.sumsMu.Lock()
+			e.sums[si].Count--
+			e.sumsMu.Unlock()
 			return true, nil
 		}
 	}
 	return false, nil
+}
+
+// snapshotSums returns the shard summaries for one planning decision.
+// A static engine's summaries are immutable after build, so the live
+// slice is returned as-is; a mutable engine's keep growing in place,
+// so the planner gets a deep copy that stays valid after the lock is
+// released.
+func (e *Engine) snapshotSums() []partition.ShardSummary {
+	if !e.mutable {
+		return e.sums
+	}
+	e.sumsMu.RLock()
+	defer e.sumsMu.RUnlock()
+	out := make([]partition.ShardSummary, len(e.sums))
+	for i := range e.sums {
+		out[i] = e.sums[i].Clone()
+	}
+	return out
 }
 
 // Len returns the total number of live records across shards.

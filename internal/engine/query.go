@@ -7,6 +7,7 @@ import (
 	"linconstraint/internal/chan3d"
 	"linconstraint/internal/geom"
 	"linconstraint/internal/index"
+	"linconstraint/internal/planner"
 )
 
 // The engine's operation surface is defined by internal/index; the
@@ -40,12 +41,21 @@ const (
 // Neighbors (global IDs, closest first); OpDelete sets Deleted when a
 // record was removed. Err is non-nil when the op is outside the
 // engine's capability, and the other fields are empty.
+//
+// ShardsVisited and ShardsPruned are the query's plan stats: how many
+// shards answered it and how many the planner (plus, for OpKNN, the
+// run-time kth-distance cutoff) proved unable to contribute. They sum
+// to the engine's shard count on every planned query; update ops leave
+// both zero.
 type Result struct {
 	IDs       []int
 	Recs      []Record
 	Neighbors []chan3d.Neighbor
 	Deleted   bool
 	Err       error
+
+	ShardsVisited int
+	ShardsPruned  int
 }
 
 // partial is one shard's contribution to one query.
@@ -70,13 +80,15 @@ func (e *Engine) runLocal(si int, q Query) partial {
 		return partial{err: err}
 	}
 	// Local indices are sorted ascending (each index sorts its output),
-	// and local j ↦ global j·S+si is monotone, so the ids stay sorted.
-	s := len(e.shards)
-	for i := range ans.IDs {
-		ans.IDs[i] = global(ans.IDs[i], si, s)
-	}
-	for i := range ans.Neighbors {
-		ans.Neighbors[i].ID = global(ans.Neighbors[i].ID, si, s)
+	// and globals[si] is strictly increasing, so the ids stay sorted.
+	if e.globals != nil {
+		g := e.globals[si]
+		for i := range ans.IDs {
+			ans.IDs[i] = g[ans.IDs[i]]
+		}
+		for i := range ans.Neighbors {
+			ans.Neighbors[i].ID = g[ans.Neighbors[i].ID]
+		}
 	}
 	return partial{ids: ans.IDs, recs: ans.Recs, nbs: ans.Neighbors}
 }
@@ -117,34 +129,96 @@ func (e *Engine) applyUpdate(q Query) Result {
 	return Result{Deleted: deleted, Err: err}
 }
 
+// plan computes the shard set for one query: full fan-out when the
+// planner is disabled, otherwise the planner's verdict on a summary
+// snapshot.
+func (e *Engine) plan(q Query) planner.Plan {
+	if e.noPlan {
+		all := make([]int, len(e.shards))
+		for i := range all {
+			all[i] = i
+		}
+		return planner.Plan{Shards: all}
+	}
+	return planner.PlanQuery(q, e.snapshotSums())
+}
+
 // runQueries scatter-gathers one run of query ops through the worker
 // pool; results is parallel to qs. Ops outside the family's capability
 // (probed on shard 0 — capability is constant per family, so no lock
-// is needed) error without fanning out to any shard.
+// is needed) error without fanning out to any shard. Each query first
+// plans its shard set; only planned shards become tasks. A planned
+// OpKNN runs as one task that visits shards in box-distance order with
+// the kth-distance cutoff (see runKNNPlanned) — shard-sequential, but
+// queries of the run still overlap each other.
 func (e *Engine) runQueries(qs []Query, results []Result) {
-	s := len(e.shards)
 	parts := make([][]partial, len(qs))
+	plans := make([]planner.Plan, len(qs))
+	knnDone := make([]bool, len(qs))
 	var wg sync.WaitGroup
 	for qi, q := range qs {
 		if !e.shards[0].idx.Supports(q.Op) {
 			results[qi].Err = fmt.Errorf("engine: index family: %w %v", index.ErrUnsupported, q.Op)
 			continue
 		}
-		parts[qi] = make([]partial, s)
-		for si := 0; si < s; si++ {
+		plans[qi] = e.plan(q)
+		if q.Op == OpKNN && !e.noPlan {
+			knnDone[qi] = true
 			wg.Add(1)
 			e.tasks <- func() {
 				defer wg.Done()
-				parts[qi][si] = e.runLocal(si, q)
+				results[qi] = e.runKNNPlanned(q, plans[qi])
+			}
+			continue
+		}
+		parts[qi] = make([]partial, len(plans[qi].Shards))
+		for pi, si := range plans[qi].Shards {
+			wg.Add(1)
+			e.tasks <- func() {
+				defer wg.Done()
+				parts[qi][pi] = e.runLocal(si, q)
 			}
 		}
 	}
 	wg.Wait()
 	for qi := range qs {
-		if results[qi].Err == nil {
-			results[qi] = e.merge(qs[qi], parts[qi])
+		if results[qi].Err != nil || knnDone[qi] {
+			continue
 		}
+		results[qi] = e.merge(qs[qi], parts[qi])
+		results[qi].ShardsVisited = len(plans[qi].Shards)
+		results[qi].ShardsPruned = plans[qi].Pruned
+		e.visited.Add(int64(results[qi].ShardsVisited))
+		e.pruned.Add(int64(results[qi].ShardsPruned))
 	}
+}
+
+// runKNNPlanned answers one k-NN query incrementally: shards are
+// visited in increasing distance from the query point to their boxes,
+// and once k candidates are in hand a shard whose box is strictly
+// farther than the current kth distance is skipped — no point of it
+// can displace a held candidate (box distance lower-bounds every
+// member's distance, exactly, even in floats; ties must still be
+// visited because a tied point with a smaller global id would win the
+// merge's tie-break). The result is byte-identical to full fan-out.
+func (e *Engine) runKNNPlanned(q Query, pl planner.Plan) Result {
+	merged := make([]chan3d.Neighbor, 0, q.K)
+	visited := 0
+	for i, si := range pl.Shards {
+		if q.K > 0 && len(merged) >= q.K && pl.MinDist2[i] > merged[q.K-1].Dist2 {
+			break
+		}
+		p := e.runLocal(si, q)
+		if p.err != nil {
+			return Result{Err: p.err}
+		}
+		merged = mergeNeighbors([]partial{{nbs: merged}, p}, q.K)
+		visited++
+	}
+	pruned := len(e.shards) - visited
+	e.visited.Add(int64(visited))
+	e.pruned.Add(int64(pruned))
+	return Result{Neighbors: merged, ShardsVisited: visited, ShardsPruned: pruned}
 }
 
 // merge combines one query's per-shard answers. Any shard error (an
@@ -289,7 +363,15 @@ func (e *Engine) HalfspaceDRecs(coef []float64) []Record {
 // Conjunction reports the global indices of points satisfying every
 // constraint.
 func (e *Engine) Conjunction(cs []Constraint) []int {
+	e.wantStatic("Conjunction", "ConjunctionRecs")
 	return e.one(Query{Op: OpConjunction, Constraints: cs}).IDs
+}
+
+// ConjunctionRecs reports the live records satisfying every constraint
+// of a mutable partition engine, in canonical order.
+func (e *Engine) ConjunctionRecs(cs []Constraint) []Record {
+	e.wantMutable("ConjunctionRecs", "Conjunction")
+	return e.one(Query{Op: OpConjunction, Constraints: cs}).Recs
 }
 
 // KNN reports the k nearest indexed points to q, closest first, with

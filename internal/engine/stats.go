@@ -23,6 +23,15 @@ type Stats struct {
 	MaxShardIOs int64
 	WorstShard  int
 
+	// ShardsVisited and ShardsPruned accumulate the planner's verdicts
+	// over all queries since the last reset: how many (query, shard)
+	// visits actually ran and how many the planner (or the k-NN
+	// kth-distance cutoff) skipped. Visited+Pruned grows by the shard
+	// count per query; Pruned stays 0 under full fan-out (round-robin
+	// layout or Options.NoPlanner).
+	ShardsVisited int64
+	ShardsPruned  int64
+
 	PerShard []ShardStats
 }
 
@@ -37,9 +46,11 @@ func (e *Engine) Stats() Stats {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
 	out := Stats{
-		Shards:   len(e.shards),
-		Workers:  e.workers,
-		PerShard: make([]ShardStats, len(e.shards)),
+		Shards:        len(e.shards),
+		Workers:       e.workers,
+		ShardsVisited: e.visited.Load(),
+		ShardsPruned:  e.pruned.Load(),
+		PerShard:      make([]ShardStats, len(e.shards)),
 	}
 	for si, sh := range e.shards {
 		sh.mu.Lock()
@@ -58,10 +69,13 @@ func (e *Engine) Stats() Stats {
 	return out
 }
 
-// ResetStats zeroes every shard's counters and drops its cache.
+// ResetStats zeroes every shard's counters (and the planner counters)
+// and drops its cache.
 func (e *Engine) ResetStats() {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
+	e.visited.Store(0)
+	e.pruned.Store(0)
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 		sh.idx.ResetStats()

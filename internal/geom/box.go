@@ -42,17 +42,15 @@ func BoundingBox(pts []PointD) Box {
 	return b
 }
 
-// RegionSide classifies a box against the lower halfspace of hyperplane h
-// (the query region x_d <= h(x)): it returns -1 if the whole box is inside
-// (at or below h), +1 if the whole box is strictly outside (above h), and
-// 0 if h crosses the box. The extremes of the linear function
-// x_d − h(x_1..x_{d-1}) over a box are attained at corners and can be
-// computed coordinatewise.
-func (b Box) RegionSide(h HyperplaneD) int {
+// HalfspaceRange returns the extremes over the box of the residual
+// f(p) = p_d − Σ coef_i·p_i − coef_{d-1}, whose sign places p below (f
+// <= 0) or above (f > 0) hyperplane h. f is linear, so its extremes over
+// a box are attained at corners and can be computed coordinatewise; the
+// shard planner and RegionSide both classify boxes with them.
+func (b Box) HalfspaceRange(h HyperplaneD) (lo, hi float64) {
 	d := len(h.Coef)
-	// f(p) = p_d − Σ coef_i·p_i − coef_{d-1}; inside (below h) means f <= 0.
-	lo := b.Min[d-1] - h.Coef[d-1]
-	hi := b.Max[d-1] - h.Coef[d-1]
+	lo = b.Min[d-1] - h.Coef[d-1]
+	hi = b.Max[d-1] - h.Coef[d-1]
 	for i := 0; i < d-1; i++ {
 		c := h.Coef[i]
 		if c >= 0 {
@@ -63,6 +61,15 @@ func (b Box) RegionSide(h HyperplaneD) int {
 			hi -= c * b.Max[i]
 		}
 	}
+	return lo, hi
+}
+
+// RegionSide classifies a box against the lower halfspace of hyperplane h
+// (the query region x_d <= h(x)): it returns -1 if the whole box is inside
+// (at or below h), +1 if the whole box is strictly outside (above h), and
+// 0 if h crosses the box.
+func (b Box) RegionSide(h HyperplaneD) int {
+	lo, hi := b.HalfspaceRange(h)
 	switch {
 	case hi <= 0:
 		return -1
@@ -71,6 +78,27 @@ func (b Box) RegionSide(h HyperplaneD) int {
 	default:
 		return 0
 	}
+}
+
+// MinDist2 returns the squared Euclidean distance from q to the box
+// (zero when q is inside). The coordinatewise clamp uses the same
+// subtract-square-sum shape as point-to-point distances, so for any
+// point p in the box the computed point distance is at least the
+// computed box distance even in floating point — the k-NN planner's
+// cutoff relies on that monotonicity.
+func (b Box) MinDist2(q PointD) float64 {
+	var d2 float64
+	for i := range b.Min {
+		c := q[i]
+		if c < b.Min[i] {
+			c = b.Min[i]
+		} else if c > b.Max[i] {
+			c = b.Max[i]
+		}
+		dx := q[i] - c
+		d2 += dx * dx
+	}
+	return d2
 }
 
 // Simplex is a convex query region given as an intersection of closed

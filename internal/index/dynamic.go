@@ -145,6 +145,17 @@ func (d *DynamicPartition) Halfspace(coef []float64) []geom.PointD {
 	return pts
 }
 
+// Conjunction returns the live points satisfying every constraint (a
+// simplex or general convex-polytope query) in lexicographic order,
+// matching the static adapter's op coverage.
+func (d *DynamicPartition) Conjunction(cs []Constraint) []geom.PointD {
+	pts := d.idx.ReportSimplex(simplex(cs))
+	sort.Slice(pts, func(i, j int) bool {
+		return Record{PD: pts[i]}.Less(Record{PD: pts[j]})
+	})
+	return pts
+}
+
 // Len returns the number of live points.
 func (d *DynamicPartition) Len() int { return d.idx.Len() }
 
@@ -155,14 +166,21 @@ func (d *DynamicPartition) Stats() Stats { return devStats(d.dev) }
 func (d *DynamicPartition) ResetStats() { d.dev.ResetCounters() }
 
 // Supports reports the ops the dynamic partition family serves.
-func (d *DynamicPartition) Supports(op Op) bool { return op == OpHalfspaceD }
+func (d *DynamicPartition) Supports(op Op) bool {
+	return op == OpHalfspaceD || op == OpConjunction
+}
 
 // Query dispatches the ops the dynamic partition family serves.
 func (d *DynamicPartition) Query(q Query) (Answer, error) {
-	if !d.Supports(q.Op) {
+	var pts []geom.PointD
+	switch q.Op {
+	case OpHalfspaceD:
+		pts = d.Halfspace(q.Coef)
+	case OpConjunction:
+		pts = d.Conjunction(q.Constraints)
+	default:
 		return Answer{}, unsupported("dynamic partition", q.Op)
 	}
-	pts := d.Halfspace(q.Coef)
 	recs := make([]Record, len(pts))
 	for i, p := range pts {
 		recs[i] = Record{PD: p}

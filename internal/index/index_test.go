@@ -91,7 +91,7 @@ func TestUnsupportedOps(t *testing.T) {
 		{"knn", NewKNN(eio.NewDevice(16, 0), pts2, 1), map[Op]bool{OpKNN: true}},
 		{"partition", NewPartition(eio.NewDevice(16, 0), nil), map[Op]bool{OpHalfspaceD: true, OpConjunction: true}},
 		{"dynplanar", NewDynamicPlanar(eio.NewDevice(16, 0), 1), map[Op]bool{OpHalfplane: true}},
-		{"dynpartition", NewDynamicPartition(eio.NewDevice(16, 0)), map[Op]bool{OpHalfspaceD: true}},
+		{"dynpartition", NewDynamicPartition(eio.NewDevice(16, 0)), map[Op]bool{OpHalfspaceD: true, OpConjunction: true}},
 	}
 	allOps := []Op{OpHalfplane, OpHalfspace3, OpHalfspaceD, OpConjunction, OpKNN, OpInsert, OpDelete}
 	for _, c := range cases {

@@ -1,0 +1,399 @@
+package partition
+
+// Record-to-shard layouts for the sharded engine. The engine's shards
+// are "disks": each holds one index over its slice of the records, and
+// the engine scatter-gathers queries across them. Which records land
+// together decides whether the planner (internal/planner) can skip
+// shards: round-robin dealing makes every shard a uniform sample of the
+// input — perfectly balanced, but every shard's bounding region covers
+// the whole data set, so nothing is ever pruned and every query pays S
+// times the paper's per-query bound. The locality-aware layouts here
+// (a Z-order space-filling curve and recursive kd-cuts) keep spatially
+// close records on the same shard, so a selective query's region
+// intersects only a few shards' bounding regions and the planner can
+// prove the rest empty.
+//
+// Correctness never depends on the layout: the engine merges per-shard
+// answers in canonical record (or global id) order, so any Partitioner
+// yields byte-identical answers; layouts only move I/O.
+
+import (
+	"math"
+	"sort"
+
+	"linconstraint/internal/geom"
+)
+
+// Partitioner assigns records (as d-dimensional points) to shards. A
+// Partitioner is used by one engine: Split observes the whole build set
+// once, before any concurrency, and may retain state (curve scale, cut
+// thresholds) that Place then uses to route later inserts. Place must
+// be safe for concurrent use as a pure read of the trained state — the
+// engine calls it without a lock from concurrent Inserts. A layout may
+// also be trained by calling Split on a sample before handing it to an
+// engine that builds empty (the mutable engines), so later Places
+// route spatially instead of delegating.
+type Partitioner interface {
+	// Name identifies the layout in stats and CLI flags.
+	Name() string
+	// Split assigns each point a shard in [0, s), observing the whole
+	// build set. It returns the assignment slice, parallel to pts.
+	Split(pts []geom.PointD, s int) []int
+	// Place routes one later insert to a shard in [0, s). A negative
+	// return delegates placement to the engine's load balancer
+	// (currently-smallest shard) — the round-robin layout always
+	// delegates, and the locality-aware layouts delegate until a Split
+	// has taught them the data's scale.
+	Place(p geom.PointD, s int) int
+}
+
+// RoundRobin deals records to shards in input order: shard i%s gets
+// record i. Every shard is a uniform sample of the input, so skewed
+// inputs stay balanced — and no query region can ever be proven to miss
+// a shard. It is the engine's default layout and the pruning baseline.
+type RoundRobin struct{}
+
+// Name identifies the layout.
+func (RoundRobin) Name() string { return "roundrobin" }
+
+// Split deals pts round-robin.
+func (RoundRobin) Split(pts []geom.PointD, s int) []int {
+	asg := make([]int, len(pts))
+	for i := range asg {
+		asg[i] = i % s
+	}
+	return asg
+}
+
+// Place delegates to the engine's load balancer.
+func (RoundRobin) Place(geom.PointD, int) int { return -1 }
+
+// SFC is the space-filling-curve layout: points are sorted by the
+// Z-order (Morton) key of their quantized coordinates and the sorted
+// run is cut into s equal-size contiguous chunks. Curve-adjacent keys
+// are spatially close, so each shard covers a compact region while
+// staying exactly balanced (sizes differ by at most one record).
+type SFC struct {
+	// Learned by Split; zero until then.
+	d      int
+	bits   uint
+	box    geom.Box
+	starts []uint64 // starts[i] = Z-key of the first record of shard i's run
+}
+
+// NewSFC returns an untrained space-filling-curve layout.
+func NewSFC() *SFC { return &SFC{} }
+
+// Name identifies the layout.
+func (z *SFC) Name() string { return "sfc" }
+
+// Split sorts pts along the Z-order curve over their bounding box and
+// cuts the curve into s balanced runs. It retains the box, the
+// per-dimension bit budget and the run boundaries so Place can route
+// later inserts onto the same curve.
+func (z *SFC) Split(pts []geom.PointD, s int) []int {
+	asg := make([]int, len(pts))
+	if len(pts) == 0 {
+		return asg
+	}
+	z.d = len(pts[0])
+	z.bits = 64 / uint(z.d)
+	if z.bits > 16 {
+		z.bits = 16
+	}
+	z.box = geom.BoundingBox(pts)
+	keys := make([]uint64, len(pts))
+	idx := make([]int, len(pts))
+	for i, p := range pts {
+		keys[i] = z.key(p)
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if keys[idx[a]] != keys[idx[b]] {
+			return keys[idx[a]] < keys[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	z.starts = make([]uint64, s)
+	pos := 0
+	for si := 0; si < s; si++ {
+		cnt := len(pts) / s
+		if si < len(pts)%s {
+			cnt++
+		}
+		if pos < len(idx) {
+			z.starts[si] = keys[idx[pos]]
+		} else {
+			z.starts[si] = math.MaxUint64
+		}
+		for j := 0; j < cnt; j++ {
+			asg[idx[pos]] = si
+			pos++
+		}
+	}
+	return asg
+}
+
+// Place routes p to the shard whose curve run covers p's Z-key
+// (delegating to the load balancer until Split has fixed the curve's
+// scale, or for a point of another dimension).
+func (z *SFC) Place(p geom.PointD, s int) int {
+	if z.d == 0 || len(p) != z.d {
+		return -1
+	}
+	k := z.key(p)
+	si := sort.Search(len(z.starts), func(i int) bool { return z.starts[i] > k }) - 1
+	if si < 0 {
+		si = 0
+	}
+	if si >= s {
+		si = s - 1
+	}
+	return si
+}
+
+// key interleaves the bits of p's quantized coordinates, most
+// significant first — the Z-order (Morton) key. Coordinates outside the
+// learned box clamp to its faces.
+func (z *SFC) key(p geom.PointD) uint64 {
+	q := make([]uint64, z.d)
+	for j := 0; j < z.d; j++ {
+		lo, hi := z.box.Min[j], z.box.Max[j]
+		if hi > lo {
+			t := (p[j] - lo) / (hi - lo)
+			if t < 0 {
+				t = 0
+			} else if t > 1 {
+				t = 1
+			}
+			v := uint64(t * float64(uint64(1)<<z.bits))
+			if v >= uint64(1)<<z.bits {
+				v = uint64(1)<<z.bits - 1
+			}
+			q[j] = v
+		}
+	}
+	var k uint64
+	for b := int(z.bits) - 1; b >= 0; b-- {
+		for j := 0; j < z.d; j++ {
+			k = k<<1 | (q[j]>>uint(b))&1
+		}
+	}
+	return k
+}
+
+// KDCut recursively halves the shard range and the point set together:
+// each node picks the axis of widest extent, sends a proportional
+// prefix of the axis-sorted points left, and records the cut threshold.
+// The leaves are s axis-aligned tiles with near-equal record counts —
+// the same balanced kd-cuts the §5 partition tree uses internally (see
+// the package comment's substitution 4), applied once at shard
+// granularity.
+type KDCut struct {
+	root *kdCutNode // learned by Split; nil until then
+}
+
+type kdCutNode struct {
+	axis        int
+	thresh      float64
+	left, right *kdCutNode
+	shard       int // leaf payload when left == nil
+}
+
+// NewKDCut returns an untrained kd-cut layout.
+func NewKDCut() *KDCut { return &KDCut{} }
+
+// Name identifies the layout.
+func (k *KDCut) Name() string { return "kdcut" }
+
+// Split recursively cuts pts into s balanced tiles and retains the cut
+// tree so Place can route later inserts into the tile that contains
+// them.
+func (k *KDCut) Split(pts []geom.PointD, s int) []int {
+	asg := make([]int, len(pts))
+	if len(pts) == 0 {
+		return asg
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	k.root = kdCutBuild(pts, idx, 0, s, asg)
+	return asg
+}
+
+func kdCutBuild(pts []geom.PointD, idx []int, lo, s int, asg []int) *kdCutNode {
+	if s == 1 {
+		for _, i := range idx {
+			asg[i] = lo
+		}
+		return &kdCutNode{axis: -1, shard: lo}
+	}
+	axis := widestAxis(pts, idx)
+	sort.Slice(idx, func(a, b int) bool {
+		if pts[idx[a]][axis] != pts[idx[b]][axis] {
+			return pts[idx[a]][axis] < pts[idx[b]][axis]
+		}
+		return idx[a] < idx[b]
+	})
+	sl := s / 2
+	nl := len(idx) * sl / s
+	var thresh float64
+	switch {
+	case nl == 0:
+		thresh = math.Inf(-1)
+	case nl == len(idx):
+		thresh = math.Inf(1)
+	default:
+		thresh = (pts[idx[nl-1]][axis] + pts[idx[nl]][axis]) / 2
+	}
+	n := &kdCutNode{axis: axis, thresh: thresh}
+	n.left = kdCutBuild(pts, idx[:nl], lo, sl, asg)
+	n.right = kdCutBuild(pts, idx[nl:], lo+sl, s-sl, asg)
+	return n
+}
+
+// widestAxis returns the axis of largest coordinate spread over
+// pts[idx], lowest axis on ties (deterministic).
+func widestAxis(pts []geom.PointD, idx []int) int {
+	if len(idx) == 0 {
+		return 0
+	}
+	d := len(pts[idx[0]])
+	best, bestSpread := 0, -1.0
+	for ax := 0; ax < d; ax++ {
+		lo, hi := pts[idx[0]][ax], pts[idx[0]][ax]
+		for _, i := range idx[1:] {
+			v := pts[i][ax]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo > bestSpread {
+			best, bestSpread = ax, hi-lo
+		}
+	}
+	return best
+}
+
+// Place descends the cut tree (delegating to the load balancer until
+// Split has built it, or for a point of another dimension).
+func (k *KDCut) Place(p geom.PointD, s int) int {
+	v := k.root
+	if v == nil {
+		return -1
+	}
+	for v.left != nil {
+		if v.axis >= len(p) {
+			return -1
+		}
+		if p[v.axis] <= v.thresh {
+			v = v.left
+		} else {
+			v = v.right
+		}
+	}
+	if v.shard >= s {
+		return -1
+	}
+	return v.shard
+}
+
+// --- Per-shard summaries ---------------------------------------------------
+
+// dirs2 samples the upper half-circle: unit directions at angles j·π/16,
+// j = 0..16. Any direction v with v.y > 0 — in particular the normal
+// (−a, 1) of every halfplane query y <= a·x + b — lies in the cone of
+// two adjacent samples, so stored extremes along the samples bound the
+// extreme along v (a conic combination of lower bounds is a lower
+// bound). Extremes along the samples are the support function of the
+// shard's point set at 17 angles: a strictly tighter region than the
+// bounding box for halfplane pruning.
+var dirs2 = func() [][2]float64 {
+	out := make([][2]float64, 17)
+	for j := range out {
+		th := float64(j) * math.Pi / 16
+		out[j] = [2]float64{math.Cos(th), math.Sin(th)}
+	}
+	return out
+}()
+
+// Directions2 returns the sampled unit directions (dx, dy) along which
+// 2D shard summaries record extremes. The slice is shared; do not
+// mutate it.
+func Directions2() [][2]float64 { return dirs2 }
+
+// ShardSummary is one shard's condensed geometry, maintained by the
+// engine and consumed by the planner: the live record count, the
+// bounding box of every record ever placed on the shard, and — for
+// planar (d = 2) shards — minima along the sampled directions of
+// Directions2. Deletes decrement Count but never shrink Box or DirLo:
+// a too-large region can only cost an unpruned shard, never a missed
+// record, so summaries stay sound under any interleaving of updates.
+type ShardSummary struct {
+	// Count is the number of live records on the shard. Zero means the
+	// planner can skip the shard outright.
+	Count int
+	// Box bounds every record ever placed on the shard. A zero Box
+	// (nil Min) with Count > 0 means "unknown"; the planner must visit.
+	Box geom.Box
+	// DirLo[j] is the minimum of Directions2()[j] · p over the shard's
+	// records; nil for d != 2 (or unknown).
+	DirLo []float64
+}
+
+// Add grows the summary to cover p and counts it live.
+func (s *ShardSummary) Add(p geom.PointD) {
+	s.Count++
+	if s.Box.Min == nil {
+		s.Box = geom.Box{Min: append(geom.PointD(nil), p...), Max: append(geom.PointD(nil), p...)}
+		if len(p) == 2 {
+			s.DirLo = make([]float64, len(dirs2))
+			for j, u := range dirs2 {
+				s.DirLo[j] = u[0]*p[0] + u[1]*p[1]
+			}
+		}
+		return
+	}
+	if len(p) != len(s.Box.Min) {
+		// A record of another dimension on the same shard would be
+		// rejected by the index; keep the summary unconstrained rather
+		// than mix dimensions.
+		return
+	}
+	for i := range p {
+		if p[i] < s.Box.Min[i] {
+			s.Box.Min[i] = p[i]
+		}
+		if p[i] > s.Box.Max[i] {
+			s.Box.Max[i] = p[i]
+		}
+	}
+	for j := range s.DirLo {
+		if v := dirs2[j][0]*p[0] + dirs2[j][1]*p[1]; v < s.DirLo[j] {
+			s.DirLo[j] = v
+		}
+	}
+}
+
+// Clone deep-copies the summary so a planner snapshot stays valid while
+// the engine keeps mutating the original in place.
+func (s ShardSummary) Clone() ShardSummary {
+	return ShardSummary{
+		Count: s.Count,
+		Box:   geom.Box{Min: append(geom.PointD(nil), s.Box.Min...), Max: append(geom.PointD(nil), s.Box.Max...)},
+		DirLo: append([]float64(nil), s.DirLo...),
+	}
+}
+
+// Summarize builds the per-shard summaries of a Split assignment.
+func Summarize(pts []geom.PointD, asg []int, s int) []ShardSummary {
+	sums := make([]ShardSummary, s)
+	for i, p := range pts {
+		sums[asg[i]].Add(p)
+	}
+	return sums
+}

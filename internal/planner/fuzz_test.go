@@ -1,0 +1,78 @@
+package planner
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"linconstraint/internal/geom"
+	"linconstraint/internal/index"
+	"linconstraint/internal/partition"
+)
+
+// FuzzPlanner drives the soundness contract with adversarial inputs:
+// however the points, layout and query coefficients are chosen, a
+// pruned shard must hold no qualifying record. The fuzzer decodes the
+// input as a stream of float64s: first the query coefficients, then 2D
+// points dealt to 4 shards by the kd-cut layout.
+func FuzzPlanner(f *testing.F) {
+	mk := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(mk(0.5, 0.1, 0, 0, 1, 1, 0.2, 0.8, 0.9, 0.3))
+	f.Add(mk(-2, 0, 0.1, 0.1, 0.1, 0.2, 0.9, 0.9, 0.5, 0.5, 0.4, 0.6))
+	f.Add(mk(1e6, -1e6, 1e-9, 1e9, -5, 5, 0, 0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := make([]float64, 0, len(data)/8)
+		for len(data) >= 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data))
+			data = data[8:]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) < 6 {
+			return
+		}
+		a, b := vals[0], vals[1]
+		vals = vals[2:]
+		pts := make([]geom.PointD, 0, len(vals)/2)
+		for i := 0; i+1 < len(vals); i += 2 {
+			pts = append(pts, geom.PointD{vals[i], vals[i+1]})
+		}
+		const s = 4
+		part := partition.NewKDCut()
+		asg := part.Split(pts, s)
+		sums := partition.Summarize(pts, asg, s)
+
+		q := index.Query{Op: index.OpHalfplane, A: a, B: b}
+		pl := PlanQuery(q, sums)
+		if len(pl.Shards)+pl.Pruned != s {
+			t.Fatalf("plan accounts for %d shards, want %d", len(pl.Shards)+pl.Pruned, s)
+		}
+		planned := map[int]bool{}
+		for _, si := range pl.Shards {
+			planned[si] = true
+		}
+		for i, p := range pts {
+			if geom.SideOfLine2(geom.Line2{A: a, B: b}, geom.Point2{X: p[0], Y: p[1]}) <= 0 &&
+				!planned[asg[i]] {
+				t.Fatalf("qualifying point %v on pruned shard %d (query y <= %g*x + %g)", p, asg[i], a, b)
+			}
+		}
+
+		// The same points also exercise the k-NN ordering invariants.
+		kq := index.Query{Op: index.OpKNN, K: 3, Pt: geom.Point2{X: a, Y: b}}
+		kpl := PlanQuery(kq, sums)
+		for i := 1; i < len(kpl.MinDist2); i++ {
+			if kpl.MinDist2[i] < kpl.MinDist2[i-1] {
+				t.Fatalf("k-NN plan distances not ascending: %v", kpl.MinDist2)
+			}
+		}
+	})
+}

@@ -1,0 +1,238 @@
+// Package planner computes, for one engine query and the per-shard
+// summaries of internal/partition, the minimal set of shards that can
+// contribute to the answer. The paper states its bounds as per-query
+// block I/Os over one index; a sharded engine without a planner
+// multiplies every bound by S because each of the S shards answers
+// every query. Pruning restores near-per-paper cost whenever the shard
+// layout gives shards disjoint regions (internal/partition's SFC and
+// kd-cut layouts): a shard whose summary region provably misses the
+// query region contributes nothing, so the engine never touches it.
+//
+// Every predicate here is one-sided: it may fail to prune (a visited
+// shard that answers empty costs I/O, never correctness), but it must
+// never prune a shard holding a qualifying record. Two disciplines
+// enforce that. First, the geometric tests compare against summaries
+// that only ever grow (see partition.ShardSummary), so a record is
+// always inside its shard's summarized region. Second, the float
+// comparisons carry a relative slack: the indexes decide membership
+// with exact rational predicates (internal/geom), so a prune decision
+// within rounding distance of the boundary is refused and the shard is
+// visited instead. The k-NN cutoff needs no slack — box distances use
+// the same subtract-square-sum shape as point distances (see
+// geom.Box.MinDist2), so a point's computed distance can never round
+// below its box's.
+package planner
+
+import (
+	"math"
+	"sort"
+
+	"linconstraint/internal/geom"
+	"linconstraint/internal/index"
+	"linconstraint/internal/partition"
+)
+
+// Plan is the shard set one query must visit.
+type Plan struct {
+	// Shards lists the shards that can contribute, ascending — except
+	// for OpKNN, where they are ordered by increasing distance from the
+	// query point to the shard's bounding box, the visit order of the
+	// engine's incremental cutoff.
+	Shards []int
+	// MinDist2 is parallel to Shards for OpKNN: the squared distance
+	// from the query point to each shard's box (0 when inside). Nil for
+	// other ops.
+	MinDist2 []float64
+	// Pruned counts the shards excluded at plan time. For OpKNN the
+	// engine's kth-distance cutoff may prune further at run time.
+	Pruned int
+}
+
+// PlanQuery returns the shard set for q given one summary per shard.
+// Ops the planner has no predicate for (updates, unknown ops) plan the
+// full shard set.
+func PlanQuery(q index.Query, sums []partition.ShardSummary) Plan {
+	if q.Op == index.OpKNN {
+		return planKNN(q, sums)
+	}
+	var pl Plan
+	for si, sum := range sums {
+		if !mayContribute(q, sum) {
+			pl.Pruned++
+			continue
+		}
+		pl.Shards = append(pl.Shards, si)
+	}
+	return pl
+}
+
+// mayContribute reports whether a record of the summarized shard can
+// satisfy q. Unknown regions (no box yet) and ops without a predicate
+// always may.
+func mayContribute(q index.Query, sum partition.ShardSummary) bool {
+	if sum.Count == 0 {
+		return false
+	}
+	if sum.Box.Min == nil {
+		return true
+	}
+	switch q.Op {
+	case index.OpHalfplane:
+		return halfplaneMay(q.A, q.B, sum)
+	case index.OpHalfspace3:
+		return halfspaceMay(geom.HyperplaneD{Coef: []float64{q.A, q.B, q.C}}, sum.Box)
+	case index.OpHalfspaceD:
+		return halfspaceMay(geom.HyperplaneD{Coef: q.Coef}, sum.Box)
+	case index.OpConjunction:
+		return conjunctionMay(q.Constraints, sum.Box)
+	}
+	return true
+}
+
+// safelyPositive (safelyNegative) reports that bound is positive
+// (negative) by more than the accumulated rounding of the computation
+// that produced it. scale must bound the magnitudes of the terms summed
+// into bound — the residual computations cancel large terms, so a
+// margin relative to the small result would be unsound; relative to the
+// operands, 1e-9 leaves seven orders over the ~1e-16-per-operation
+// float64 error. Non-finite bounds (overflow, a NaN from infinite
+// summaries) never prune.
+func safelyPositive(bound, scale float64) bool {
+	if math.IsInf(bound, 0) || math.IsNaN(bound) || math.IsInf(scale, 0) || math.IsNaN(scale) {
+		return false
+	}
+	return bound > 1e-9*(1+scale)
+}
+
+func safelyNegative(bound, scale float64) bool { return safelyPositive(-bound, scale) }
+
+// halfspaceScale bounds the magnitude of the terms HalfspaceRange sums.
+func halfspaceScale(h geom.HyperplaneD, box geom.Box) float64 {
+	d := len(h.Coef)
+	s := math.Abs(box.Min[d-1]) + math.Abs(box.Max[d-1]) + math.Abs(h.Coef[d-1])
+	for i := 0; i < d-1; i++ {
+		s += math.Abs(h.Coef[i]) * math.Max(math.Abs(box.Min[i]), math.Abs(box.Max[i]))
+	}
+	return s
+}
+
+// halfspaceMay reports whether the box can meet x_d <= h(x): prune only
+// when the minimum of the residual p_d − h(p) over the box is safely
+// positive. Dimension mismatches (a query of another dimension would be
+// rejected by the index itself) conservatively visit.
+func halfspaceMay(h geom.HyperplaneD, box geom.Box) bool {
+	if len(h.Coef) != len(box.Min) || len(h.Coef) == 0 {
+		return true
+	}
+	lo, _ := box.HalfspaceRange(h)
+	return !safelyPositive(lo, halfspaceScale(h, box))
+}
+
+// halfplaneMay is halfspaceMay for d = 2, tightened by the summary's
+// directional extremes: the query asks for a point with y − a·x <= b,
+// i.e. v·p <= b for v = (−a, 1). v lies in the cone of two adjacent
+// sampled directions u₁, u₂ (v.y = 1 > 0 and the samples cover the
+// upper half-circle), so with v = λ₁u₁ + λ₂u₂, λ ≥ 0,
+// min_p v·p ≥ λ₁·DirLo₁ + λ₂·DirLo₂ — the support-function bound, never
+// weaker than the box corner bound when v falls between samples.
+func halfplaneMay(a, b float64, sum partition.ShardSummary) bool {
+	h := geom.HyperplaneD{Coef: []float64{a, b}}
+	if len(sum.Box.Min) == 2 {
+		if lo, _ := sum.Box.HalfspaceRange(h); safelyPositive(lo, halfspaceScale(h, sum.Box)) {
+			return false
+		}
+	}
+	if dirs := partition.Directions2(); len(sum.DirLo) == len(dirs) {
+		v := [2]float64{-a, 1}
+		th := math.Atan2(v[1], v[0]) // in (0, π)
+		j := int(th / (math.Pi / 16))
+		if j < 0 {
+			j = 0
+		}
+		if j > len(dirs)-2 {
+			j = len(dirs) - 2
+		}
+		u1, u2 := dirs[j], dirs[j+1]
+		det := u1[0]*u2[1] - u1[1]*u2[0]
+		if det != 0 {
+			l1 := (v[0]*u2[1] - v[1]*u2[0]) / det
+			l2 := (u1[0]*v[1] - u1[1]*v[0]) / det
+			if l1 >= 0 && l2 >= 0 {
+				db := l1*sum.DirLo[j] + l2*sum.DirLo[j+1] - b
+				// The DirLo dot products can cancel large coordinates,
+				// so the rounding basis is the box magnitude, not the
+				// (possibly tiny) DirLo values.
+				var mag float64
+				for i := range sum.Box.Min {
+					mag = math.Max(mag, math.Max(math.Abs(sum.Box.Min[i]), math.Abs(sum.Box.Max[i])))
+				}
+				scale := (l1+l2)*mag + math.Abs(b)
+				if safelyPositive(db, scale) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// conjunctionMay reports whether the box can meet every constraint:
+// one constraint whose inside halfspace safely misses the whole box
+// proves the shard empty for the query (the same single-constraint
+// exclusion geom.Simplex.RegionSide uses, with slack).
+func conjunctionMay(cs []index.Constraint, box geom.Box) bool {
+	for _, c := range cs {
+		if len(c.Coef) != len(box.Min) || len(c.Coef) == 0 {
+			continue
+		}
+		h := geom.HyperplaneD{Coef: c.Coef}
+		lo, hi := box.HalfspaceRange(h)
+		scale := halfspaceScale(h, box)
+		if c.Below && safelyPositive(lo, scale) {
+			return false
+		}
+		if !c.Below && safelyNegative(hi, scale) {
+			return false
+		}
+	}
+	return true
+}
+
+// planKNN orders the candidate shards by distance from the query point
+// to their boxes — the visit order under which the engine's incremental
+// kth-distance cutoff terminates earliest. Only provably empty shards
+// are pruned here; geometry alone cannot drop a populated shard without
+// knowing the kth distance, which emerges as shards answer.
+func planKNN(q index.Query, sums []partition.ShardSummary) Plan {
+	var pl Plan
+	qp := geom.PointD{q.Pt.X, q.Pt.Y}
+	type cand struct {
+		si int
+		d2 float64
+	}
+	var cands []cand
+	for si, sum := range sums {
+		if sum.Count == 0 {
+			pl.Pruned++
+			continue
+		}
+		d2 := 0.0 // unknown region: order first, never cut off early
+		if len(sum.Box.Min) == 2 {
+			d2 = sum.Box.MinDist2(qp)
+		}
+		cands = append(cands, cand{si, d2})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d2 != cands[b].d2 {
+			return cands[a].d2 < cands[b].d2
+		}
+		return cands[a].si < cands[b].si
+	})
+	pl.Shards = make([]int, len(cands))
+	pl.MinDist2 = make([]float64, len(cands))
+	for i, c := range cands {
+		pl.Shards[i] = c.si
+		pl.MinDist2[i] = c.d2
+	}
+	return pl
+}

@@ -1,0 +1,173 @@
+package planner
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"linconstraint/internal/geom"
+	"linconstraint/internal/index"
+	"linconstraint/internal/partition"
+	"linconstraint/internal/workload"
+)
+
+// mustCover fails the test if any point satisfying q lives on a shard
+// the plan pruned — the planner's one-sided soundness contract.
+func mustCover(t *testing.T, q index.Query, pts []geom.PointD, asg []int, pl Plan, label string) {
+	t.Helper()
+	planned := map[int]bool{}
+	for _, si := range pl.Shards {
+		planned[si] = true
+	}
+	for i, p := range pts {
+		var in bool
+		switch q.Op {
+		case index.OpHalfplane:
+			in = geom.SideOfLine2(geom.Line2{A: q.A, B: q.B}, geom.Point2{X: p[0], Y: p[1]}) <= 0
+		case index.OpHalfspace3:
+			in = geom.SideOfHyperplane(geom.HyperplaneD{Coef: []float64{q.A, q.B, q.C}}, p) <= 0
+		case index.OpHalfspaceD:
+			in = geom.SideOfHyperplane(geom.HyperplaneD{Coef: q.Coef}, p) <= 0
+		case index.OpConjunction:
+			var sx geom.Simplex
+			for _, c := range q.Constraints {
+				sx.Planes = append(sx.Planes, geom.HyperplaneD{Coef: c.Coef})
+				sx.Below = append(sx.Below, c.Below)
+			}
+			in = sx.Contains(p)
+		}
+		if in && !planned[asg[i]] {
+			t.Fatalf("%s: qualifying point %d on pruned shard %d", label, i, asg[i])
+		}
+	}
+}
+
+// TestPlanSoundness: across layouts, ops and selectivities, the plan
+// must cover every qualifying point, and Pruned+len(Shards) must equal
+// the shard count.
+func TestPlanSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const s = 8
+	pts2 := workload.Uniform2(rng, 1500)
+	pd2 := make([]geom.PointD, len(pts2))
+	for i, p := range pts2 {
+		pd2[i] = geom.PointD{p.X, p.Y}
+	}
+	pd3 := workload.CubeD(rng, 1500, 3)
+
+	layouts := []func() partition.Partitioner{
+		func() partition.Partitioner { return partition.RoundRobin{} },
+		func() partition.Partitioner { return partition.NewSFC() },
+		func() partition.Partitioner { return partition.NewKDCut() },
+	}
+	for _, mk := range layouts {
+		for _, sel := range []float64{0, 0.01, 0.2, 0.9} {
+			// 2D halfplane.
+			part := mk()
+			asg := part.Split(pd2, s)
+			sums := partition.Summarize(pd2, asg, s)
+			h := workload.HalfplaneWithSelectivity(rng, pts2, sel)
+			q := index.Query{Op: index.OpHalfplane, A: h.A, B: h.B}
+			pl := PlanQuery(q, sums)
+			if len(pl.Shards)+pl.Pruned != s {
+				t.Fatalf("%s: %d planned + %d pruned != %d", part.Name(), len(pl.Shards), pl.Pruned, s)
+			}
+			mustCover(t, q, pd2, asg, pl, part.Name()+"/halfplane")
+
+			// 3D halfspace, both op encodings, plus a conjunction.
+			part3 := mk()
+			asg3 := part3.Split(pd3, s)
+			sums3 := partition.Summarize(pd3, asg3, s)
+			hd := workload.HalfspaceWithSelectivityD(rng, pd3, sel)
+			q3 := index.Query{Op: index.OpHalfspaceD, Coef: hd.H.Coef}
+			mustCover(t, q3, pd3, asg3, PlanQuery(q3, sums3), part3.Name()+"/halfspaceD")
+			qh := index.Query{Op: index.OpHalfspace3, A: hd.H.Coef[0], B: hd.H.Coef[1], C: hd.H.Coef[2]}
+			mustCover(t, qh, pd3, asg3, PlanQuery(qh, sums3), part3.Name()+"/halfspace3")
+			lo := append([]float64(nil), hd.H.Coef...)
+			lo[len(lo)-1] -= 0.2
+			qc := index.Query{Op: index.OpConjunction, Constraints: []index.Constraint{
+				{Coef: hd.H.Coef, Below: true},
+				{Coef: lo, Below: false},
+			}}
+			mustCover(t, qc, pd3, asg3, PlanQuery(qc, sums3), part3.Name()+"/conjunction")
+		}
+	}
+}
+
+// TestPlanPrunes: on a locality-aware layout, a very selective
+// halfplane must not plan the full shard set (the planner's reason to
+// exist).
+func TestPlanPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := workload.Uniform2(rng, 4000)
+	pd := make([]geom.PointD, len(pts))
+	for i, p := range pts {
+		pd[i] = geom.PointD{p.X, p.Y}
+	}
+	const s = 8
+	part := partition.NewKDCut()
+	asg := part.Split(pd, s)
+	sums := partition.Summarize(pd, asg, s)
+	pruned := 0
+	const tries = 20
+	for i := 0; i < tries; i++ {
+		h := workload.HalfplaneWithSelectivity(rng, pts, 0.01)
+		pl := PlanQuery(index.Query{Op: index.OpHalfplane, A: h.A, B: h.B}, sums)
+		pruned += pl.Pruned
+	}
+	if pruned == 0 {
+		t.Fatal("kd-cut layout pruned nothing across 20 selective halfplanes")
+	}
+	if avg := float64(pruned) / tries; avg < float64(s)/2 {
+		t.Errorf("mean pruned %.1f of %d — expected at least half on 1%% selectivity", avg, s)
+	}
+}
+
+// TestPlanKNNOrder: k-NN plans order shards by box distance, skip empty
+// shards, and report distances consistent with the boxes.
+func TestPlanKNNOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := workload.Uniform2(rng, 1000)
+	pd := make([]geom.PointD, len(pts))
+	for i, p := range pts {
+		pd[i] = geom.PointD{p.X, p.Y}
+	}
+	const s = 8
+	part := partition.NewKDCut()
+	asg := part.Split(pd, s)
+	sums := partition.Summarize(pd, asg, s)
+	sums = append(sums, partition.ShardSummary{}) // a 9th, empty shard
+	q := index.Query{Op: index.OpKNN, K: 5, Pt: geom.Point2{X: 0.05, Y: 0.05}}
+	pl := PlanQuery(q, sums)
+	if pl.Pruned != 1 || len(pl.Shards) != s {
+		t.Fatalf("empty shard not pruned: %+v", pl)
+	}
+	if !sort.Float64sAreSorted(pl.MinDist2) {
+		t.Fatalf("MinDist2 not ascending: %v", pl.MinDist2)
+	}
+	if pl.MinDist2[0] != 0 {
+		t.Fatalf("query point inside the data must have a zero-distance shard, got %v", pl.MinDist2)
+	}
+	for i, si := range pl.Shards {
+		if got := sums[si].Box.MinDist2(geom.PointD{q.Pt.X, q.Pt.Y}); got != pl.MinDist2[i] {
+			t.Fatalf("shard %d: MinDist2 %g != box %g", si, pl.MinDist2[i], got)
+		}
+	}
+}
+
+// TestPlanUnknownRegions: summaries with live records but no box yet
+// (a concurrent first insert) must always be visited.
+func TestPlanUnknownRegions(t *testing.T) {
+	sums := []partition.ShardSummary{{Count: 3}, {Count: 0}}
+	for _, q := range []index.Query{
+		{Op: index.OpHalfplane, A: 1, B: -100},
+		{Op: index.OpHalfspaceD, Coef: []float64{0, -100}},
+		{Op: index.OpKNN, K: 1},
+		{Op: index.OpConjunction, Constraints: []index.Constraint{{Coef: []float64{0, -100}, Below: true}}},
+	} {
+		pl := PlanQuery(q, sums)
+		if len(pl.Shards) != 1 || pl.Shards[0] != 0 || pl.Pruned != 1 {
+			t.Fatalf("op %v: %+v", q.Op, pl)
+		}
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"linconstraint/internal/geom"
 	"linconstraint/internal/hull3d"
 	"linconstraint/internal/index"
+	"linconstraint/internal/partition"
 )
 
 // Point2 is a point in the plane.
@@ -306,6 +307,12 @@ func (d *DynamicPartitionTree) Halfspace(coef []float64) []PointD {
 	return d.idx.Halfspace(coef)
 }
 
+// Conjunction returns the live points satisfying every constraint (a
+// simplex or general convex-polytope query), in lexicographic order.
+func (d *DynamicPartitionTree) Conjunction(cs []Constraint) []PointD {
+	return d.idx.Conjunction(cs)
+}
+
 // Len returns the number of live points.
 func (d *DynamicPartitionTree) Len() int { return d.idx.Len() }
 
@@ -315,11 +322,48 @@ func (d *DynamicPartitionTree) Stats() Stats { return fromIndexStats(d.idx.Stats
 // ResetStats zeroes the counters and drops the cache.
 func (d *DynamicPartitionTree) ResetStats() { d.idx.ResetStats() }
 
-// --- Sharded concurrent engine (DESIGN.md §5) -------------------------------
+// --- Sharded concurrent engine (DESIGN.md §5, §6) ---------------------------
+
+// Partitioner is a record-to-shard layout for the engine: it decides
+// which records share a shard and exports the per-shard geometry the
+// query planner prunes against. Build one with RoundRobinLayout,
+// SFCLayout or KDCutLayout; a Partitioner instance belongs to one
+// engine (the locality-aware layouts learn the build set's geometry),
+// so construct a fresh one per engine.
+//
+// The static engine constructors train the layout on the build set
+// automatically. The mutable engines build empty, so an untrained
+// locality-aware layout delegates insert placement to load balancing
+// (answers stay exact; pruning just stays off until the summaries
+// separate). To give a mutable engine spatial routing from the start,
+// pre-train the layout on a sample before passing it in:
+//
+//	p := linconstraint.KDCutLayout()
+//	p.Split(samplePoints, shards) // samplePoints []PointD
+//	eng := linconstraint.NewDynamicPlanarEngine(linconstraint.EngineConfig{
+//		Shards: shards, Partitioner: p,
+//	})
+type Partitioner = partition.Partitioner
+
+// RoundRobinLayout deals records to shards in input order — perfectly
+// balanced on any input, but every shard spans the whole data set, so
+// the planner can never prune a shard. This is the default layout and
+// the pruning baseline.
+func RoundRobinLayout() Partitioner { return partition.RoundRobin{} }
+
+// SFCLayout sorts records along a Z-order space-filling curve and cuts
+// the curve into equal-size contiguous shard runs: compact per-shard
+// regions at exact balance, so selective queries visit few shards.
+func SFCLayout() Partitioner { return partition.NewSFC() }
+
+// KDCutLayout recursively halves the record set by coordinate medians
+// into one axis-aligned tile per shard: the tightest per-shard regions
+// of the built-in layouts, at near-exact balance.
+func KDCutLayout() Partitioner { return partition.NewKDCut() }
 
 // EngineConfig tunes a sharded engine. The zero value means one shard,
-// one worker, the default block size, no cache and no simulated disk
-// latency.
+// one worker, the default block size, no cache, no simulated disk
+// latency, and round-robin sharding.
 type EngineConfig struct {
 	// Shards is the number of independent shards, each with its own
 	// simulated device and index (default 1).
@@ -336,6 +380,15 @@ type EngineConfig struct {
 	// cache miss, modeling disk access time; the worker pool then
 	// overlaps misses across shards (latency hiding).
 	IOLatency time.Duration
+	// Partitioner is the record-to-shard layout (default round-robin).
+	// With a locality-aware layout (SFCLayout, KDCutLayout) the engine
+	// plans every query against per-shard bounding regions and skips
+	// shards that cannot contribute; answers are byte-identical under
+	// every layout.
+	Partitioner Partitioner
+	// DisablePlanner forces full fan-out (every query visits every
+	// shard), the pre-planner behavior; useful as a pruning baseline.
+	DisablePlanner bool
 }
 
 func (c EngineConfig) options() engine.Options {
@@ -343,13 +396,15 @@ func (c EngineConfig) options() engine.Options {
 		Shards: c.Shards, Workers: c.Workers,
 		BlockSize: c.BlockSize, CacheBlocks: c.CacheBlocks,
 		Seed: c.Seed, IOLatency: c.IOLatency,
+		Partitioner: c.Partitioner, NoPlanner: c.DisablePlanner,
 	}
 }
 
 // Query is one element of an Engine batch; see the Op* constants.
 type Query = engine.Query
 
-// QueryResult is the answer to one batched op.
+// QueryResult is the answer to one batched op, including the query's
+// plan stats (ShardsVisited / ShardsPruned).
 type QueryResult = engine.Result
 
 // Op selects the query or update family of a batched Query.
@@ -374,8 +429,9 @@ const (
 var ErrImmutable = engine.ErrImmutable
 
 // EngineStats is an aggregated I/O snapshot across an engine's shards:
-// summed counters and space, plus the worst single shard (the
-// critical-path I/O a parallel disk farm would wait for).
+// summed counters and space, the worst single shard (the critical-path
+// I/O a parallel disk farm would wait for), and the planner's
+// cumulative ShardsVisited / ShardsPruned counts.
 type EngineStats = engine.Stats
 
 // Engine is a sharded concurrent front-end over one of the paper's
@@ -392,9 +448,9 @@ type EngineStats = engine.Stats
 // OpDelete batch ops. Static engines return ErrImmutable.
 //
 // The scalar query methods (Halfplane, Halfspace3, Halfspace,
-// Conjunction, KNN, LiveHalfplane, LiveHalfspace) panic when called on
-// an engine built over a family that does not serve them; Batch
-// reports the mismatch as QueryResult.Err instead.
+// Conjunction, KNN, LiveHalfplane, LiveHalfspace, LiveConjunction)
+// panic when called on an engine built over a family that does not
+// serve them; Batch reports the mismatch as QueryResult.Err instead.
 type Engine struct {
 	eng *engine.Engine
 }
@@ -481,6 +537,17 @@ func (e *Engine) LiveHalfspace(coef []float64) []PointD {
 
 // Conjunction reports the points satisfying every constraint.
 func (e *Engine) Conjunction(cs []Constraint) []int { return e.eng.Conjunction(cs) }
+
+// LiveConjunction reports the live points of a dynamic partition
+// engine satisfying every constraint, in lexicographic order.
+func (e *Engine) LiveConjunction(cs []Constraint) []PointD {
+	recs := e.eng.ConjunctionRecs(cs)
+	out := make([]PointD, len(recs))
+	for i, r := range recs {
+		out[i] = r.PD
+	}
+	return out
+}
 
 // KNN returns the k nearest indexed points to q, closest first.
 func (e *Engine) KNN(k int, q Point2) []Neighbor { return e.eng.KNN(k, q) }
