@@ -271,6 +271,118 @@ func BenchmarkEnginePruning(b *testing.B) {
 	}
 }
 
+// --- Allocation-free hot path (DESIGN.md §7) --------------------------------
+
+// BenchmarkEngineQueryHalfplane measures the steady-state scalar query
+// path: one halfplane query per op through BatchInto with reused query
+// and result storage on a warmed kd-cut engine. The report must show 0
+// allocs/op — the PR-4 contract, also pinned by the engine package's
+// TestSteadyState*ZeroAllocs tests.
+func BenchmarkEngineQueryHalfplane(b *testing.B) {
+	const n = 100_000
+	pts := benchPoints2(n)
+	e := NewPlanarEngine(pts, EngineConfig{
+		Shards: 8, BlockSize: 128, Seed: 1, Partitioner: KDCutLayout(),
+	})
+	defer e.Close()
+	rng := rand.New(rand.NewSource(21))
+	queries := make([]workload.Halfplane, 64)
+	for i := range queries {
+		queries[i] = workload.HalfplaneWithSelectivity(rng, pts, 0.01)
+	}
+	one := make([]Query, 1)
+	res := make([]QueryResult, 0, 1)
+	for _, h := range queries { // warm every buffer to high water
+		one[0] = Query{Op: OpHalfplane, A: h.A, B: h.B}
+		res = e.BatchInto(one, res[:0])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := queries[i%len(queries)]
+		one[0] = Query{Op: OpHalfplane, A: h.A, B: h.B}
+		res = e.BatchInto(one, res[:0])
+		if res[0].Err != nil {
+			b.Fatal(res[0].Err)
+		}
+	}
+}
+
+// BenchmarkEngineQueryBatched measures the steady-state batched
+// scatter-gather path: 64 halfplane queries per op through BatchInto on
+// a warmed round-robin engine (full fan-out — every query wakes every
+// shard worker once). Must also report 0 allocs/op.
+func BenchmarkEngineQueryBatched(b *testing.B) {
+	const (
+		n     = 100_000
+		batch = 64
+	)
+	pts := benchPoints2(n)
+	e := NewPlanarEngine(pts, EngineConfig{Shards: 8, BlockSize: 128, Seed: 1})
+	defer e.Close()
+	rng := rand.New(rand.NewSource(22))
+	queries := make([]workload.Halfplane, 256)
+	for i := range queries {
+		queries[i] = workload.HalfplaneWithSelectivity(rng, pts, 0.01)
+	}
+	qs := make([]Query, batch)
+	res := make([]QueryResult, 0, batch)
+	warm := func(start int) {
+		for j := range qs {
+			h := queries[(start+j)%len(queries)]
+			qs[j] = Query{Op: OpHalfplane, A: h.A, B: h.B}
+		}
+		res = e.BatchInto(qs, res[:0])
+	}
+	for i := 0; i < len(queries); i += batch {
+		warm(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm(i * batch)
+		for j := range res {
+			if res[j].Err != nil {
+				b.Fatal(res[j].Err)
+			}
+		}
+	}
+	b.StopTimer()
+	nq := float64(b.N * batch)
+	b.ReportMetric(nq/b.Elapsed().Seconds(), "queries/sec")
+}
+
+// BenchmarkEngineQueryKNN measures the steady-state incremental k-NN
+// path (box-distance visit order, kth-distance cutoff) through
+// BatchInto on a warmed kd-cut engine.
+func BenchmarkEngineQueryKNN(b *testing.B) {
+	pts := benchPoints2(50_000)
+	e := NewKNNEngine(pts, EngineConfig{
+		Shards: 8, BlockSize: 128, Seed: 1, Partitioner: KDCutLayout(),
+	})
+	defer e.Close()
+	rng := rand.New(rand.NewSource(23))
+	qpts := make([]Point2, 64)
+	for i := range qpts {
+		qpts[i] = Point2{X: rng.Float64(), Y: rng.Float64()}
+	}
+	one := make([]Query, 1)
+	res := make([]QueryResult, 0, 1)
+	for _, p := range qpts {
+		one[0] = Query{Op: OpKNN, K: 16, Pt: p}
+		res = e.BatchInto(one, res[:0])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		one[0] = Query{Op: OpKNN, K: 16, Pt: qpts[i%len(qpts)]}
+		res = e.BatchInto(one, res[:0])
+		if res[0].Err != nil {
+			b.Fatal(res[0].Err)
+		}
+	}
+}
+
 // BenchmarkEngineBuild measures parallel shard construction against a
 // single unsharded build. Construction cost is superlinear in n, so
 // sharding wins even on one CPU; on multicore the shards also build

@@ -1,0 +1,296 @@
+package main
+
+// The -json mode: engine hot-path benchmarks whose output is a
+// machine-readable perf record (BENCH_pr4.json), so the performance
+// trajectory of the engine is versioned alongside the code. Each row is
+// one op family on a warmed engine: wall time, queries/sec, allocation
+// rate, planner behavior (shards visited) and device I/Os, all per
+// operation. A previously recorded file can be embedded as the baseline
+// (-baseline) so one artifact carries both sides of a comparison.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"linconstraint"
+	"linconstraint/internal/workload"
+)
+
+// benchRow is one op family's measurements, normalized per benchmark
+// operation (for batched rows, one operation = one whole batch; QPS
+// always counts individual queries).
+type benchRow struct {
+	Name                  string  `json:"name"`
+	QueriesPerOp          int     `json:"queries_per_op"`
+	NsPerOp               float64 `json:"ns_per_op"`
+	QPS                   float64 `json:"qps"`
+	BytesPerOp            int64   `json:"bytes_per_op"`
+	AllocsPerOp           int64   `json:"allocs_per_op"`
+	ShardsVisitedPerQuery float64 `json:"shards_visited_per_query"`
+	IOsPerQuery           float64 `json:"ios_per_query"`
+}
+
+// benchFile is the whole perf record.
+type benchFile struct {
+	Bench        string     `json:"bench"`
+	When         string     `json:"when"`
+	GoVersion    string     `json:"go_version"`
+	GOMAXPROCS   int        `json:"gomaxprocs"`
+	N            int        `json:"n"`
+	Shards       int        `json:"shards"`
+	BlockSize    int        `json:"block_size"`
+	Quick        bool       `json:"quick"`
+	Rows         []benchRow `json:"rows"`
+	Baseline     []benchRow `json:"baseline,omitempty"`
+	BaselineFrom string     `json:"baseline_from,omitempty"`
+}
+
+// measure runs fn (which performs n benchmark ops, returning the first
+// error) as a Go benchmark and fills a row from the result. stats must
+// return the engine's (ShardsVisited, total I/Os) so the row can be
+// normalized per query; reset is called before each timed trial. A
+// warm pass of warmOps ops runs before the timer starts so every
+// reused buffer reaches its high-water capacity first — the rows
+// report steady state, not the one-time growth of a cold arena.
+func measure(name string, queriesPerOp, warmOps int, reset func(), stats func() (int64, int64), fn func(n int) error) benchRow {
+	var visited, ios int64
+	var trialOps int
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		if err := fn(warmOps); err != nil {
+			runErr = err
+			return
+		}
+		reset()
+		b.ResetTimer()
+		if err := fn(b.N); err != nil {
+			runErr = err
+		}
+		b.StopTimer()
+		visited, ios = stats()
+		trialOps = b.N
+	})
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "bench: %s: %v\n", name, runErr)
+		os.Exit(1)
+	}
+	nq := float64(trialOps * queriesPerOp)
+	ns := float64(res.NsPerOp())
+	return benchRow{
+		Name:                  name,
+		QueriesPerOp:          queriesPerOp,
+		NsPerOp:               ns,
+		QPS:                   float64(queriesPerOp) / (ns / 1e9),
+		BytesPerOp:            res.AllocedBytesPerOp(),
+		AllocsPerOp:           res.AllocsPerOp(),
+		ShardsVisitedPerQuery: float64(visited) / nq,
+		IOsPerQuery:           float64(ios) / nq,
+	}
+}
+
+// engineStats adapts an engine to measure's stats func.
+func engineStats(e *linconstraint.Engine) func() (int64, int64) {
+	return func() (int64, int64) {
+		st := e.Stats()
+		return st.ShardsVisited, st.Total.IOs()
+	}
+}
+
+// runBenchJSON builds warmed engines over the benchmark workload and
+// writes the measured rows as JSON to path. baselinePath, when
+// non-empty, names a previously written file whose rows are embedded as
+// the comparison baseline.
+func runBenchJSON(path, baselinePath string, seed int64, quick bool) error {
+	const (
+		shards = 8
+		block  = 128
+		batch  = 64
+		sel    = 0.01
+		knnK   = 16
+	)
+	n := 100_000
+	dynN := 25_000
+	if quick {
+		n, dynN = 20_000, 5_000
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	fmt.Fprintf(os.Stderr, "bench: building engines (n=%d, %d shards)...\n", n, shards)
+	pts := workload.Uniform2(rng, n)
+	planarKD := linconstraint.NewPlanarEngine(pts, linconstraint.EngineConfig{
+		Shards: shards, BlockSize: block, Seed: seed, Partitioner: linconstraint.KDCutLayout(),
+	})
+	defer planarKD.Close()
+	planarRR := linconstraint.NewPlanarEngine(pts, linconstraint.EngineConfig{
+		Shards: shards, BlockSize: block, Seed: seed,
+	})
+	defer planarRR.Close()
+	knnEng := linconstraint.NewKNNEngine(pts, linconstraint.EngineConfig{
+		Shards: shards, BlockSize: block, Seed: seed, Partitioner: linconstraint.KDCutLayout(),
+	})
+	defer knnEng.Close()
+	ptsD := workload.CubeD(rng, n/2, 3)
+	partEng := linconstraint.NewPartitionEngine(ptsD, linconstraint.EngineConfig{
+		Shards: shards, BlockSize: block, Seed: seed, Partitioner: linconstraint.KDCutLayout(),
+	})
+	defer partEng.Close()
+	dynEng := linconstraint.NewDynamicPlanarEngine(linconstraint.EngineConfig{
+		Shards: shards, BlockSize: block, Seed: seed,
+	})
+	defer dynEng.Close()
+	dynPts := workload.Uniform2(rng, dynN)
+	for _, p := range dynPts {
+		if err := dynEng.Insert(linconstraint.Rec2(p)); err != nil {
+			return err
+		}
+	}
+
+	halfplanes := make([]workload.Halfplane, 256)
+	for i := range halfplanes {
+		halfplanes[i] = workload.HalfplaneWithSelectivity(rng, pts, sel)
+	}
+	dynPlanes := make([]workload.Halfplane, 64)
+	for i := range dynPlanes {
+		dynPlanes[i] = workload.HalfplaneWithSelectivity(rng, dynPts, sel)
+	}
+	halfspaces := make([]workload.HalfspaceD, 64)
+	for i := range halfspaces {
+		halfspaces[i] = workload.HalfspaceWithSelectivityD(rng, ptsD, 0.02)
+	}
+	knnPts := make([]linconstraint.Point2, 256)
+	for i := range knnPts {
+		knnPts[i] = linconstraint.Point2{X: rng.Float64(), Y: rng.Float64()}
+	}
+
+	// Reusable op slices: steady-state query cost, not encode cost.
+	one := make([]linconstraint.Query, 1)
+	oneRes := make([]linconstraint.QueryResult, 0, 1)
+	batchQs := make([]linconstraint.Query, batch)
+	batchRes := make([]linconstraint.QueryResult, 0, batch)
+
+	var rows []benchRow
+	bench := func(name string, queriesPerOp int, e *linconstraint.Engine, fn func(n int) error) {
+		fmt.Fprintf(os.Stderr, "bench: %s...\n", name)
+		// 256 warm ops covers every precomputed query shape at least once.
+		rows = append(rows, measure(name, queriesPerOp, 256, e.ResetStats, engineStats(e), fn))
+	}
+
+	bench("halfplane_kd", 1, planarKD, func(n int) error {
+		for i := 0; i < n; i++ {
+			h := halfplanes[i%len(halfplanes)]
+			one[0] = linconstraint.Query{Op: linconstraint.OpHalfplane, A: h.A, B: h.B}
+			oneRes = planarKD.BatchInto(one, oneRes[:0])
+			if oneRes[0].Err != nil {
+				return oneRes[0].Err
+			}
+		}
+		return nil
+	})
+	bench("batch64_scatter_gather", batch, planarRR, func(n int) error {
+		for i := 0; i < n; i++ {
+			for j := range batchQs {
+				h := halfplanes[(i*batch+j)%len(halfplanes)]
+				batchQs[j] = linconstraint.Query{Op: linconstraint.OpHalfplane, A: h.A, B: h.B}
+			}
+			batchRes = planarRR.BatchInto(batchQs, batchRes[:0])
+			for k := range batchRes {
+				if batchRes[k].Err != nil {
+					return batchRes[k].Err
+				}
+			}
+		}
+		return nil
+	})
+	bench("knn16_kd", 1, knnEng, func(n int) error {
+		for i := 0; i < n; i++ {
+			one[0] = linconstraint.Query{Op: linconstraint.OpKNN, K: knnK, Pt: knnPts[i%len(knnPts)]}
+			oneRes = knnEng.BatchInto(one, oneRes[:0])
+			if oneRes[0].Err != nil {
+				return oneRes[0].Err
+			}
+		}
+		return nil
+	})
+	bench("halfspace3d_kd", 1, partEng, func(n int) error {
+		for i := 0; i < n; i++ {
+			h := halfspaces[i%len(halfspaces)]
+			one[0] = linconstraint.Query{Op: linconstraint.OpHalfspaceD, Coef: h.H.Coef}
+			oneRes = partEng.BatchInto(one, oneRes[:0])
+			if oneRes[0].Err != nil {
+				return oneRes[0].Err
+			}
+		}
+		return nil
+	})
+	bench("live_halfplane_dyn", 1, dynEng, func(n int) error {
+		for i := 0; i < n; i++ {
+			h := dynPlanes[i%len(dynPlanes)]
+			one[0] = linconstraint.Query{Op: linconstraint.OpHalfplane, A: h.A, B: h.B}
+			oneRes = dynEng.BatchInto(one, oneRes[:0])
+			if oneRes[0].Err != nil {
+				return oneRes[0].Err
+			}
+		}
+		return nil
+	})
+
+	out := benchFile{
+		Bench:      "pr4-hot-query-path",
+		When:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		N:          n,
+		Shards:     shards,
+		BlockSize:  block,
+		Quick:      quick,
+		Rows:       rows,
+	}
+	if baselinePath != "" {
+		var base benchFile
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("reading baseline: %w", err)
+		}
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("parsing baseline: %w", err)
+		}
+		out.Baseline = base.Rows
+		out.BaselineFrom = baselinePath
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
+	printBenchTable(out)
+	return nil
+}
+
+// printBenchTable prints the rows (and the ns/op delta against the
+// baseline when present) in a human-readable table on stdout.
+func printBenchTable(f benchFile) {
+	base := map[string]benchRow{}
+	for _, r := range f.Baseline {
+		base[r.Name] = r
+	}
+	fmt.Printf("%-24s %12s %12s %10s %10s %10s %9s\n",
+		"op family", "ns/op", "qps", "B/op", "allocs/op", "visited/q", "Δns/op")
+	for _, r := range f.Rows {
+		delta := "-"
+		if b, ok := base[r.Name]; ok && b.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(r.NsPerOp-b.NsPerOp)/b.NsPerOp)
+		}
+		fmt.Printf("%-24s %12.0f %12.0f %10d %10d %10.2f %9s\n",
+			r.Name, r.NsPerOp, r.QPS, r.BytesPerOp, r.AllocsPerOp, r.ShardsVisitedPerQuery, delta)
+	}
+}

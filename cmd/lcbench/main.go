@@ -12,9 +12,18 @@
 // layouts prune shards with mean shards-visited at or below half the
 // shard count — the engine-level payoff the planner exists for.
 //
+// With -json PATH it instead runs the engine hot-path benchmarks
+// (bench.go) and writes a machine-readable perf record — qps, ns/op,
+// B/op, allocs/op, shards visited and I/Os per op family — to PATH;
+// -baseline FILE embeds a previously written record for comparison.
+// The seed-state record of PR 4 is checked in as
+// results/BENCH_pr4_seed.json, the post-PR record as
+// results/BENCH_pr4.json.
+//
 // Usage:
 //
 //	lcbench [-quick] [-seed N] [-out DIR] [-only E1,E7,...] [-pruning]
+//	        [-json PATH [-baseline FILE]]
 package main
 
 import (
@@ -36,7 +45,17 @@ func main() {
 	out := flag.String("out", "results", "directory for CSV output")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default all)")
 	pruning := flag.Bool("pruning", false, "run the shard-pruning efficiency smoke instead of the experiments")
+	jsonOut := flag.String("json", "", "run the engine hot-path benchmarks and write the perf record to this path")
+	baseline := flag.String("baseline", "", "with -json: previously written perf record to embed as the comparison baseline")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := runBenchJSON(*jsonOut, *baseline, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *pruning {
 		if !pruningSmoke(*seed, *quick) {

@@ -246,9 +246,14 @@ func main() {
 	eng.ResetStats()
 	start = time.Now()
 	done := 0
+	// BatchInto with reused result storage keeps the load phase on the
+	// engine's allocation-free hot path (DESIGN.md §7): the generator,
+	// not the engine, is the only allocator in this loop.
+	res := make([]linconstraint.QueryResult, 0, *batch)
 	for done < len(qs) {
 		end := mini(done+*batch, len(qs))
-		for i, r := range eng.Batch(qs[done:end]) {
+		res = eng.BatchInto(qs[done:end], res[:0])
+		for i, r := range res {
 			if r.Err != nil {
 				fmt.Fprintln(os.Stderr, r.Err)
 				os.Exit(1)

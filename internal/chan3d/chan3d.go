@@ -22,7 +22,7 @@ package chan3d
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"linconstraint/internal/eio"
 	"linconstraint/internal/geom"
@@ -65,7 +65,10 @@ type hierarchy struct {
 	layers []layer // layers[i] has sample size min(2^(i+1), N)
 }
 
-// Index is the §4 structure over a set of planes.
+// Index is the §4 structure over a set of planes. An Index is
+// single-owner, like its Device: callers serialize access, which lets
+// the query paths keep per-index scratch instead of allocating per
+// query.
 type Index struct {
 	dev       *eio.Device
 	planes    []geom.Plane3
@@ -75,6 +78,10 @@ type Index struct {
 	all       *eio.Array[planeRec]
 	win       hull3d.Window
 	refineTau int
+
+	// low is the KLowest candidate scratch; the slice a query returns
+	// from kLowest aliases it and is valid until the next query.
+	low []Lowest
 }
 
 // New builds the structure over planes on dev.
@@ -209,13 +216,14 @@ func (x *Index) tryLowestPlanes(h *hierarchy, k int, qx, qy float64, j int) ([]L
 		return nil, false
 	}
 	zq := l.tris.Get(ti).Pl.Eval(qx, qy)
-	var below []Lowest
+	below := x.low[:0]
 	l.conflicts[ti].All(func(_ int, r planeRec) bool {
 		if z := r.Pl.Eval(qx, qy); z < zq {
 			below = append(below, Lowest{ID: r.ID, Z: z})
 		}
 		return true
 	})
+	x.low = below[:0]
 	if len(below) < k {
 		return nil, false // the k lowest are not all captured by K(Δ)
 	}
@@ -232,6 +240,13 @@ func (x *Index) locateConsistent(l *layer, qx, qy float64) (int, bool) {
 // qy), sorted by height (Theorem 4.2). For k >= N it returns all planes.
 // The query point must lie in the index window.
 func (x *Index) KLowest(k int, qx, qy float64) []Lowest {
+	return append([]Lowest(nil), x.kLowest(k, qx, qy)...)
+}
+
+// kLowest is KLowest returning a slice of the index's scratch buffer —
+// zero steady-state allocations; valid until the next query. The k-NN
+// wrapper copies out of it into caller storage.
+func (x *Index) kLowest(k int, qx, qy float64) []Lowest {
 	n := len(x.planes)
 	if k >= n {
 		return x.scanLowest(n, qx, qy)
@@ -254,13 +269,15 @@ func (x *Index) KLowest(k int, qx, qy float64) []Lowest {
 	}
 }
 
-// scanLowest selects the k lowest planes by scanning everything.
+// scanLowest selects the k lowest planes by scanning everything, into
+// the index scratch.
 func (x *Index) scanLowest(k int, qx, qy float64) []Lowest {
-	all := make([]Lowest, 0, x.all.Len())
+	all := x.low[:0]
 	x.all.All(func(_ int, r planeRec) bool {
 		all = append(all, Lowest{ID: r.ID, Z: r.Pl.Eval(qx, qy)})
 		return true
 	})
+	x.low = all[:0]
 	sortLowest(all)
 	if k < len(all) {
 		all = all[:k]
@@ -273,11 +290,20 @@ func (x *Index) scanLowest(k int, qx, qy float64) []Lowest {
 // sharded engine's per-shard merge relies on this to reproduce the
 // unsharded selection exactly when equal heights straddle the cutoff.
 func sortLowest(ls []Lowest) {
-	sort.Slice(ls, func(a, b int) bool {
-		if ls[a].Z != ls[b].Z {
-			return ls[a].Z < ls[b].Z
+	slices.SortFunc(ls, func(a, b Lowest) int {
+		switch {
+		case a.Z != b.Z:
+			if a.Z < b.Z {
+				return -1
+			}
+			return 1
+		case a.ID != b.ID:
+			if a.ID < b.ID {
+				return -1
+			}
+			return 1
 		}
-		return ls[a].ID < ls[b].ID
+		return 0
 	})
 }
 
@@ -290,9 +316,14 @@ func sortLowest(ls []Lowest) {
 // envelope point and hence in the hit triangle's conflict list, which is
 // scanned once and filtered — O(log_B n) locates plus an output-
 // proportional scan, the Theorem 4.4 shape.
-func (x *Index) Below(q geom.Point3) []int {
+func (x *Index) Below(q geom.Point3) []int { return x.BelowAppend(q, nil) }
+
+// BelowAppend appends the ids of every plane passing on or below q to
+// out and returns the extended slice. A steady-state call on a warmed
+// buffer performs zero heap allocations.
+func (x *Index) BelowAppend(q geom.Point3, out []int) []int {
 	if len(x.planes) == 0 {
-		return nil
+		return out
 	}
 	h := &x.copies[0]
 	// envAbove reports whether layer li's envelope clears q, returning
@@ -316,7 +347,7 @@ func (x *Index) Below(q geom.Point3) []int {
 		ti, above := envAbove(mid)
 		if ti < 0 {
 			// Query outside the window: deterministic fallback.
-			return x.belowByScan(q)
+			return x.belowByScan(q, out)
 		}
 		if above {
 			best, bestTri = mid, ti
@@ -328,7 +359,7 @@ func (x *Index) Below(q geom.Point3) []int {
 	if best < 0 {
 		// Even the coarsest sample dips below q; the output is likely a
 		// constant fraction of the input, so a scan is output-justified.
-		return x.belowByScan(q)
+		return x.belowByScan(q, out)
 	}
 	// Tail control via the independent copies (the role they play in
 	// §4.1): if copy 0's boundary layer produced an unusually long
@@ -340,7 +371,7 @@ func (x *Index) Below(q geom.Point3) []int {
 	if bestLen > 8*x.dev.B() {
 		for c := 1; c < len(x.copies); c++ {
 			hc := &x.copies[c]
-			for _, li := range []int{best + 1, best} {
+			for _, li := range [2]int{best + 1, best} {
 				if li < 0 || li >= len(hc.layers) {
 					continue
 				}
@@ -356,7 +387,6 @@ func (x *Index) Below(q geom.Point3) []int {
 			}
 		}
 	}
-	var out []int
 	x.copies[bestCopy].layers[best].conflicts[bestTri].All(func(_ int, r planeRec) bool {
 		if geom.SideOfPlane3(r.Pl, q) >= 0 { // q on or above the plane
 			out = append(out, int(r.ID))
@@ -366,9 +396,8 @@ func (x *Index) Below(q geom.Point3) []int {
 	return out
 }
 
-// belowByScan reports planes below q by a full scan.
-func (x *Index) belowByScan(q geom.Point3) []int {
-	var out []int
+// belowByScan appends planes below q found by a full scan.
+func (x *Index) belowByScan(q geom.Point3, out []int) []int {
 	x.all.All(func(_ int, r planeRec) bool {
 		if geom.SideOfPlane3(r.Pl, q) >= 0 {
 			out = append(out, int(r.ID))

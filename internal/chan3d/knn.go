@@ -2,7 +2,7 @@ package chan3d
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"linconstraint/internal/eio"
 	"linconstraint/internal/geom"
@@ -56,21 +56,38 @@ type Neighbor struct {
 // O(log_B n + k/B) expected I/Os (Theorem 4.3). The query must lie in the
 // index window.
 func (s *KNN) Query(k int, q geom.Point2) []Neighbor {
-	low := s.idx.KLowest(k, q.X, q.Y)
-	out := make([]Neighbor, len(low))
-	for i, l := range low {
+	return s.QueryAppend(k, q, nil)
+}
+
+// QueryAppend appends the k nearest points to q, ordered by distance,
+// to out and returns the extended slice. On a warmed buffer a
+// steady-state query allocates nothing: the candidate set lives in
+// index scratch and only the final neighbors are copied out.
+func (s *KNN) QueryAppend(k int, q geom.Point2, out []Neighbor) []Neighbor {
+	low := s.idx.kLowest(k, q.X, q.Y)
+	start := len(out)
+	for _, l := range low {
 		// z = dist² − |q|²; recover dist² exactly from the point.
 		p := s.points[l.ID]
 		dx, dy := p.X-q.X, p.Y-q.Y
-		out[i] = Neighbor{ID: int(l.ID), Dist2: dx*dx + dy*dy}
+		out = append(out, Neighbor{ID: int(l.ID), Dist2: dx*dx + dy*dy})
 	}
 	// Deterministic order — ties break by id — so the sharded engine's
 	// k-way merge reproduces this ordering exactly.
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Dist2 != out[b].Dist2 {
-			return out[a].Dist2 < out[b].Dist2
+	slices.SortFunc(out[start:], func(a, b Neighbor) int {
+		switch {
+		case a.Dist2 != b.Dist2:
+			if a.Dist2 < b.Dist2 {
+				return -1
+			}
+			return 1
+		case a.ID != b.ID:
+			if a.ID < b.ID {
+				return -1
+			}
+			return 1
 		}
-		return out[a].ID < out[b].ID
+		return 0
 	})
 	return out
 }
@@ -102,9 +119,16 @@ func NewPoints3(dev *eio.Device, points []geom.Point3, opt Options) *PointIndex3
 
 // Halfspace reports the indices of all points on or below z = a·x+b·y+c.
 func (pi *PointIndex3) Halfspace(a, b, c float64) []int {
-	ids := pi.idx.Below(geom.Point3{X: a, Y: b, Z: c})
-	sort.Ints(ids)
-	return ids
+	return pi.HalfspaceAppend(a, b, c, nil)
+}
+
+// HalfspaceAppend appends the sorted indices of all points on or below
+// z = a·x+b·y+c to out and returns the extended slice.
+func (pi *PointIndex3) HalfspaceAppend(a, b, c float64, out []int) []int {
+	start := len(out)
+	out = pi.idx.BelowAppend(geom.Point3{X: a, Y: b, Z: c}, out)
+	slices.Sort(out[start:])
+	return out
 }
 
 // Points returns the indexed point set.

@@ -252,3 +252,54 @@ func TestReaderBlockCharging(t *testing.T) {
 		t.Fatal("Next past end")
 	}
 }
+
+// TestPrefetchCountInvariance pins the read-ahead contract: prefetching
+// never changes I/O counts — not with a cache, not under contention
+// from interleaved readers, not for early-terminated scans — it only
+// skips miss stalls.
+func TestPrefetchCountInvariance(t *testing.T) {
+	scan := func(lat time.Duration, cache, records, stop int) Stats {
+		d := NewDevice(4, cache)
+		d.SetMissLatency(lat)
+		data := make([]int, records)
+		a := NewArray(d, data)
+		base := d.Stats()
+		r := NewReader(a)
+		for i := 0; i < stop; i++ {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+		}
+		return d.Stats().Sub(base)
+	}
+	for _, cache := range []int{0, 2, 64} {
+		for _, stop := range []int{33, 5, 1} { // full scan, early stops
+			plain := scan(0, cache, 33, stop)
+			ahead := scan(time.Microsecond, cache, 33, stop)
+			if plain != ahead {
+				t.Errorf("cache=%d stop=%d: counts with prefetch %+v != without %+v", cache, stop, ahead, plain)
+			}
+		}
+	}
+	// Two readers interleaving on one device: the shared read-ahead
+	// register degrades overlap, never counts.
+	d := NewDevice(4, 8)
+	d.SetMissLatency(time.Microsecond)
+	a1 := NewArray(d, make([]int, 32))
+	a2 := NewArray(d, make([]int, 32))
+	base := d.Stats()
+	r1, r2 := NewReader(a1), NewReader(a2)
+	for {
+		_, ok1 := r1.Next()
+		_, ok2 := r2.Next()
+		if !ok1 && !ok2 {
+			break
+		}
+	}
+	got := d.Stats().Sub(base)
+	// 32 records at B=4 => 8 blocks each; with an 8-block LRU shared by
+	// both scans, every block misses exactly once: 16 reads.
+	if got.Reads != 16 {
+		t.Errorf("interleaved scans: %d reads, want 16 (%+v)", got.Reads, got)
+	}
+}

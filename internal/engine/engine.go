@@ -25,10 +25,17 @@
 // invariant), so each shard carries a mutex and every worker locks the
 // shard before touching its index. Different shards proceed in
 // parallel; one shard's operations serialize, exactly like requests
-// queued at one disk. Updates route through the same locks: an insert
-// goes to the shard the layout's Place picks (or the currently-smallest
-// shard when the layout delegates), a delete probes the shards in order
-// until one holds the record. See DESIGN.md §5.
+// queued at one disk. Each shard has one persistent worker goroutine,
+// started at construction and fed whole sub-batches through a channel:
+// a batch wakes each participating shard once, the worker answers every
+// query of its sub-batch under one lock acquisition, and the caller
+// merges. Options.Workers caps how many shard workers execute
+// simultaneously (a semaphore); at the default (= shards) the cap is
+// inactive. Updates route through the same locks, from the caller's
+// goroutine: an insert goes to the shard the layout's Place picks (or
+// the currently-smallest shard when the layout delegates), a delete
+// probes the shards in order until one holds the record. See DESIGN.md
+// §5 and §7.
 //
 // Shard layout and planning: Options.Partitioner (internal/partition)
 // decides which records share a shard, the engine maintains one
@@ -59,7 +66,10 @@ import (
 type Options struct {
 	// Shards is the number of independent shards S (default 1).
 	Shards int
-	// Workers is the size of the query worker pool (default Shards).
+	// Workers caps how many shard workers may execute simultaneously
+	// (default Shards — no cap). The engine always runs one persistent
+	// worker goroutine per shard; a smaller Workers value throttles
+	// their concurrency, modeling fewer channels than disks.
 	Workers int
 	// BlockSize and CacheBlocks configure each shard's Device, exactly
 	// like the root package's Config (defaults 128 and 0).
@@ -154,13 +164,36 @@ type Engine struct {
 	// visited/pruned accumulate planner outcomes across queries.
 	visited, pruned atomic.Int64
 
-	tasks     chan func()
+	// work[si] feeds shard si's persistent worker; a send hands the
+	// worker an arena whose jobs[si] sub-batch it executes. sem, when
+	// non-nil, caps concurrent worker executions at Options.Workers.
+	work      []chan *batchArena
+	sem       chan struct{}
 	workersWG sync.WaitGroup
 	closeOnce sync.Once
+
+	// arenas is the free list of batch scratch spaces (see batchArena).
+	// A plain stack, not a sync.Pool: arenas must survive GC so the
+	// steady state stays allocation-free deterministically.
+	arenaMu sync.Mutex
+	arenas  []*batchArena
 
 	// statsMu serializes Stats/ResetStats snapshots so an aggregate is
 	// internally consistent even while queries run on other shards.
 	statsMu sync.Mutex
+}
+
+// getArena pops a scratch arena off the free list (or makes a fresh
+// one); batchArena.release returns it.
+func (e *Engine) getArena() *batchArena {
+	e.arenaMu.Lock()
+	defer e.arenaMu.Unlock()
+	if n := len(e.arenas); n > 0 {
+		a := e.arenas[n-1]
+		e.arenas = e.arenas[:n-1]
+		return a
+	}
+	return &batchArena{}
 }
 
 // splitBy groups xs into the S hands the layout assigned, remembering
@@ -198,7 +231,10 @@ func newEngine(opt Options, build func(si int, dev *eio.Device) index.Index) *En
 		part:    opt.Partitioner,
 		noPlan:  opt.NoPlanner,
 		sums:    make([]partition.ShardSummary, opt.Shards),
-		tasks:   make(chan func(), opt.Workers*4),
+		work:    make([]chan *batchArena, opt.Shards),
+	}
+	if opt.Workers < opt.Shards {
+		e.sem = make(chan struct{}, opt.Workers)
 	}
 	var wg sync.WaitGroup
 	for si := range e.shards {
@@ -214,16 +250,30 @@ func newEngine(opt Options, build func(si int, dev *eio.Device) index.Index) *En
 	}
 	wg.Wait()
 	_, e.mutable = e.shards[0].idx.(index.Mutable)
-	for i := 0; i < e.workers; i++ {
+	for si := range e.work {
+		e.work[si] = make(chan *batchArena, 4)
 		e.workersWG.Add(1)
-		go func() {
-			defer e.workersWG.Done()
-			for f := range e.tasks {
-				f()
-			}
-		}()
+		go e.shardWorker(si)
 	}
 	return e
+}
+
+// shardWorker is shard si's persistent worker loop: it executes its
+// shard's sub-batch of each arriving arena, honoring the concurrency
+// cap, and signals the batch's WaitGroup. Started once at construction;
+// exits when Close closes the channel.
+func (e *Engine) shardWorker(si int) {
+	defer e.workersWG.Done()
+	for a := range e.work[si] {
+		if e.sem != nil {
+			e.sem <- struct{}{}
+		}
+		e.execShard(a, si)
+		if e.sem != nil {
+			<-e.sem
+		}
+		a.wg.Done()
+	}
 }
 
 // NewPlanar builds a sharded engine over the §3 planar structure.
@@ -419,24 +469,6 @@ func (e *Engine) Delete(r index.Record) (bool, error) {
 	return false, nil
 }
 
-// snapshotSums returns the shard summaries for one planning decision.
-// A static engine's summaries are immutable after build, so the live
-// slice is returned as-is; a mutable engine's keep growing in place,
-// so the planner gets a deep copy that stays valid after the lock is
-// released.
-func (e *Engine) snapshotSums() []partition.ShardSummary {
-	if !e.mutable {
-		return e.sums
-	}
-	e.sumsMu.RLock()
-	defer e.sumsMu.RUnlock()
-	out := make([]partition.ShardSummary, len(e.sums))
-	for i := range e.sums {
-		out[i] = e.sums[i].Clone()
-	}
-	return out
-}
-
 // Len returns the total number of live records across shards.
 func (e *Engine) Len() int {
 	var n int64
@@ -449,14 +481,16 @@ func (e *Engine) Len() int {
 // NumShards returns S.
 func (e *Engine) NumShards() int { return len(e.shards) }
 
-// NumWorkers returns the worker pool size.
+// NumWorkers returns the worker concurrency cap (Options.Workers).
 func (e *Engine) NumWorkers() int { return e.workers }
 
-// Close stops the worker pool. Queries issued after Close panic.
-// Close is idempotent and waits for in-flight tasks to finish.
+// Close stops the per-shard workers. Queries issued after Close panic.
+// Close is idempotent and waits for in-flight sub-batches to finish.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
-		close(e.tasks)
+		for _, ch := range e.work {
+			close(ch)
+		}
 		e.workersWG.Wait()
 	})
 }

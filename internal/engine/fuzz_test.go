@@ -1,16 +1,49 @@
 package engine
 
 import (
-	"reflect"
 	"sort"
 	"testing"
 
 	"linconstraint/internal/chan3d"
 )
 
+// refMerge is the engine's previous merge kernel, kept as the reference
+// the loser tree is pinned against: a linear scan over the run heads,
+// picking the strictly smallest head with ties to the lowest run index.
+func refMerge[T any](runs [][]T, less func(a, b T) bool, limit int) []T {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	if limit >= 0 && limit < total {
+		total = limit
+	}
+	out := make([]T, 0, total)
+	heads := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		var bestV T
+		for si, r := range runs {
+			if heads[si] >= len(r) {
+				continue
+			}
+			if v := r[heads[si]]; best < 0 || less(v, bestV) {
+				best, bestV = si, v
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, bestV)
+		heads[best]++
+	}
+	return out
+}
+
 // FuzzMergeSorted: for any multiset of ids dealt into any number of
 // sorted per-shard lists — round-robin or contiguous chunks — the
-// k-way merge must equal the sorted concatenation.
+// loser-tree merge must equal both the sorted concatenation and the old
+// linear-scan merge.
 func FuzzMergeSorted(f *testing.F) {
 	f.Add([]byte{}, uint8(1))
 	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6}, uint8(3))
@@ -24,23 +57,28 @@ func FuzzMergeSorted(f *testing.F) {
 		}
 		sort.Ints(all)
 
+		var heads, loser []int32
+		merge := func(runs [][]int) []int {
+			return loserMerge(nil, runs, &heads, &loser, intLess, -1)
+		}
+
 		// Scheme 1: round-robin deal of the sorted ids (what the engine
 		// produces: each shard's list is sorted).
-		rr := make([]partial, s)
+		rr := make([][]int, s)
 		for i, v := range all {
-			rr[i%s].ids = append(rr[i%s].ids, v)
+			rr[i%s] = append(rr[i%s], v)
 		}
-		if got := mergeSorted(rr); !reflect.DeepEqual(got, append(make([]int, 0, len(all)), all...)) {
+		if got := merge(rr); !equalInts(got, refMerge(rr, intLess, -1)) || !equalInts(got, all) {
 			t.Fatalf("round-robin: got %v, want %v", got, all)
 		}
 
 		// Scheme 2: contiguous chunks, including empty shards.
-		ch := make([]partial, s)
+		ch := make([][]int, s)
 		for i := 0; i < s; i++ {
 			lo, hi := i*len(all)/s, (i+1)*len(all)/s
-			ch[i].ids = all[lo:hi]
+			ch[i] = all[lo:hi]
 		}
-		if got := mergeSorted(ch); !reflect.DeepEqual(got, append(make([]int, 0, len(all)), all...)) {
+		if got := merge(ch); !equalInts(got, refMerge(ch, intLess, -1)) || !equalInts(got, all) {
 			t.Fatalf("chunks: got %v, want %v", got, all)
 		}
 	})
@@ -49,7 +87,8 @@ func FuzzMergeSorted(f *testing.F) {
 // FuzzMergeNeighbors: dealing any neighbor multiset across shards and
 // merging the per-shard (distance, id)-sorted lists must produce the
 // global k nearest in (distance, id) order — including duplicate
-// distances straddling the k cutoff.
+// distances straddling the k cutoff — and must match the old
+// linear-scan merge element for element.
 func FuzzMergeNeighbors(f *testing.F) {
 	f.Add([]byte{}, uint8(1), uint8(1))
 	f.Add([]byte{5, 1, 1, 3, 200, 7, 7, 7}, uint8(3), uint8(4))
@@ -71,25 +110,27 @@ func FuzzMergeNeighbors(f *testing.F) {
 				return ns[i].ID < ns[j].ID
 			}
 		}
-		parts := make([]partial, s)
+		runs := make([][]chan3d.Neighbor, s)
 		for _, n := range all {
-			parts[n.ID%s].nbs = append(parts[n.ID%s].nbs, n)
+			runs[n.ID%s] = append(runs[n.ID%s], n)
 		}
-		for i := range parts {
-			sort.Slice(parts[i].nbs, byDistID(parts[i].nbs))
+		for i := range runs {
+			sort.Slice(runs[i], byDistID(runs[i]))
 		}
 		want := append([]chan3d.Neighbor(nil), all...)
 		sort.Slice(want, byDistID(want))
 		if len(want) > k {
 			want = want[:k]
 		}
-		got := mergeNeighbors(parts, k)
-		if len(got) != len(want) {
-			t.Fatalf("got %d neighbors, want %d", len(got), len(want))
+		var heads, loser []int32
+		got := loserMerge(nil, runs, &heads, &loser, neighborLess, k)
+		ref := refMerge(runs, neighborLess, k)
+		if len(got) != len(want) || len(got) != len(ref) {
+			t.Fatalf("got %d neighbors, want %d (ref %d)", len(got), len(want), len(ref))
 		}
 		for i := range got {
-			if got[i] != want[i] {
-				t.Fatalf("neighbor %d: %+v, want %+v", i, got[i], want[i])
+			if got[i] != want[i] || got[i] != ref[i] {
+				t.Fatalf("neighbor %d: %+v, want %+v (ref %+v)", i, got[i], want[i], ref[i])
 			}
 		}
 	})

@@ -7,6 +7,7 @@ import (
 	"linconstraint/internal/chan3d"
 	"linconstraint/internal/geom"
 	"linconstraint/internal/index"
+	"linconstraint/internal/partition"
 	"linconstraint/internal/planner"
 )
 
@@ -58,56 +59,256 @@ type Result struct {
 	ShardsPruned  int
 }
 
+// reset clears r for refill, retaining slice capacity (the BatchInto
+// reuse contract).
+func (r *Result) reset() {
+	r.IDs = r.IDs[:0]
+	r.Recs = r.Recs[:0]
+	r.Neighbors = r.Neighbors[:0]
+	r.Deleted = false
+	r.Err = nil
+	r.ShardsVisited = 0
+	r.ShardsPruned = 0
+}
+
 // partial is one shard's contribution to one query.
 type partial struct {
-	ids  []int
-	recs []Record
-	nbs  []chan3d.Neighbor
-	err  error
+	ans index.Answer
+	err error
 }
 
-// runLocal answers q on shard si, translating local record indices to
-// global ones. It locks the shard: all index state (device LRU and
-// counters, and the mutable families' buckets) is behind the lock,
-// which also upholds the eio single-owner invariant (one request in
-// service per "disk").
-func (e *Engine) runLocal(si int, q Query) partial {
-	sh := e.shards[si]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	ans, err := sh.idx.Query(q)
-	if err != nil {
-		return partial{err: err}
-	}
-	// Local indices are sorted ascending (each index sorts its output),
-	// and globals[si] is strictly increasing, so the ids stay sorted.
-	if e.globals != nil {
-		g := e.globals[si]
-		for i := range ans.IDs {
-			ans.IDs[i] = g[ans.IDs[i]]
-		}
-		for i := range ans.Neighbors {
-			ans.Neighbors[i].ID = g[ans.Neighbors[i].ID]
-		}
-	}
-	return partial{ids: ans.IDs, recs: ans.Recs, nbs: ans.Neighbors}
+// reset clears p for refill, retaining slice capacity.
+func (p *partial) reset() {
+	p.ans.IDs = p.ans.IDs[:0]
+	p.ans.Recs = p.ans.Recs[:0]
+	p.ans.Neighbors = p.ans.Neighbors[:0]
+	p.err = nil
 }
 
-// Batch executes ops in batch order: update ops (OpInsert, OpDelete)
-// apply at their position in the batch, and each maximal run of
-// consecutive query ops fans out concurrently — every (query, shard)
-// pair becomes one task for the worker pool, tasks run concurrently
-// across shards and across the queries of the run, and per-shard
-// answers are merged in order. A pure-query batch therefore pipelines
-// exactly as before updates existed, while a mixed batch sees each
-// query observe precisely the updates that precede it. The returned
-// slice is parallel to qs. Batch is safe for concurrent use (batches
-// running concurrently interleave at shard granularity).
+// shardSlot is one (query, shard) work unit of a run: answer query qi
+// into arena partial part.
+type shardSlot struct {
+	qi   int32
+	part int32
+}
+
+// batchArena holds every piece of per-run scratch one Batch call needs:
+// plans, per-shard job lists, per-(query, shard) answer slots, merge
+// cursors and the k-NN double buffers. Arenas are recycled through the
+// engine's free list, and every slice in them is reused at its high-
+// water capacity, so a steady-state batch allocates nothing. An arena
+// belongs to exactly one Batch call at a time; the shard workers it is
+// dispatched to only touch disjoint parts of it (their own jobs list
+// and the slots it names).
+type batchArena struct {
+	wg sync.WaitGroup
+
+	// The current run (slices of the caller's batch); nilled on release
+	// so the free list never pins caller memory.
+	qs  []Query
+	res []Result
+
+	// Plans, deduplicated per distinct operand: plans[0:nplans] are the
+	// distinct plans of the run, planRep[pi] the first query that needed
+	// plans[pi] (the representative whose operand later queries are
+	// compared against), planOf[qi] the plan of query qi (-1: errored,
+	// no plan).
+	plans   []planner.Plan
+	planRep []int32
+	nplans  int
+	planOf  []int32
+
+	// sums is the once-per-run snapshot of the shard summaries a mutable
+	// engine plans against (unused for static engines, whose summaries
+	// are immutable and used in place).
+	sums []partition.ShardSummary
+
+	// jobs[si] lists the slots shard si answers this run; parts[0:nparts]
+	// are the answer slots, laid out per query at partOff[qi] in plan
+	// order (k-NN incremental queries use a single slot as visit
+	// scratch). All slots are allocated before any dispatch: workers
+	// index a stable slice.
+	jobs    [][]shardSlot
+	parts   []partial
+	nparts  int
+	partOff []int32
+
+	// knn lists the queries of the run that take the incremental
+	// shard-sequential k-NN path (planned OpKNN); they run on the
+	// caller's goroutine while the shard workers chew the fan-out jobs.
+	knn []int32
+
+	// Merge scratch: loser-tree cursors and the per-query run tables
+	// (used by the caller goroutine's merge phase only).
+	heads, loser []int32
+	idRuns       [][]int
+	recRuns      [][]Record
+	nbRuns       [][]chan3d.Neighbor
+
+	// knnBufs[i] is the private scratch of the run's i-th incremental
+	// k-NN query, so multiple k-NN queries of one run can execute
+	// concurrently.
+	knnBufs []knnScratch
+}
+
+// knnScratch is one incremental k-NN query's private buffers: the
+// double-buffered accumulated candidate list and its merge cursors.
+type knnScratch struct {
+	cur, spare   []chan3d.Neighbor
+	heads, loser []int32
+}
+
+// beginRun prepares the arena for one run of queries.
+func (a *batchArena) beginRun(e *Engine, qs []Query, res []Result) {
+	a.qs, a.res = qs, res
+	a.nplans = 0
+	a.nparts = 0
+	a.knn = a.knn[:0]
+	a.planOf = resetInt32(a.planOf, len(qs))
+	a.partOff = resetInt32(a.partOff, len(qs))
+	if a.jobs == nil {
+		a.jobs = make([][]shardSlot, len(e.shards))
+	}
+	for si := range a.jobs {
+		a.jobs[si] = a.jobs[si][:0]
+	}
+}
+
+// release drops the arena's references to caller memory and returns it
+// to the engine's free list.
+func (a *batchArena) release(e *Engine) {
+	a.qs, a.res = nil, nil
+	e.arenaMu.Lock()
+	e.arenas = append(e.arenas, a)
+	e.arenaMu.Unlock()
+}
+
+// planWindow bounds the operand-dedup scan: a query is compared
+// against at most this many of the run's most recent distinct plans.
+// Repeated-operand batches (the fan-in case plan sharing exists for)
+// repeat within a short distance; without the bound, an all-distinct
+// batch of Q queries would pay Q²/2 operand comparisons for nothing.
+const planWindow = 16
+
+// plan returns the index of the (possibly shared) plan for query qi,
+// computing it if no recent query of the run has the same operand.
+// Planning once per distinct operand makes repeated-operand batches
+// (the common case for fan-in services) pay the snapshot and the
+// geometry once.
+func (a *batchArena) plan(e *Engine, qi int) int32 {
+	q := a.qs[qi]
+	lo := 0
+	if a.nplans > planWindow {
+		lo = a.nplans - planWindow
+	}
+	for pi := lo; pi < a.nplans; pi++ {
+		if sameOperand(q, a.qs[a.planRep[pi]]) {
+			return int32(pi)
+		}
+	}
+	pi := a.nplans
+	a.nplans++
+	if pi == len(a.plans) {
+		a.plans = append(a.plans, planner.Plan{})
+		a.planRep = append(a.planRep, 0)
+	}
+	a.planRep[pi] = int32(qi)
+	pl := &a.plans[pi]
+	if e.noPlan {
+		pl.Shards = pl.Shards[:0]
+		pl.MinDist2 = pl.MinDist2[:0]
+		pl.Pruned = 0
+		for si := range e.shards {
+			pl.Shards = append(pl.Shards, si)
+		}
+		return int32(pi)
+	}
+	planner.PlanQueryInto(q, a.sums, pl)
+	return int32(pi)
+}
+
+// sameOperand reports whether two queries ask the same thing — same op,
+// same parameters — so their plans are interchangeable within one run.
+// NaN parameters never compare equal; such queries just plan
+// individually.
+func sameOperand(x, y Query) bool {
+	if x.Op != y.Op {
+		return false
+	}
+	switch x.Op {
+	case OpHalfplane:
+		return x.A == y.A && x.B == y.B
+	case OpHalfspace3:
+		return x.A == y.A && x.B == y.B && x.C == y.C
+	case OpHalfspaceD:
+		return floatsEqual(x.Coef, y.Coef)
+	case OpConjunction:
+		if len(x.Constraints) != len(y.Constraints) {
+			return false
+		}
+		for i := range x.Constraints {
+			if x.Constraints[i].Below != y.Constraints[i].Below ||
+				!floatsEqual(x.Constraints[i].Coef, y.Constraints[i].Coef) {
+				return false
+			}
+		}
+		return true
+	case OpKNN:
+		return x.K == y.K && x.Pt == y.Pt
+	}
+	return false
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Batch executes ops in batch order and returns freshly allocated
+// results: update ops (OpInsert, OpDelete) apply at their position in
+// the batch, and each maximal run of consecutive query ops fans out
+// concurrently through the persistent shard workers. A pure-query batch
+// therefore pipelines fully, while a mixed batch sees each query
+// observe precisely the updates that precede it. The returned slice is
+// parallel to qs. Batch is safe for concurrent use (batches running
+// concurrently interleave at shard granularity).
 func (e *Engine) Batch(qs []Query) []Result {
-	results := make([]Result, len(qs))
+	return e.BatchInto(qs, nil)
+}
+
+// BatchInto is Batch with caller-owned result storage: results is
+// resized to len(qs) — reusing its capacity and each Result's slices —
+// filled, and returned. A caller that reuses both the query and result
+// slices across calls runs the engine's allocation-free hot path: on a
+// static engine a steady-state query batch performs zero heap
+// allocations end to end.
+//
+// Ownership: the returned Results' slices belong to the caller (they
+// are the ones passed in, refilled); the engine keeps no reference to
+// them. They are overwritten by the caller's next BatchInto call with
+// the same storage — copy out anything that must outlive it. See
+// DESIGN.md §7.
+func (e *Engine) BatchInto(qs []Query, results []Result) []Result {
+	// Re-expose dormant entries up to capacity before growing: a caller
+	// passing results[:0] gets back the same warmed Result buffers, not
+	// zero values (overwriting them would throw away every reused
+	// slice's capacity — the whole point of BatchInto).
+	results = results[:cap(results)]
+	for len(results) < len(qs) {
+		results = append(results, Result{})
+	}
+	results = results[:len(qs)]
+	var a *batchArena
 	for i := 0; i < len(qs); {
 		if op := qs[i].Op; op == OpInsert || op == OpDelete {
-			results[i] = e.applyUpdate(qs[i])
+			e.applyUpdate(qs[i], &results[i])
 			i++
 			continue
 		}
@@ -115,82 +316,192 @@ func (e *Engine) Batch(qs []Query) []Result {
 		for j < len(qs) && qs[j].Op != OpInsert && qs[j].Op != OpDelete {
 			j++
 		}
-		e.runQueries(qs[i:j], results[i:j])
+		if a == nil {
+			a = e.getArena()
+		}
+		e.runQueries(a, qs[i:j], results[i:j])
 		i = j
+	}
+	if a != nil {
+		a.release(e)
 	}
 	return results
 }
 
-func (e *Engine) applyUpdate(q Query) Result {
+// applyUpdate executes one update op into r, resetting r in place so a
+// reused Result keeps its warmed slice capacity even at batch positions
+// that alternate between queries and updates.
+func (e *Engine) applyUpdate(q Query, r *Result) {
+	r.reset()
 	if q.Op == OpInsert {
-		return Result{Err: e.Insert(q.Rec)}
+		r.Err = e.Insert(q.Rec)
+		return
 	}
-	deleted, err := e.Delete(q.Rec)
-	return Result{Deleted: deleted, Err: err}
+	r.Deleted, r.Err = e.Delete(q.Rec)
 }
 
-// plan computes the shard set for one query: full fan-out when the
-// planner is disabled, otherwise the planner's verdict on a summary
-// snapshot.
-func (e *Engine) plan(q Query) planner.Plan {
-	if e.noPlan {
-		all := make([]int, len(e.shards))
-		for i := range all {
-			all[i] = i
-		}
-		return planner.Plan{Shards: all}
+// snapshotSumsInto refreshes the arena's summary snapshot for one run.
+// A static engine's summaries are immutable after build, so the live
+// slice is used as-is; a mutable engine's keep growing in place, so the
+// arena gets a deep copy (into reused buffers) that stays valid after
+// the lock is released. One snapshot serves the whole run: summaries
+// only grow, so every plan drawn from it is sound for queries of this
+// run (see the monotonicity argument in DESIGN.md §6).
+func (e *Engine) snapshotSumsInto(a *batchArena) {
+	if !e.mutable {
+		// Safe to alias: immutable, and an arena only ever serves one
+		// engine, so the slice can never be mistaken for a mutable
+		// engine's copy buffer.
+		a.sums = e.sums
+		return
 	}
-	return planner.PlanQuery(q, e.snapshotSums())
+	if cap(a.sums) < len(e.sums) {
+		a.sums = make([]partition.ShardSummary, len(e.sums))
+	}
+	a.sums = a.sums[:len(e.sums)]
+	e.sumsMu.RLock()
+	defer e.sumsMu.RUnlock()
+	for i := range e.sums {
+		e.sums[i].CloneInto(&a.sums[i])
+	}
 }
 
-// runQueries scatter-gathers one run of query ops through the worker
-// pool; results is parallel to qs. Ops outside the family's capability
-// (probed on shard 0 — capability is constant per family, so no lock
-// is needed) error without fanning out to any shard. Each query first
-// plans its shard set; only planned shards become tasks. A planned
-// OpKNN runs as one task that visits shards in box-distance order with
-// the kth-distance cutoff (see runKNNPlanned) — shard-sequential, but
-// queries of the run still overlap each other.
-func (e *Engine) runQueries(qs []Query, results []Result) {
-	parts := make([][]partial, len(qs))
-	plans := make([]planner.Plan, len(qs))
-	knnDone := make([]bool, len(qs))
-	var wg sync.WaitGroup
-	for qi, q := range qs {
-		if !e.shards[0].idx.Supports(q.Op) {
-			results[qi].Err = fmt.Errorf("engine: index family: %w %v", index.ErrUnsupported, q.Op)
-			continue
-		}
-		plans[qi] = e.plan(q)
-		if q.Op == OpKNN && !e.noPlan {
-			knnDone[qi] = true
-			wg.Add(1)
-			e.tasks <- func() {
-				defer wg.Done()
-				results[qi] = e.runKNNPlanned(q, plans[qi])
-			}
-			continue
-		}
-		parts[qi] = make([]partial, len(plans[qi].Shards))
-		for pi, si := range plans[qi].Shards {
-			wg.Add(1)
-			e.tasks <- func() {
-				defer wg.Done()
-				parts[qi][pi] = e.runLocal(si, q)
-			}
-		}
+// runQueries executes one run of query ops: plan each query (sharing
+// plans across equal operands), group the (query, shard) work
+// shard-major, wake each shard's persistent worker once with its whole
+// sub-batch, run the incremental k-NN queries on this goroutine
+// meanwhile, then loser-tree-merge the per-shard answers into results.
+// Ops outside the family's capability (probed on shard 0 — capability
+// is constant per family, so no lock is needed) error without fanning
+// out to any shard.
+func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
+	a.beginRun(e, qs, results)
+	if !e.noPlan {
+		e.snapshotSumsInto(a)
 	}
-	wg.Wait()
+
+	// Phase 1 (sequential): plan and lay out every slot. Workers index
+	// a.parts concurrently later, so all growth happens here.
 	for qi := range qs {
-		if results[qi].Err != nil || knnDone[qi] {
+		results[qi].reset()
+		if !e.shards[0].idx.Supports(qs[qi].Op) {
+			results[qi].Err = fmt.Errorf("engine: index family: %w %v", index.ErrUnsupported, qs[qi].Op)
+			a.planOf[qi] = -1
 			continue
 		}
-		results[qi] = e.merge(qs[qi], parts[qi])
-		results[qi].ShardsVisited = len(plans[qi].Shards)
-		results[qi].ShardsPruned = plans[qi].Pruned
-		e.visited.Add(int64(results[qi].ShardsVisited))
-		e.pruned.Add(int64(results[qi].ShardsPruned))
+		pi := a.plan(e, qi)
+		a.planOf[qi] = pi
+		a.partOff[qi] = int32(a.nparts)
+		if qs[qi].Op == OpKNN && !e.noPlan {
+			// One scratch slot for the shard-sequential visits.
+			a.knn = append(a.knn, int32(qi))
+			a.nparts++
+			continue
+		}
+		pl := &a.plans[pi]
+		for j, si := range pl.Shards {
+			a.jobs[si] = append(a.jobs[si], shardSlot{qi: int32(qi), part: a.partOff[qi] + int32(j)})
+		}
+		a.nparts += len(pl.Shards)
 	}
+	for len(a.parts) < a.nparts {
+		a.parts = append(a.parts, partial{})
+	}
+
+	// Phase 2: one wakeup per shard with work.
+	for si := range a.jobs {
+		if len(a.jobs[si]) == 0 {
+			continue
+		}
+		a.wg.Add(1)
+		e.work[si] <- a
+	}
+
+	// Phase 3: incremental k-NN queries, overlapping the workers. A
+	// lone k-NN query runs inline on this goroutine (the scalar path,
+	// kept allocation-free); several spawn one goroutine each so the
+	// queries of the run overlap, as the shard-fanned ops do — each has
+	// private knnScratch, its own answer slot, and its own result, so
+	// they share nothing but the shard locks.
+	for len(a.knnBufs) < len(a.knn) {
+		a.knnBufs = append(a.knnBufs, knnScratch{})
+	}
+	if len(a.knn) == 1 {
+		e.runKNNPlanned(a, int(a.knn[0]), &a.knnBufs[0])
+	} else {
+		for ki, qi := range a.knn {
+			a.wg.Add(1)
+			go func(qi, ki int) {
+				defer a.wg.Done()
+				e.runKNNPlanned(a, qi, &a.knnBufs[ki])
+			}(int(qi), ki)
+		}
+	}
+	a.wg.Wait()
+
+	// Phase 4: merge.
+	for qi := range qs {
+		r := &results[qi]
+		if r.Err != nil || (qs[qi].Op == OpKNN && !e.noPlan) {
+			continue
+		}
+		pl := &a.plans[a.planOf[qi]]
+		e.mergeInto(a, qs[qi], int(a.partOff[qi]), len(pl.Shards), r)
+		r.ShardsVisited = len(pl.Shards)
+		r.ShardsPruned = pl.Pruned
+		e.visited.Add(int64(r.ShardsVisited))
+		e.pruned.Add(int64(r.ShardsPruned))
+	}
+}
+
+// execShard is a shard worker's half of a run: answer every slot of the
+// shard's sub-batch under one lock acquisition, translating local
+// record indices to global ones in place. The lock also upholds the eio
+// single-owner invariant (one request in service per "disk").
+func (e *Engine) execShard(a *batchArena, si int) {
+	sh := e.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, s := range a.jobs[si] {
+		p := &a.parts[s.part]
+		p.reset()
+		if err := sh.idx.QueryInto(a.qs[s.qi], &p.ans); err != nil {
+			p.err = err
+			continue
+		}
+		e.toGlobal(si, &p.ans)
+	}
+}
+
+// toGlobal maps a shard's local answer indices to build-set indices.
+// Local indices are sorted ascending (each index sorts its output), and
+// globals[si] is strictly increasing, so the ids stay sorted.
+func (e *Engine) toGlobal(si int, ans *index.Answer) {
+	if e.globals == nil {
+		return
+	}
+	g := e.globals[si]
+	for i := range ans.IDs {
+		ans.IDs[i] = g[ans.IDs[i]]
+	}
+	for i := range ans.Neighbors {
+		ans.Neighbors[i].ID = g[ans.Neighbors[i].ID]
+	}
+}
+
+// runLocalInto answers q on shard si into the arena slot, locking the
+// shard (the k-NN incremental path's visits run on the caller's
+// goroutine, interleaving with the shard workers under the same mutex).
+func (e *Engine) runLocalInto(si int, q Query, p *partial) {
+	sh := e.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p.reset()
+	if err := sh.idx.QueryInto(q, &p.ans); err != nil {
+		p.err = err
+		return
+	}
+	e.toGlobal(si, &p.ans)
 }
 
 // runKNNPlanned answers one k-NN query incrementally: shards are
@@ -201,111 +512,71 @@ func (e *Engine) runQueries(qs []Query, results []Result) {
 // member's distance, exactly, even in floats; ties must still be
 // visited because a tied point with a smaller global id would win the
 // merge's tie-break). The result is byte-identical to full fan-out.
-func (e *Engine) runKNNPlanned(q Query, pl planner.Plan) Result {
-	merged := make([]chan3d.Neighbor, 0, q.K)
+func (e *Engine) runKNNPlanned(a *batchArena, qi int, ks *knnScratch) {
+	q := a.qs[qi]
+	r := &a.res[qi]
+	pl := &a.plans[a.planOf[qi]]
+	p := &a.parts[a.partOff[qi]] // this query's visit scratch
+	cur, spare := ks.cur[:0], ks.spare[:0]
 	visited := 0
+	var runs [2][]chan3d.Neighbor
 	for i, si := range pl.Shards {
-		if q.K > 0 && len(merged) >= q.K && pl.MinDist2[i] > merged[q.K-1].Dist2 {
+		if q.K > 0 && len(cur) >= q.K && pl.MinDist2[i] > cur[q.K-1].Dist2 {
 			break
 		}
-		p := e.runLocal(si, q)
+		e.runLocalInto(si, q, p)
 		if p.err != nil {
-			return Result{Err: p.err}
+			r.Err = p.err
+			break
 		}
-		merged = mergeNeighbors([]partial{{nbs: merged}, p}, q.K)
+		runs[0], runs[1] = cur, p.ans.Neighbors
+		next := loserMerge(spare[:0], runs[:], &ks.heads, &ks.loser, neighborLess, q.K)
+		cur, spare = next, cur
 		visited++
 	}
-	pruned := len(e.shards) - visited
+	ks.cur, ks.spare = cur, spare
+	if r.Err != nil {
+		return
+	}
+	r.Neighbors = append(r.Neighbors[:0], cur...)
+	r.ShardsVisited = visited
+	r.ShardsPruned = len(e.shards) - visited
 	e.visited.Add(int64(visited))
-	e.pruned.Add(int64(pruned))
-	return Result{Neighbors: merged, ShardsVisited: visited, ShardsPruned: pruned}
+	e.pruned.Add(int64(r.ShardsPruned))
 }
 
-// merge combines one query's per-shard answers. Any shard error (an
-// unsupported op — every shard runs the same family, so all agree)
-// becomes the query's error.
-func (e *Engine) merge(q Query, parts []partial) Result {
-	for _, p := range parts {
-		if p.err != nil {
-			return Result{Err: p.err}
+// mergeInto combines one query's per-shard answers (parts[off:off+n])
+// into r with the loser-tree merge. Any shard error (an unsupported op
+// — every shard runs the same family, so all agree) becomes the query's
+// error.
+func (e *Engine) mergeInto(a *batchArena, q Query, off, n int, r *Result) {
+	for i := off; i < off+n; i++ {
+		if err := a.parts[i].err; err != nil {
+			r.reset()
+			r.Err = err
+			return
 		}
 	}
-	if q.Op == OpKNN {
-		return Result{Neighbors: mergeNeighbors(parts, q.K)}
-	}
-	if e.mutable {
-		return Result{Recs: mergeRecs(parts)}
-	}
-	return Result{IDs: mergeSorted(parts)}
-}
-
-// mergeK k-way merges the shards' sorted lists, selected from each
-// partial by items and ordered by less. S is small, so a linear scan
-// over the S heads beats a heap.
-func mergeK[T any](parts []partial, items func(partial) []T, less func(a, b T) bool) []T {
-	total := 0
-	for _, p := range parts {
-		total += len(items(p))
-	}
-	out := make([]T, 0, total)
-	heads := make([]int, len(parts))
-	for len(out) < total {
-		best := -1
-		var bestV T
-		for si, p := range parts {
-			xs := items(p)
-			if heads[si] >= len(xs) {
-				continue
-			}
-			if v := xs[heads[si]]; best < 0 || less(v, bestV) {
-				best, bestV = si, v
-			}
+	switch {
+	case q.Op == OpKNN:
+		a.nbRuns = a.nbRuns[:0]
+		for i := off; i < off+n; i++ {
+			a.nbRuns = append(a.nbRuns, a.parts[i].ans.Neighbors)
 		}
-		out = append(out, bestV)
-		heads[best]++
-	}
-	return out
-}
-
-// mergeSorted merges the shards' sorted global id lists.
-func mergeSorted(parts []partial) []int {
-	return mergeK(parts, func(p partial) []int { return p.ids }, func(a, b int) bool { return a < b })
-}
-
-// mergeRecs merges the shards' canonically ordered record lists; the
-// result is the canonical order of the union, so it is independent of
-// how records were dealt to shards.
-func mergeRecs(parts []partial) []Record {
-	return mergeK(parts, func(p partial) []Record { return p.recs }, Record.Less)
-}
-
-// mergeNeighbors merges the shards' distance-sorted candidate lists and
-// keeps the k global nearest. Each shard returned its own k nearest, a
-// superset of its members of the global top k, so the merge is exact.
-// Ties break by global id, matching chan3d.KNN's ordering.
-func mergeNeighbors(parts []partial, k int) []chan3d.Neighbor {
-	out := make([]chan3d.Neighbor, 0, k)
-	heads := make([]int, len(parts))
-	for len(out) < k {
-		best := -1
-		var bestN chan3d.Neighbor
-		for si, p := range parts {
-			if heads[si] >= len(p.nbs) {
-				continue
-			}
-			n := p.nbs[heads[si]]
-			if best < 0 || n.Dist2 < bestN.Dist2 ||
-				(n.Dist2 == bestN.Dist2 && n.ID < bestN.ID) {
-				best, bestN = si, n
-			}
+		r.Neighbors = loserMerge(r.Neighbors[:0], a.nbRuns, &a.heads, &a.loser, neighborLess, q.K)
+	case e.mutable:
+		a.recRuns = a.recRuns[:0]
+		for i := off; i < off+n; i++ {
+			a.recRuns = append(a.recRuns, a.parts[i].ans.Recs)
 		}
-		if best < 0 {
-			break
+		r.Recs = loserMerge(r.Recs[:0], a.recRuns, &a.heads, &a.loser, recLess, -1)
+	default:
+		a.idRuns = a.idRuns[:0]
+		for i := off; i < off+n; i++ {
+			a.idRuns = append(a.idRuns, a.parts[i].ans.IDs)
 		}
-		out = append(out, bestN)
-		heads[best]++
+		r.IDs = loserMerge(r.IDs[:0], a.idRuns, &a.heads, &a.loser, intLess, -1)
 	}
-	return out
 }
 
 // --- scalar conveniences (each is a one-op batch) --------------------------

@@ -1,0 +1,73 @@
+package geom
+
+import "math"
+
+// Error-free float expansions for the exact predicate fallbacks.
+//
+// Each predicate first runs a float filter (see predicates.go); only
+// when the residual's magnitude falls inside the rounding bound is it
+// re-evaluated exactly. That fallback used to run in big.Rat
+// arithmetic, which allocates on every call — and the hot query paths
+// hit it constantly in practice, because selectivity-calibrated
+// workloads produce queries that pass exactly through data points. The
+// fallback now runs on Shewchuk-style nonoverlapping expansions:
+// error-free transformations (Knuth's two-sum, an FMA-based two-product)
+// decompose the residual into a handful of float64 components whose
+// exact sum's sign equals the sign of the expansion's largest nonzero
+// component. Every step is error-free over binary64, so the result is
+// as exact as the rational evaluation — with zero heap allocations.
+//
+// The expansions assume finite inputs whose products do not overflow
+// (an overflowed two-product has an undefined error term); the
+// predicates guard with isFinite and keep the rational path for that
+// case.
+
+// twoSum returns s, e with s = fl(a+b) and s + e = a + b exactly
+// (Knuth's branchless two-sum; valid for any ordering of magnitudes).
+func twoSum(a, b float64) (s, e float64) {
+	s = a + b
+	bv := s - a
+	av := s - bv
+	e = (a - av) + (b - bv)
+	return
+}
+
+// twoProd returns p, e with p = fl(a*b) and p + e = a * b exactly.
+func twoProd(a, b float64) (p, e float64) {
+	p = a * b
+	e = math.FMA(a, b, -p)
+	return
+}
+
+// expCap bounds the number of expansion components: enough for a
+// hyperplane residual in up to 11 dimensions (2 components per product
+// term plus the two linear terms).
+const expCap = 24
+
+// expSign returns the sign of the exact sum of terms (len <= expCap).
+// It grows a nonoverlapping expansion one term at a time (Shewchuk's
+// GROW-EXPANSION); the components come out in increasing magnitude
+// order, and the largest nonzero one carries the sum's sign.
+func expSign(terms []float64) int {
+	var h [expCap]float64
+	m := 0
+	for _, b := range terms {
+		q := b
+		for j := 0; j < m; j++ {
+			q, h[j] = twoSum(q, h[j])
+		}
+		h[m] = q
+		m++
+	}
+	for i := m - 1; i >= 0; i-- {
+		if h[i] != 0 {
+			return sign(h[i])
+		}
+	}
+	return 0
+}
+
+// isFinite reports x is neither infinite nor NaN.
+func isFinite(x float64) bool {
+	return !math.IsInf(x, 0) && !math.IsNaN(x)
+}

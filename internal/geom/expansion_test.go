@@ -1,0 +1,100 @@
+package geom
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// ratSideOfLine2 is the rational reference the expansion fallback must
+// agree with.
+func ratSideOfLine2(l Line2, p Point2) int {
+	e := new(big.Rat).Mul(rat(l.A), rat(p.X))
+	e.Add(e, rat(l.B))
+	e.Sub(rat(p.Y), e)
+	return e.Sign()
+}
+
+func ratSideOfPlane3(h Plane3, p Point3) int {
+	e := new(big.Rat).Mul(rat(h.A), rat(p.X))
+	e.Add(e, new(big.Rat).Mul(rat(h.B), rat(p.Y)))
+	e.Add(e, rat(h.C))
+	e.Sub(rat(p.Z), e)
+	return e.Sign()
+}
+
+// TestExpansionSignMatchesRat hammers the expansion-based exact
+// fallback against rational arithmetic, concentrating on boundary-exact
+// and near-boundary inputs where the float filter cannot decide.
+func TestExpansionSignMatchesRat(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200000; trial++ {
+		a := rng.NormFloat64()
+		x := rng.NormFloat64()
+		// Half the trials sit exactly on the line; half are one ulp off.
+		b := rng.NormFloat64()
+		y := a*x + b
+		switch trial % 4 {
+		case 1:
+			y = math.Nextafter(y, math.Inf(1))
+		case 2:
+			y = math.Nextafter(y, math.Inf(-1))
+		case 3:
+			y += rng.NormFloat64() * 1e-18
+		}
+		l, p := Line2{A: a, B: b}, Point2{X: x, Y: y}
+		if got, want := SideOfLine2(l, p), ratSideOfLine2(l, p); got != want {
+			t.Fatalf("SideOfLine2(%v, %v) = %d, rat says %d", l, p, got, want)
+		}
+	}
+	for trial := 0; trial < 100000; trial++ {
+		h := Plane3{A: rng.NormFloat64(), B: rng.NormFloat64(), C: rng.NormFloat64()}
+		x, y := rng.NormFloat64(), rng.NormFloat64()
+		z := h.A*x + h.B*y + h.C
+		if trial%2 == 1 {
+			z = math.Nextafter(z, math.Inf(1-2*(trial%4)/2))
+		}
+		p := Point3{X: x, Y: y, Z: z}
+		if got, want := SideOfPlane3(h, p), ratSideOfPlane3(h, p); got != want {
+			t.Fatalf("SideOfPlane3(%v, %v) = %d, rat says %d", h, p, got, want)
+		}
+	}
+	for trial := 0; trial < 100000; trial++ {
+		d := 2 + rng.Intn(4)
+		h := HyperplaneD{Coef: make([]float64, d)}
+		p := make(PointD, d)
+		for i := 0; i < d; i++ {
+			h.Coef[i] = rng.NormFloat64()
+			p[i] = rng.NormFloat64()
+		}
+		// Put p exactly (in float arithmetic) on the hyperplane.
+		v := h.Coef[d-1]
+		for i := 0; i < d-1; i++ {
+			v += h.Coef[i] * p[i]
+		}
+		p[d-1] = v
+		e := rat(h.Coef[d-1])
+		for i := 0; i < d-1; i++ {
+			e.Add(e, new(big.Rat).Mul(rat(h.Coef[i]), rat(p[i])))
+		}
+		e.Sub(rat(p[d-1]), e)
+		if got, want := SideOfHyperplane(h, p), e.Sign(); got != want {
+			t.Fatalf("SideOfHyperplane(%v, %v) = %d, rat says %d", h, p, got, want)
+		}
+	}
+}
+
+// TestExpansionZeroAlloc pins the fallback's allocation-freedom: a
+// boundary-exact side test must not touch the heap.
+func TestExpansionZeroAlloc(t *testing.T) {
+	l := Line2{A: 0.3, B: 0.7}
+	p := Point2{X: 0.11, Y: l.A*0.11 + l.B}
+	if n := testing.AllocsPerRun(100, func() {
+		if SideOfLine2(l, p) > 1 {
+			t.Fatal("impossible")
+		}
+	}); n != 0 {
+		t.Errorf("SideOfLine2 exact fallback: %.1f allocs/op, want 0", n)
+	}
+}

@@ -40,7 +40,16 @@ func SideOfLine2(l Line2, p Point2) int {
 	if abs(det) > bound {
 		return sign(det)
 	}
-	// Exact: p.Y - (A*p.X + B).
+	// Exact: p.Y - (A*p.X + B), in expansion arithmetic (see
+	// expansion.go) — allocation-free, which matters because reporting
+	// queries whose boundary passes through data points land here once
+	// per such point.
+	ph, pl := twoProd(l.A, p.X)
+	if isFinite(ph) && isFinite(p.Y) && isFinite(l.B) {
+		var terms [4]float64
+		terms[0], terms[1], terms[2], terms[3] = p.Y, -ph, -pl, -l.B
+		return expSign(terms[:])
+	}
 	e := new(big.Rat).Mul(rat(l.A), rat(p.X))
 	e.Add(e, rat(l.B))
 	e.Sub(rat(p.Y), e)
@@ -55,6 +64,14 @@ func SideOfPlane3(h Plane3, p Point3) int {
 	bound := filterEps * 6 * (abs(p.Z) + abs(tx) + abs(ty) + abs(h.C))
 	if abs(det) > bound {
 		return sign(det)
+	}
+	xh, xl := twoProd(h.A, p.X)
+	yh, yl := twoProd(h.B, p.Y)
+	if isFinite(xh) && isFinite(yh) && isFinite(p.Z) && isFinite(h.C) {
+		var terms [6]float64
+		terms[0], terms[1], terms[2] = p.Z, -xh, -xl
+		terms[3], terms[4], terms[5] = -yh, -yl, -h.C
+		return expSign(terms[:])
 	}
 	e := new(big.Rat).Mul(rat(h.A), rat(p.X))
 	e.Add(e, new(big.Rat).Mul(rat(h.B), rat(p.Y)))
@@ -77,6 +94,21 @@ func SideOfHyperplane(h HyperplaneD, p PointD) int {
 	bound := filterEps * 2 * float64(d+1) * mag
 	if abs(det) > bound {
 		return sign(det)
+	}
+	if 2*d <= expCap {
+		var terms [expCap]float64
+		terms[0], terms[1] = p[d-1], -h.Coef[d-1]
+		n := 2
+		finite := isFinite(p[d-1]) && isFinite(h.Coef[d-1])
+		for i := 0; i < d-1; i++ {
+			th, tl := twoProd(h.Coef[i], p[i])
+			finite = finite && isFinite(th)
+			terms[n], terms[n+1] = -th, -tl
+			n += 2
+		}
+		if finite {
+			return expSign(terms[:n])
+		}
 	}
 	e := rat(h.Coef[d-1])
 	for i := 0; i < d-1; i++ {

@@ -27,7 +27,7 @@ package halfspace2d
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"linconstraint/internal/arrangement"
 	"linconstraint/internal/btree"
@@ -49,11 +49,25 @@ type Options struct {
 
 // Index is the §3 structure over a set of lines (duals of the input
 // points). Build with New; query with Below.
+//
+// An Index is single-owner, like its Device: callers serialize access
+// (the sharded engine locks a shard before querying its index). That
+// lets the query path keep per-index scratch instead of allocating per
+// query.
 type Index struct {
 	dev    *eio.Device
 	lines  []geom.Line2
 	beta   int
 	phases []phase
+
+	// Query scratch: epoch-stamped id sets replacing the per-query maps,
+	// so a steady-state query performs zero heap allocations. seen[id]
+	// == epoch marks a line already reported this query; above[id] ==
+	// aboveEpoch marks a line counted above q in the current expansion
+	// direction (the Lemma 3.4 stopping rule resets per direction, so it
+	// gets its own epoch counter, bumped per direction).
+	seen, above       []uint32
+	epoch, aboveEpoch uint32
 }
 
 // rec is one cluster record: a line id with its coefficients inline, so
@@ -77,6 +91,8 @@ type phase struct {
 // for how construction cost is accounted.
 func New(dev *eio.Device, lines []geom.Line2, opt Options) *Index {
 	idx := &Index{dev: dev, lines: lines}
+	idx.seen = make([]uint32, len(lines))
+	idx.above = make([]uint32, len(lines))
 	b := dev.B()
 	n := dev.Blocks(len(lines))
 	idx.beta = opt.Beta
@@ -139,12 +155,22 @@ func (x *Index) SpaceBlocks() int64 { return x.dev.SpaceBlocks() }
 
 // Below reports the indices of every line lying on or below the point q,
 // in O(log_B n + t) I/Os (Theorem 3.5). The result order is unspecified.
-func (x *Index) Below(q geom.Point2) []int {
-	var out []int
-	reported := make(map[int32]bool)
+func (x *Index) Below(q geom.Point2) []int { return x.BelowAppend(q, nil) }
+
+// BelowAppend appends the indices of every line lying on or below q to
+// out and returns the extended slice (appended order unspecified). A
+// steady-state call on a warmed buffer performs zero heap allocations:
+// the reported/above sets of the §3.3 query walk live in epoch-stamped
+// per-index scratch instead of per-query maps.
+func (x *Index) BelowAppend(q geom.Point2, out []int) []int {
+	x.epoch++
+	if x.epoch == 0 { // wrapped: stale stamps could collide; clear
+		clear(x.seen)
+		x.epoch = 1
+	}
 	report := func(id int32) {
-		if !reported[id] {
-			reported[id] = true
+		if x.seen[id] != x.epoch {
+			x.seen[id] = x.epoch
 			out = append(out, int(id))
 		}
 	}
@@ -192,40 +218,30 @@ func (x *Index) Below(q geom.Point2) []int {
 			}
 			return true
 		})
-		above := make(map[int32]bool)
-		for r := j + 1; r < len(p.clusters); r++ {
-			stop := false
-			p.clusters[r].All(func(_ int, r rec) bool {
+		for dir := 0; dir < 2; dir++ {
+			x.aboveEpoch++
+			if x.aboveEpoch == 0 {
+				clear(x.above)
+				x.aboveEpoch = 1
+			}
+			aboveCnt := 0
+			scan := func(_ int, r rec) bool {
 				if belowOrOn(r, q) {
 					report(r.ID)
-				} else {
-					above[r.ID] = true
+				} else if x.above[r.ID] != x.aboveEpoch {
+					x.above[r.ID] = x.aboveEpoch
+					aboveCnt++
 				}
 				return true
-			})
-			if len(above) > p.lambda {
-				stop = true
 			}
-			if stop {
-				break
-			}
-		}
-		above = make(map[int32]bool)
-		for l := j - 1; l >= 0; l-- {
-			stop := false
-			p.clusters[l].All(func(_ int, r rec) bool {
-				if belowOrOn(r, q) {
-					report(r.ID)
-				} else {
-					above[r.ID] = true
+			if dir == 0 {
+				for r := j + 1; r < len(p.clusters) && aboveCnt <= p.lambda; r++ {
+					p.clusters[r].All(scan)
 				}
-				return true
-			})
-			if len(above) > p.lambda {
-				stop = true
-			}
-			if stop {
-				break
+			} else {
+				for l := j - 1; l >= 0 && aboveCnt <= p.lambda; l-- {
+					p.clusters[l].All(scan)
+				}
 			}
 		}
 	}
@@ -285,11 +301,19 @@ func NewPoints(dev *eio.Device, points []geom.Point2, opt Options) *PointIndex {
 
 // Halfplane reports the indices of all points on or below y = a·x + b.
 func (pi *PointIndex) Halfplane(a, b float64) []int {
+	return pi.HalfplaneAppend(a, b, nil)
+}
+
+// HalfplaneAppend appends the sorted indices of all points on or below
+// y = a·x + b to out and returns the extended slice. On a warmed buffer
+// a steady-state query allocates nothing.
+func (pi *PointIndex) HalfplaneAppend(a, b float64, out []int) []int {
 	// A point p is on/below h iff the dual line p* passes on/below the
 	// dual point h* = (a, b) (Lemma 2.1).
-	ids := pi.Below(geom.Point2{X: a, Y: b})
-	sort.Ints(ids)
-	return ids
+	start := len(out)
+	out = pi.BelowAppend(geom.Point2{X: a, Y: b}, out)
+	slices.Sort(out[start:])
+	return out
 }
 
 // Points returns the stored point set.

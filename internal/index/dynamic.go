@@ -2,7 +2,7 @@ package index
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"linconstraint/internal/dynamic"
 	"linconstraint/internal/eio"
@@ -56,8 +56,14 @@ func (d *DynamicPlanar) Delete(r Record) (bool, error) {
 // (X, Y) order.
 func (d *DynamicPlanar) Halfplane(a, b float64) []geom.Point2 {
 	pts := d.idx.Report(a, b)
-	sort.Slice(pts, func(i, j int) bool {
-		return Record{P2: pts[i]}.Less(Record{P2: pts[j]})
+	slices.SortFunc(pts, func(p, q geom.Point2) int {
+		switch {
+		case Record{P2: p}.Less(Record{P2: q}):
+			return -1
+		case Record{P2: q}.Less(Record{P2: p}):
+			return 1
+		}
+		return 0
 	})
 	return pts
 }
@@ -75,16 +81,19 @@ func (d *DynamicPlanar) ResetStats() { d.dev.ResetCounters() }
 func (d *DynamicPlanar) Supports(op Op) bool { return op == OpHalfplane }
 
 // Query dispatches the ops the dynamic planar family serves.
-func (d *DynamicPlanar) Query(q Query) (Answer, error) {
+func (d *DynamicPlanar) Query(q Query) (Answer, error) { return intoAnswer(d, q) }
+
+// QueryInto dispatches q appending into ans. The record conversion
+// reuses ans's capacity; the report itself still allocates inside the
+// logarithmic-method structure.
+func (d *DynamicPlanar) QueryInto(q Query, ans *Answer) error {
 	if !d.Supports(q.Op) {
-		return Answer{}, unsupported("dynamic planar", q.Op)
+		return unsupported("dynamic planar", q.Op)
 	}
-	pts := d.Halfplane(q.A, q.B)
-	recs := make([]Record, len(pts))
-	for i, p := range pts {
-		recs[i] = Record{P2: p}
+	for _, p := range d.Halfplane(q.A, q.B) {
+		ans.Recs = append(ans.Recs, Record{P2: p})
 	}
-	return Answer{Recs: recs}, nil
+	return nil
 }
 
 // DynamicPartition adapts the dynamized §5 partition tree (§5 Remark
@@ -138,20 +147,26 @@ func (d *DynamicPartition) Delete(r Record) (bool, error) {
 // Halfspace returns the live points with x_d <= coef·(x,1) in
 // lexicographic order.
 func (d *DynamicPartition) Halfspace(coef []float64) []geom.PointD {
-	pts := d.idx.Report(geom.HyperplaneD{Coef: coef})
-	sort.Slice(pts, func(i, j int) bool {
-		return Record{PD: pts[i]}.Less(Record{PD: pts[j]})
-	})
-	return pts
+	return sortPD(d.idx.Report(geom.HyperplaneD{Coef: coef}))
 }
 
 // Conjunction returns the live points satisfying every constraint (a
 // simplex or general convex-polytope query) in lexicographic order,
 // matching the static adapter's op coverage.
 func (d *DynamicPartition) Conjunction(cs []Constraint) []geom.PointD {
-	pts := d.idx.ReportSimplex(simplex(cs))
-	sort.Slice(pts, func(i, j int) bool {
-		return Record{PD: pts[i]}.Less(Record{PD: pts[j]})
+	return sortPD(d.idx.ReportSimplex(simplex(cs)))
+}
+
+// sortPD orders points canonically (lexicographic, the Record order).
+func sortPD(pts []geom.PointD) []geom.PointD {
+	slices.SortFunc(pts, func(p, q geom.PointD) int {
+		switch {
+		case Record{PD: p}.Less(Record{PD: q}):
+			return -1
+		case Record{PD: q}.Less(Record{PD: p}):
+			return 1
+		}
+		return 0
 	})
 	return pts
 }
@@ -171,7 +186,12 @@ func (d *DynamicPartition) Supports(op Op) bool {
 }
 
 // Query dispatches the ops the dynamic partition family serves.
-func (d *DynamicPartition) Query(q Query) (Answer, error) {
+func (d *DynamicPartition) Query(q Query) (Answer, error) { return intoAnswer(d, q) }
+
+// QueryInto dispatches q appending into ans. The record conversion
+// reuses ans's capacity; the report itself still allocates inside the
+// logarithmic-method structure.
+func (d *DynamicPartition) QueryInto(q Query, ans *Answer) error {
 	var pts []geom.PointD
 	switch q.Op {
 	case OpHalfspaceD:
@@ -179,13 +199,12 @@ func (d *DynamicPartition) Query(q Query) (Answer, error) {
 	case OpConjunction:
 		pts = d.Conjunction(q.Constraints)
 	default:
-		return Answer{}, unsupported("dynamic partition", q.Op)
+		return unsupported("dynamic partition", q.Op)
 	}
-	recs := make([]Record, len(pts))
-	for i, p := range pts {
-		recs[i] = Record{PD: p}
+	for _, p := range pts {
+		ans.Recs = append(ans.Recs, Record{PD: p})
 	}
-	return Answer{Recs: recs}, nil
+	return nil
 }
 
 var (

@@ -145,8 +145,15 @@ func unsupported(family string, op Op) error {
 // shard before touching its index).
 type Index interface {
 	// Query answers q, or returns an error wrapping ErrUnsupported
-	// when the family does not serve q.Op.
+	// when the family does not serve q.Op. The returned Answer owns
+	// freshly allocated slices.
 	Query(q Query) (Answer, error)
+	// QueryInto answers q by appending into ans's slices, reusing their
+	// capacity — the allocation-free variant the engine's arenas are
+	// built on. The appended data is owned by the caller; the index
+	// retains no reference to ans after returning. ans's existing
+	// contents are preserved (the engine hands in length-0 slices).
+	QueryInto(q Query, ans *Answer) error
 	// Supports reports whether Query serves op. It is a pure
 	// capability probe — constant per family, callable without
 	// serialization.

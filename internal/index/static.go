@@ -54,11 +54,19 @@ func (p *Planar) ResetStats() { p.dev.ResetCounters() }
 func (p *Planar) Supports(op Op) bool { return op == OpHalfplane }
 
 // Query dispatches the ops the planar family serves.
-func (p *Planar) Query(q Query) (Answer, error) {
+func (p *Planar) Query(q Query) (Answer, error) { return intoAnswer(p, q) }
+
+// QueryInto dispatches q appending into ans; allocation-free on a
+// warmed buffer (the §3 query path keeps its working sets in per-index
+// scratch).
+func (p *Planar) QueryInto(q Query, ans *Answer) error {
 	if !p.Supports(q.Op) {
-		return Answer{}, unsupported("planar", q.Op)
+		return unsupported("planar", q.Op)
 	}
-	return Answer{IDs: p.Halfplane(q.A, q.B)}, nil
+	if p.idx != nil {
+		ans.IDs = p.idx.HalfplaneAppend(q.A, q.B, ans.IDs)
+	}
+	return nil
 }
 
 // Spatial3 adapts the §4 3D structure (Theorem 4.4).
@@ -104,11 +112,17 @@ func (s *Spatial3) ResetStats() { s.dev.ResetCounters() }
 func (s *Spatial3) Supports(op Op) bool { return op == OpHalfspace3 }
 
 // Query dispatches the ops the 3D family serves.
-func (s *Spatial3) Query(q Query) (Answer, error) {
+func (s *Spatial3) Query(q Query) (Answer, error) { return intoAnswer(s, q) }
+
+// QueryInto dispatches q appending into ans.
+func (s *Spatial3) QueryInto(q Query, ans *Answer) error {
 	if !s.Supports(q.Op) {
-		return Answer{}, unsupported("3d", q.Op)
+		return unsupported("3d", q.Op)
 	}
-	return Answer{IDs: s.Halfspace(q.A, q.B, q.C)}, nil
+	if s.idx != nil {
+		ans.IDs = s.idx.HalfspaceAppend(q.A, q.B, q.C, ans.IDs)
+	}
+	return nil
 }
 
 // KNN adapts the Theorem 4.3 k-nearest-neighbor structure.
@@ -152,11 +166,17 @@ func (k *KNN) ResetStats() { k.dev.ResetCounters() }
 func (k *KNN) Supports(op Op) bool { return op == OpKNN }
 
 // Query dispatches the ops the k-NN family serves.
-func (k *KNN) Query(q Query) (Answer, error) {
+func (k *KNN) Query(q Query) (Answer, error) { return intoAnswer(k, q) }
+
+// QueryInto dispatches q appending into ans.
+func (k *KNN) QueryInto(q Query, ans *Answer) error {
 	if !k.Supports(q.Op) {
-		return Answer{}, unsupported("knn", q.Op)
+		return unsupported("knn", q.Op)
 	}
-	return Answer{Neighbors: k.Nearest(q.K, q.Pt)}, nil
+	if k.idx != nil {
+		ans.Neighbors = k.idx.QueryAppend(q.K, q.Pt, ans.Neighbors)
+	}
+	return nil
 }
 
 // Partition adapts the §5 d-dimensional partition tree (Theorem 5.2).
@@ -209,14 +229,31 @@ func (p *Partition) ResetStats() { p.dev.ResetCounters() }
 func (p *Partition) Supports(op Op) bool { return op == OpHalfspaceD || op == OpConjunction }
 
 // Query dispatches the ops the partition family serves.
-func (p *Partition) Query(q Query) (Answer, error) {
+func (p *Partition) Query(q Query) (Answer, error) { return intoAnswer(p, q) }
+
+// QueryInto dispatches q appending into ans.
+func (p *Partition) QueryInto(q Query, ans *Answer) error {
 	switch q.Op {
 	case OpHalfspaceD:
-		return Answer{IDs: p.Halfspace(q.Coef)}, nil
+		if p.tr != nil {
+			ans.IDs = p.tr.HalfspaceAppend(geom.HyperplaneD{Coef: q.Coef}, ans.IDs)
+		}
+		return nil
 	case OpConjunction:
-		return Answer{IDs: p.Conjunction(q.Constraints)}, nil
+		if p.tr != nil {
+			ans.IDs = p.tr.SimplexAppend(simplex(q.Constraints), ans.IDs)
+		}
+		return nil
 	}
-	return Answer{}, unsupported("partition", q.Op)
+	return unsupported("partition", q.Op)
+}
+
+// intoAnswer adapts an adapter's QueryInto to the fresh-slices Query
+// contract.
+func intoAnswer(x Index, q Query) (Answer, error) {
+	var ans Answer
+	err := x.QueryInto(q, &ans)
+	return ans, err
 }
 
 var (

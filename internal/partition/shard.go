@@ -382,10 +382,29 @@ func (s *ShardSummary) Add(p geom.PointD) {
 // Clone deep-copies the summary so a planner snapshot stays valid while
 // the engine keeps mutating the original in place.
 func (s ShardSummary) Clone() ShardSummary {
-	return ShardSummary{
-		Count: s.Count,
-		Box:   geom.Box{Min: append(geom.PointD(nil), s.Box.Min...), Max: append(geom.PointD(nil), s.Box.Max...)},
-		DirLo: append([]float64(nil), s.DirLo...),
+	var dst ShardSummary
+	s.CloneInto(&dst)
+	return dst
+}
+
+// CloneInto deep-copies the summary into dst, reusing dst's slice
+// capacities — the engine's per-batch snapshot arenas call this so a
+// steady-state snapshot allocates nothing.
+func (s ShardSummary) CloneInto(dst *ShardSummary) {
+	dst.Count = s.Count
+	dst.Box.Min = append(dst.Box.Min[:0], s.Box.Min...)
+	dst.Box.Max = append(dst.Box.Max[:0], s.Box.Max...)
+	dst.DirLo = append(dst.DirLo[:0], s.DirLo...)
+	// An empty source means "unknown region"; keep the nil encoding
+	// (append of nothing onto an empty non-nil slice stays non-nil).
+	if len(s.Box.Min) == 0 {
+		dst.Box.Min = nil
+	}
+	if len(s.Box.Max) == 0 {
+		dst.Box.Max = nil
+	}
+	if len(s.DirLo) == 0 {
+		dst.DirLo = nil
 	}
 }
 

@@ -15,7 +15,7 @@
 package partition
 
 import (
-	"sort"
+	"slices"
 
 	"linconstraint/internal/eio"
 	"linconstraint/internal/geom"
@@ -215,26 +215,39 @@ func (t *Tree) Dim() int { return t.d }
 // Halfspace reports the ids of all points on or below the hyperplane h
 // (x_d <= h(x)), in O(n^(1-1/d)+ε + t) I/Os (Theorem 5.2).
 func (t *Tree) Halfspace(h geom.HyperplaneD) []int {
-	var out []int
+	return t.HalfspaceAppend(h, nil)
+}
+
+// HalfspaceAppend appends the sorted ids of all points on or below h to
+// out and returns the extended slice. On a warmed buffer a steady-state
+// query allocates nothing.
+func (t *Tree) HalfspaceAppend(h geom.HyperplaneD, out []int) []int {
 	if t.root == nil {
 		return out
 	}
+	start := len(out)
 	t.query(t.root, func(b geom.Box) int { return b.RegionSide(h) },
 		func(p geom.PointD) bool { return geom.SideOfHyperplane(h, p) <= 0 },
 		&out)
-	sort.Ints(out)
+	slices.Sort(out[start:])
 	return out
 }
 
 // Simplex reports the ids of all points inside the simplex (or general
 // convex polytope) s (§5 Remark i).
 func (t *Tree) Simplex(s geom.Simplex) []int {
-	var out []int
+	return t.SimplexAppend(s, nil)
+}
+
+// SimplexAppend appends the sorted ids of all points inside s to out
+// and returns the extended slice.
+func (t *Tree) SimplexAppend(s geom.Simplex, out []int) []int {
 	if t.root == nil {
 		return out
 	}
+	start := len(out)
 	t.query(t.root, s.RegionSide, s.Contains, &out)
-	sort.Ints(out)
+	slices.Sort(out[start:])
 	return out
 }
 

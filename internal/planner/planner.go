@@ -25,7 +25,6 @@ package planner
 
 import (
 	"math"
-	"sort"
 
 	"linconstraint/internal/geom"
 	"linconstraint/internal/index"
@@ -40,8 +39,9 @@ type Plan struct {
 	// engine's incremental cutoff.
 	Shards []int
 	// MinDist2 is parallel to Shards for OpKNN: the squared distance
-	// from the query point to each shard's box (0 when inside). Nil for
-	// other ops.
+	// from the query point to each shard's box (0 when inside). Empty
+	// for other ops (nil when freshly planned, length 0 when a reused
+	// Plan buffer last served a k-NN query).
 	MinDist2 []float64
 	// Pruned counts the shards excluded at plan time. For OpKNN the
 	// engine's kth-distance cutoff may prune further at run time.
@@ -52,24 +52,52 @@ type Plan struct {
 // Ops the planner has no predicate for (updates, unknown ops) plan the
 // full shard set.
 func PlanQuery(q index.Query, sums []partition.ShardSummary) Plan {
-	if q.Op == index.OpKNN {
-		return planKNN(q, sums)
-	}
 	var pl Plan
+	PlanQueryInto(q, sums, &pl)
+	return pl
+}
+
+// PlanQueryInto is PlanQuery writing into pl, reusing its slice
+// capacities — the engine's per-batch arenas call this so a
+// steady-state plan allocates nothing. pl's previous contents are
+// discarded.
+func PlanQueryInto(q index.Query, sums []partition.ShardSummary, pl *Plan) {
+	pl.Shards = pl.Shards[:0]
+	pl.MinDist2 = pl.MinDist2[:0]
+	pl.Pruned = 0
+	if q.Op == index.OpKNN {
+		planKNN(q, sums, pl)
+		return
+	}
+	// The query hyperplane is hoisted out of the per-shard loop (and its
+	// coefficient storage kept on the stack) so planning never touches
+	// the heap.
+	var cbuf [3]float64
+	var h geom.HyperplaneD
+	switch q.Op {
+	case index.OpHalfplane:
+		cbuf[0], cbuf[1] = q.A, q.B
+		h.Coef = cbuf[:2]
+	case index.OpHalfspace3:
+		cbuf[0], cbuf[1], cbuf[2] = q.A, q.B, q.C
+		h.Coef = cbuf[:3]
+	case index.OpHalfspaceD:
+		h.Coef = q.Coef
+	}
 	for si, sum := range sums {
-		if !mayContribute(q, sum) {
+		if !mayContribute(q, h, sum) {
 			pl.Pruned++
 			continue
 		}
 		pl.Shards = append(pl.Shards, si)
 	}
-	return pl
 }
 
 // mayContribute reports whether a record of the summarized shard can
-// satisfy q. Unknown regions (no box yet) and ops without a predicate
-// always may.
-func mayContribute(q index.Query, sum partition.ShardSummary) bool {
+// satisfy q; h is the query hyperplane precomputed by PlanQueryInto
+// (meaningful for the halfplane/halfspace ops only). Unknown regions
+// (no box yet) and ops without a predicate always may.
+func mayContribute(q index.Query, h geom.HyperplaneD, sum partition.ShardSummary) bool {
 	if sum.Count == 0 {
 		return false
 	}
@@ -78,11 +106,9 @@ func mayContribute(q index.Query, sum partition.ShardSummary) bool {
 	}
 	switch q.Op {
 	case index.OpHalfplane:
-		return halfplaneMay(q.A, q.B, sum)
-	case index.OpHalfspace3:
-		return halfspaceMay(geom.HyperplaneD{Coef: []float64{q.A, q.B, q.C}}, sum.Box)
-	case index.OpHalfspaceD:
-		return halfspaceMay(geom.HyperplaneD{Coef: q.Coef}, sum.Box)
+		return halfplaneMay(q.A, q.B, h, sum)
+	case index.OpHalfspace3, index.OpHalfspaceD:
+		return halfspaceMay(h, sum.Box)
 	case index.OpConjunction:
 		return conjunctionMay(q.Constraints, sum.Box)
 	}
@@ -135,8 +161,7 @@ func halfspaceMay(h geom.HyperplaneD, box geom.Box) bool {
 // upper half-circle), so with v = λ₁u₁ + λ₂u₂, λ ≥ 0,
 // min_p v·p ≥ λ₁·DirLo₁ + λ₂·DirLo₂ — the support-function bound, never
 // weaker than the box corner bound when v falls between samples.
-func halfplaneMay(a, b float64, sum partition.ShardSummary) bool {
-	h := geom.HyperplaneD{Coef: []float64{a, b}}
+func halfplaneMay(a, b float64, h geom.HyperplaneD, sum partition.ShardSummary) bool {
 	if len(sum.Box.Min) == 2 {
 		if lo, _ := sum.Box.HalfspaceRange(h); safelyPositive(lo, halfspaceScale(h, sum.Box)) {
 			return false
@@ -202,15 +227,14 @@ func conjunctionMay(cs []index.Constraint, box geom.Box) bool {
 // to their boxes — the visit order under which the engine's incremental
 // kth-distance cutoff terminates earliest. Only provably empty shards
 // are pruned here; geometry alone cannot drop a populated shard without
-// knowing the kth distance, which emerges as shards answer.
-func planKNN(q index.Query, sums []partition.ShardSummary) Plan {
-	var pl Plan
-	qp := geom.PointD{q.Pt.X, q.Pt.Y}
-	type cand struct {
-		si int
-		d2 float64
-	}
-	var cands []cand
+// knowing the kth distance, which emerges as shards answer. The (d2,
+// si)-ordered candidates are built and insertion-sorted directly in
+// pl's parallel slices (S is small and the input near-sorted; no
+// allocation, deterministic total order).
+func planKNN(q index.Query, sums []partition.ShardSummary, pl *Plan) {
+	var qbuf [2]float64
+	qbuf[0], qbuf[1] = q.Pt.X, q.Pt.Y
+	qp := geom.PointD(qbuf[:])
 	for si, sum := range sums {
 		if sum.Count == 0 {
 			pl.Pruned++
@@ -220,19 +244,16 @@ func planKNN(q index.Query, sums []partition.ShardSummary) Plan {
 		if len(sum.Box.Min) == 2 {
 			d2 = sum.Box.MinDist2(qp)
 		}
-		cands = append(cands, cand{si, d2})
+		pl.Shards = append(pl.Shards, si)
+		pl.MinDist2 = append(pl.MinDist2, d2)
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].d2 != cands[b].d2 {
-			return cands[a].d2 < cands[b].d2
+	for i := 1; i < len(pl.Shards); i++ {
+		si, d2 := pl.Shards[i], pl.MinDist2[i]
+		j := i
+		for j > 0 && (pl.MinDist2[j-1] > d2 || (pl.MinDist2[j-1] == d2 && pl.Shards[j-1] > si)) {
+			pl.Shards[j], pl.MinDist2[j] = pl.Shards[j-1], pl.MinDist2[j-1]
+			j--
 		}
-		return cands[a].si < cands[b].si
-	})
-	pl.Shards = make([]int, len(cands))
-	pl.MinDist2 = make([]float64, len(cands))
-	for i, c := range cands {
-		pl.Shards[i] = c.si
-		pl.MinDist2[i] = c.d2
+		pl.Shards[j], pl.MinDist2[j] = si, d2
 	}
-	return pl
 }

@@ -366,9 +366,10 @@ func KDCutLayout() Partitioner { return partition.NewKDCut() }
 // latency, and round-robin sharding.
 type EngineConfig struct {
 	// Shards is the number of independent shards, each with its own
-	// simulated device and index (default 1).
+	// simulated device, index and persistent worker goroutine (default 1).
 	Shards int
-	// Workers is the query worker pool size (default Shards).
+	// Workers caps how many shard workers may execute simultaneously
+	// (default Shards — no cap).
 	Workers int
 	// BlockSize and CacheBlocks configure every shard's device, as in
 	// Config.
@@ -554,9 +555,24 @@ func (e *Engine) KNN(k int, q Point2) []Neighbor { return e.eng.KNN(k, q) }
 
 // Batch executes a batch of ops: update ops apply at their position in
 // the batch, runs of consecutive queries are answered concurrently
-// (scatter-gather across shards through the worker pool), and the
-// answers return in order.
+// (scatter-gather through the persistent shard workers), and the
+// answers return in order, in freshly allocated result slices the
+// caller owns outright.
 func (e *Engine) Batch(qs []Query) []QueryResult { return e.eng.Batch(qs) }
+
+// BatchInto is Batch with caller-owned result storage: results is
+// resized to len(qs), each QueryResult's slices are refilled in place
+// (capacity reused), and the slice is returned. A caller that reuses
+// the same query and result slices across calls runs the engine's
+// allocation-free hot path — on a static engine a steady-state query
+// batch performs zero heap allocations end to end.
+//
+// The refilled slices remain owned by the caller but are overwritten by
+// the caller's next BatchInto with the same storage; copy out anything
+// that must outlive it. See DESIGN.md §7 for the arena ownership rules.
+func (e *Engine) BatchInto(qs []Query, results []QueryResult) []QueryResult {
+	return e.eng.BatchInto(qs, results)
+}
 
 // Stats aggregates I/O counters and space across shards, including all
 // construction and rebuild (compaction) work.
@@ -571,8 +587,8 @@ func (e *Engine) Len() int { return e.eng.Len() }
 // NumShards returns the shard count.
 func (e *Engine) NumShards() int { return e.eng.NumShards() }
 
-// NumWorkers returns the worker pool size.
+// NumWorkers returns the worker concurrency cap.
 func (e *Engine) NumWorkers() int { return e.eng.NumWorkers() }
 
-// Close stops the worker pool; queries after Close panic.
+// Close stops the per-shard workers; queries after Close panic.
 func (e *Engine) Close() { e.eng.Close() }
