@@ -12,6 +12,14 @@
 // layouts prune shards with mean shards-visited at or below half the
 // shard count — the engine-level payoff the planner exists for.
 //
+// With -reshard it runs the online-resharding smoke (reshard.go): a
+// skewed delete-heavy phase hollows most shards of a mutable engine,
+// one Rebalance migrates and retrains, and the run fails unless the
+// live-count skew falls to <= 1.5, mean shards-visited on selective
+// halfplanes drops strictly below the hollowed state, and every answer
+// is byte-identical across the rebalance. Combine with -json PATH to
+// write the reshard record.
+//
 // With -json PATH it instead runs the engine hot-path benchmarks
 // (bench.go) and writes a machine-readable perf record — qps, ns/op,
 // B/op, allocs/op, shards visited and I/Os per op family — to PATH;
@@ -45,9 +53,17 @@ func main() {
 	out := flag.String("out", "results", "directory for CSV output")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default all)")
 	pruning := flag.Bool("pruning", false, "run the shard-pruning efficiency smoke instead of the experiments")
-	jsonOut := flag.String("json", "", "run the engine hot-path benchmarks and write the perf record to this path")
+	reshard := flag.Bool("reshard", false, "run the online-resharding smoke (skewed delete phase, rebalance, skew + visited-shards before/after); -json writes its record")
+	jsonOut := flag.String("json", "", "run the engine hot-path benchmarks and write the perf record to this path (with -reshard: the reshard record)")
 	baseline := flag.String("baseline", "", "with -json: previously written perf record to embed as the comparison baseline")
 	flag.Parse()
+
+	if *reshard {
+		if !reshardSmoke(*seed, *quick, *jsonOut) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonOut != "" {
 		if err := runBenchJSON(*jsonOut, *baseline, *seed, *quick); err != nil {

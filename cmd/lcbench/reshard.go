@@ -1,0 +1,179 @@
+package main
+
+// The -reshard mode: an end-to-end smoke of online resharding
+// (DESIGN.md §8). It drives a mutable engine through the workload
+// resharding exists for — a skewed delete-heavy phase that hollows
+// most shards while stragglers keep their stale grow-only summaries
+// visitable — then runs one Rebalance and checks the repair: the
+// live-count skew must fall to <= 1.5, mean shards-visited on
+// selective halfplanes must drop strictly below the hollowed state,
+// and the answers to a fixed query set must be byte-identical before
+// and after (migration is invisible in every answer). With a -json
+// path it also writes a machine-readable record of the run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"slices"
+
+	"linconstraint"
+	"linconstraint/internal/geom"
+	"linconstraint/internal/workload"
+)
+
+// reshardRecord is the -reshard -json output.
+type reshardRecord struct {
+	N             int     `json:"n"`
+	Shards        int     `json:"shards"`
+	Live          int     `json:"live"`
+	SkewBefore    float64 `json:"skew_before"`
+	SkewAfter     float64 `json:"skew_after"`
+	SpreadBefore  float64 `json:"spread_before"`
+	SpreadAfter   float64 `json:"spread_after"`
+	VisitedBefore float64 `json:"mean_visited_before"`
+	VisitedAfter  float64 `json:"mean_visited_after"`
+	Planned       int     `json:"planned"`
+	Moved         int     `json:"moved"`
+	Deferred      int     `json:"deferred"`
+	Pass          bool    `json:"pass"`
+}
+
+// reshardSmoke builds the hollowed state, rebalances, and verifies the
+// acceptance thresholds. Returns false (and prints FAIL lines) on any
+// violation.
+func reshardSmoke(seed int64, quick bool, jsonPath string) bool {
+	const shards = 8
+	n := 100_000
+	if quick {
+		n = 20_000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pts := workload.Uniform2(rng, n)
+	pd := make([]linconstraint.PointD, n)
+	for i, p := range pts {
+		pd[i] = linconstraint.PointD{p.X, p.Y}
+	}
+	eng := linconstraint.NewDynamicPlanarEngine(linconstraint.EngineConfig{
+		Shards: shards, Workers: shards, BlockSize: 128, Seed: seed,
+		Partitioner: linconstraint.KDCutLayout(), PretrainSample: pd,
+	})
+	defer eng.Close()
+
+	// Skewed insert/delete phase: fill spatially, then hollow
+	// everything right of x = 0.25, keeping every 40th record as a
+	// straggler so the cleared tiles stay visitable.
+	batch := func(qs []linconstraint.Query) {
+		for _, r := range eng.Batch(qs) {
+			if r.Err != nil {
+				fmt.Fprintln(os.Stderr, r.Err)
+				os.Exit(1)
+			}
+		}
+	}
+	ins := make([]linconstraint.Query, 0, 256)
+	for _, p := range pts {
+		ins = append(ins, linconstraint.Query{Op: linconstraint.OpInsert, Rec: linconstraint.Rec2(p)})
+		if len(ins) == cap(ins) {
+			batch(ins)
+			ins = ins[:0]
+		}
+	}
+	batch(ins)
+	var live []geom.Point2
+	del := make([]linconstraint.Query, 0, 256)
+	for i, p := range pts {
+		if p.X > 0.25 && i%40 != 0 {
+			del = append(del, linconstraint.Query{Op: linconstraint.OpDelete, Rec: linconstraint.Rec2(p)})
+			if len(del) == cap(del) {
+				batch(del)
+				del = del[:0]
+			}
+		} else {
+			live = append(live, p)
+		}
+	}
+	batch(del)
+
+	queries := make([]workload.Halfplane, 64)
+	qrng := rand.New(rand.NewSource(seed + 1))
+	for i := range queries {
+		queries[i] = workload.HalfplaneWithSelectivity(qrng, live, 0.01)
+	}
+	answers := func() (mean float64, recs [][]linconstraint.Point2) {
+		total := 0
+		for _, h := range queries {
+			r := eng.Batch([]linconstraint.Query{{Op: linconstraint.OpHalfplane, A: h.A, B: h.B}})[0]
+			if r.Err != nil {
+				fmt.Fprintln(os.Stderr, r.Err)
+				os.Exit(1)
+			}
+			total += r.ShardsVisited
+			pts := make([]linconstraint.Point2, len(r.Recs))
+			for i, rec := range r.Recs {
+				pts[i] = rec.P2
+			}
+			recs = append(recs, pts)
+		}
+		return float64(total) / float64(len(queries)), recs
+	}
+
+	visitedBefore, recsBefore := answers()
+	st, err := eng.Rebalance(linconstraint.RebalanceOptions{BatchSize: 256})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	visitedAfter, recsAfter := answers()
+
+	rec := reshardRecord{
+		N: n, Shards: shards, Live: eng.Len(),
+		SkewBefore: st.Before.Skew, SkewAfter: st.After.Skew,
+		SpreadBefore: st.Before.Spread, SpreadAfter: st.After.Spread,
+		VisitedBefore: visitedBefore, VisitedAfter: visitedAfter,
+		Planned: st.Planned, Moved: st.Moved, Deferred: st.Deferred,
+	}
+	ok := true
+	fmt.Printf("reshard smoke: n=%d, %d shards, hollowed x>0.25 (stragglers kept), %d live\n\n",
+		n, shards, eng.Len())
+	fmt.Printf("%-22s %10s %10s\n", "", "hollowed", "rebalanced")
+	fmt.Printf("%-22s %10.2f %10.2f\n", "live-count skew", rec.SkewBefore, rec.SkewAfter)
+	fmt.Printf("%-22s %10.2f %10.2f\n", "region spread", rec.SpreadBefore, rec.SpreadAfter)
+	fmt.Printf("%-22s %10.2f %10.2f\n", "mean shards visited", rec.VisitedBefore, rec.VisitedAfter)
+	fmt.Printf("\nmigration: %d planned, %d moved, %d deferred\n", st.Planned, st.Moved, st.Deferred)
+	if rec.SkewAfter > 1.5 {
+		fmt.Printf("FAIL: post-rebalance skew %.2f > 1.5\n", rec.SkewAfter)
+		ok = false
+	}
+	if rec.VisitedAfter >= rec.VisitedBefore {
+		fmt.Printf("FAIL: mean shards visited did not recover (%.2f -> %.2f)\n",
+			rec.VisitedBefore, rec.VisitedAfter)
+		ok = false
+	}
+	for qi := range queries {
+		if !slices.Equal(recsBefore[qi], recsAfter[qi]) {
+			fmt.Printf("FAIL: query %d answer changed across rebalance (%d vs %d hits)\n",
+				qi, len(recsBefore[qi]), len(recsAfter[qi]))
+			ok = false
+			break
+		}
+	}
+	rec.Pass = ok
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", jsonPath, err)
+			ok = false
+		} else {
+			fmt.Printf("record written to %s\n", jsonPath)
+		}
+	}
+	if ok {
+		fmt.Println("\nPASS")
+	}
+	return ok
+}

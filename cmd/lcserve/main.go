@@ -20,10 +20,16 @@
 // Usage:
 //
 //	lcserve [-kind planar|3d|knn|partition|dynplanar|dynpartition]
-//	        [-layout rr|sfc|kd] [-noplan]
+//	        [-layout rr|sfc|kd] [-noplan] [-rebalance]
 //	        [-n N] [-shards S] [-workers W] [-batch B] [-queries Q]
 //	        [-sel F] [-mix F] [-k K] [-dim D] [-block B] [-cache M]
 //	        [-lat DUR] [-seed N]
+//
+// With -rebalance (dynamic kinds) one online rebalance fires in the
+// background from the load phase's midpoint: the layout retrains on
+// the live records and records migrate between shards in small batches
+// interleaved with the serving traffic; the report then shows moves
+// and the skew/spread metrics before and after (DESIGN.md §8).
 //
 // Examples — 8 shards, 8 workers, a 100µs simulated disk; a mutable
 // engine under a 30% write mix; then a kd-cut layout whose planner
@@ -41,6 +47,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"linconstraint"
@@ -67,11 +74,16 @@ func main() {
 		lat     = flag.Duration("lat", 0, "simulated disk latency per block miss")
 		seed    = flag.Int64("seed", 1, "RNG seed")
 		profile = flag.Int("profile", 128, "sequential queries for the per-query I/O histogram")
+		rebal   = flag.Bool("rebalance", false, "run one online rebalance (retrain + migrate) in the background from the load phase's midpoint (dynamic kinds)")
 	)
 	flag.Parse()
 
 	if *mix > 0 && *kind != "dynplanar" && *kind != "dynpartition" {
 		fmt.Fprintf(os.Stderr, "-mix requires a dynamic kind (dynplanar, dynpartition)\n")
+		os.Exit(2)
+	}
+	if *rebal && *kind != "dynplanar" && *kind != "dynpartition" {
+		fmt.Fprintf(os.Stderr, "-rebalance requires a dynamic kind (dynplanar, dynpartition)\n")
 		os.Exit(2)
 	}
 
@@ -246,11 +258,26 @@ func main() {
 	eng.ResetStats()
 	start = time.Now()
 	done := 0
+	// An online rebalance fired mid-load exercises migration under
+	// traffic: move batches interleave with the serving batches below,
+	// and the engine's invariants keep every answer exact throughout.
+	var rebWG sync.WaitGroup
+	var rebSt linconstraint.RebalanceStats
+	var rebErr error
+	rebFired := false
 	// BatchInto with reused result storage keeps the load phase on the
 	// engine's allocation-free hot path (DESIGN.md §7): the generator,
 	// not the engine, is the only allocator in this loop.
 	res := make([]linconstraint.QueryResult, 0, *batch)
 	for done < len(qs) {
+		if *rebal && !rebFired && done >= len(qs)/2 {
+			rebFired = true
+			rebWG.Add(1)
+			go func() {
+				defer rebWG.Done()
+				rebSt, rebErr = eng.Rebalance(linconstraint.RebalanceOptions{})
+			}()
+		}
 		end := mini(done+*batch, len(qs))
 		res = eng.BatchInto(qs[done:end], res[:0])
 		for i, r := range res {
@@ -265,12 +292,22 @@ func main() {
 		}
 		done = end
 	}
+	rebWG.Wait()
 	el := time.Since(start)
 	st = eng.Stats()
 	fmt.Printf("\nload phase: %d ops (%d queries, %d inserts, %d deletes) in batches of %d: %v (%.0f ops/sec)\n",
 		len(qs), nq, nins, ndel, *batch, el.Round(time.Millisecond), float64(len(qs))/el.Seconds())
 	if genUpd != nil {
 		fmt.Printf("live records after load: %d\n", eng.Len())
+	}
+	if rebFired {
+		if rebErr != nil {
+			fmt.Fprintf(os.Stderr, "rebalance: %v\n", rebErr)
+			os.Exit(1)
+		}
+		fmt.Printf("online rebalance (fired mid-load): %d moved of %d planned (%d deferred); skew %.2f -> %.2f, spread %.2f -> %.2f\n",
+			rebSt.Moved, rebSt.Planned, rebSt.Deferred,
+			rebSt.Before.Skew, rebSt.After.Skew, rebSt.Before.Spread, rebSt.After.Spread)
 	}
 	fmt.Printf("aggregate I/O: %d total (%d reads, %d writes, %d cache hits), %.1f I/Os/op\n",
 		st.Total.IOs(), st.Total.Reads, st.Total.Writes, st.Total.Hits,

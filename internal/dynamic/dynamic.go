@@ -151,6 +151,24 @@ func (s *Set[T]) compact() {
 	}
 }
 
+// AppendLive appends every live item to dst and returns it, in bucket
+// order (largest first) — an arbitrary but deterministic order; callers
+// that need canonical order sort. The engine's rebalancer snapshots
+// shard contents through this.
+func (s *Set[T]) AppendLive(dst []T) []T {
+	for _, b := range s.buckets {
+		if b == nil {
+			continue
+		}
+		for j, it := range b.items {
+			if !b.dead[j] {
+				dst = append(dst, it)
+			}
+		}
+	}
+	return dst
+}
+
 // Query runs q against every bucket and concatenates live results,
 // remapped through each bucket's item positions via out(item).
 func (s *Set[T]) Query(q any, emit func(item T)) {

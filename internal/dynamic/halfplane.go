@@ -42,6 +42,12 @@ func (h *Halfplane2D) Delete(p geom.Point2) bool {
 // Len returns the number of live points.
 func (h *Halfplane2D) Len() int { return h.set.Len() }
 
+// AppendLive appends every live point to dst (deterministic bucket
+// order, not canonical order).
+func (h *Halfplane2D) AppendLive(dst []geom.Point2) []geom.Point2 {
+	return h.set.AppendLive(dst)
+}
+
 // Report returns the live points with y <= a·x + b.
 func (h *Halfplane2D) Report(a, b float64) []geom.Point2 {
 	var out []geom.Point2
@@ -99,6 +105,12 @@ func (h *PartitionD) Delete(p geom.PointD) bool {
 
 // Len returns the number of live points.
 func (h *PartitionD) Len() int { return h.set.Len() }
+
+// AppendLive appends every live point to dst (deterministic bucket
+// order, not canonical order).
+func (h *PartitionD) AppendLive(dst []geom.PointD) []geom.PointD {
+	return h.set.AppendLive(dst)
+}
 
 // Report returns the live points on or below the hyperplane.
 func (h *PartitionD) Report(hp geom.HyperplaneD) []geom.PointD {

@@ -39,13 +39,21 @@
 //
 // Shard layout and planning: Options.Partitioner (internal/partition)
 // decides which records share a shard, the engine maintains one
-// partition.ShardSummary per shard (grown on insert, never shrunk), and
-// every query is first planned (internal/planner) against a snapshot of
-// the summaries — only the shards whose region can intersect the query
-// are visited, the rest are counted as pruned in Stats and per-query in
-// Result. Round-robin layouts summarize to near-identical full-extent
-// boxes, so they plan full fan-out; the locality-aware layouts are what
-// make pruning bite. See DESIGN.md §6.
+// partition.ShardSummary per shard (grown on insert, shrunk only by
+// Rebalance's summary rebuild), and every query is first planned
+// (internal/planner) against a snapshot of the summaries — only the
+// shards whose region can intersect the query are visited, the rest are
+// counted as pruned in Stats and per-query in Result. Round-robin
+// layouts summarize to near-identical full-extent boxes, so they plan
+// full fan-out; the locality-aware layouts are what make pruning bite.
+// See DESIGN.md §6.
+//
+// Online resharding: Rebalance (rebalance.go) retrains the layout on
+// the live records and migrates records between shards in bounded
+// batches interleaved with serving, then shrinks every summary to the
+// live set; Retrain and Options.PretrainSample train a layout for
+// engines that build empty. Answers stay byte-identical throughout.
+// See DESIGN.md §8.
 package engine
 
 import (
@@ -93,6 +101,14 @@ type Options struct {
 	// way (that is the planner's contract); the switch exists as the
 	// baseline for pruning-efficiency measurements and property tests.
 	NoPlanner bool
+	// PretrainSample, when non-empty, trains the Partitioner on the
+	// sample (one Split) before the engine is built. Engines that build
+	// empty (the mutable families) otherwise delegate placement to load
+	// balancing until something trains the layout; a pre-trained layout
+	// routes their very first inserts spatially, so the planner prunes
+	// from the start. Static engines ignore it (their build set trains
+	// the layout anyway).
+	PretrainSample []geom.PointD
 }
 
 func (o Options) normalized() Options {
@@ -150,6 +166,27 @@ type Engine struct {
 	// part is the record-to-shard layout; noPlan disables pruning.
 	part   partition.Partitioner
 	noPlan bool
+	// opt retains the normalized build options for shard rebuilds
+	// (device parameters, seeds) during a static Rebalance.
+	opt Options
+	// pd and builder are the static engines' rebuild inputs: the build
+	// set as layout points, and the per-shard constructor over global
+	// record ids. Nil for mutable engines, which migrate records
+	// individually instead of rebuilding shards (see rebalance.go).
+	pd      []geom.PointD
+	builder func(si int, dev *eio.Device, ids []int) index.Index
+
+	// migMu serializes record migration against everything that reads
+	// or writes shard contents: query runs, Insert and Delete hold it
+	// shared for their whole duration, a rebalance holds it exclusively
+	// for each bounded move batch (and for summary shrinks and static
+	// shard swaps). That makes each batch of moves atomic with respect
+	// to every query and update — a run can never observe half of a
+	// move — which is what keeps answers byte-identical while records
+	// are in flight. rebalMu additionally serializes whole Rebalance/
+	// Retrain calls against each other without blocking readers.
+	migMu   sync.RWMutex
+	rebalMu sync.Mutex
 	// globals maps shard-local record indices back to build-set indices
 	// for the static families (globals[si][local] = global id, strictly
 	// increasing per shard so sorted local answers stay sorted). Nil for
@@ -196,27 +233,52 @@ func (e *Engine) getArena() *batchArena {
 	return &batchArena{}
 }
 
-// splitBy groups xs into the S hands the layout assigned, remembering
-// each hand's global indices. Hands keep input order, so globals[si] is
-// strictly increasing and sorted local answers map to sorted global
-// answers.
-func splitBy[T any](xs []T, asg []int, s int) (parts [][]T, globals [][]int) {
-	parts = make([][]T, s)
-	globals = make([][]int, s)
-	for i, x := range xs {
-		si := asg[i]
-		parts[si] = append(parts[si], x)
+// groupIDs groups the build-set indices by assigned shard, keeping
+// input order, so globals[si] is strictly increasing and sorted local
+// answers map to sorted global answers.
+func groupIDs(asg []int, s int) [][]int {
+	globals := make([][]int, s)
+	for i, si := range asg {
 		globals[si] = append(globals[si], i)
 	}
-	return parts, globals
+	return globals
 }
 
-// layout runs the configured partitioner over the build set (given as
-// PointD views of the records) and returns the assignment plus the
-// per-shard summaries the planner will prune against.
-func layout(opt Options, pd []geom.PointD) ([]int, []partition.ShardSummary) {
+// pick gathers the records at ids.
+func pick[T any](xs []T, ids []int) []T {
+	out := make([]T, len(ids))
+	for j, g := range ids {
+		out[j] = xs[g]
+	}
+	return out
+}
+
+// pick2 gathers the planar points at ids out of their PointD views.
+func pick2(pd []geom.PointD, ids []int) []geom.Point2 {
+	out := make([]geom.Point2, len(ids))
+	for j, g := range ids {
+		out[j] = geom.Point2{X: pd[g][0], Y: pd[g][1]}
+	}
+	return out
+}
+
+// newStatic builds a static engine: run the layout over the build set
+// (as PointD views of the records), build each shard from its
+// global-id list via builder, and retain the points and the builder so
+// Rebalance can re-split and rebuild the shards later (rebalance.go).
+// pd is the only retained copy of the build set — builders reconstruct
+// their typed records from it, so the caller's input slice is not
+// pinned by the engine.
+func newStatic(opt Options, pd []geom.PointD, builder func(si int, dev *eio.Device, ids []int) index.Index) *Engine {
 	asg := opt.Partitioner.Split(pd, opt.Shards)
-	return asg, partition.Summarize(pd, asg, opt.Shards)
+	sums := partition.Summarize(pd, asg, opt.Shards)
+	globals := groupIDs(asg, opt.Shards)
+	e := newEngine(opt, func(si int, dev *eio.Device) index.Index {
+		return builder(si, dev, globals[si])
+	})
+	e.globals, e.sums = globals, sums
+	e.pd, e.builder = pd, builder
+	return e
 }
 
 // newEngine builds the scaffold and runs build(si, dev) once per shard,
@@ -224,12 +286,17 @@ func layout(opt Options, pd []geom.PointD) ([]int, []partition.ShardSummary) {
 // device during construction, so the eio guard stays quiet.
 func newEngine(opt Options, build func(si int, dev *eio.Device) index.Index) *Engine {
 	opt = opt.normalized()
+	// The sample was consumed by pretrain() before construction; the
+	// retained opt only feeds static shard rebuilds, so don't pin the
+	// caller's (possibly large) sample for the engine's lifetime.
+	opt.PretrainSample = nil
 	e := &Engine{
 		shards:  make([]*shard, opt.Shards),
 		counts:  make([]atomic.Int64, opt.Shards),
 		workers: opt.Workers,
 		part:    opt.Partitioner,
 		noPlan:  opt.NoPlanner,
+		opt:     opt,
 		sums:    make([]partition.ShardSummary, opt.Shards),
 		work:    make([]chan *batchArena, opt.Shards),
 	}
@@ -283,13 +350,9 @@ func NewPlanar(points []geom.Point2, opt Options) *Engine {
 	for i, p := range points {
 		pd[i] = geom.PointD{p.X, p.Y}
 	}
-	asg, sums := layout(opt, pd)
-	parts, globals := splitBy(points, asg, opt.Shards)
-	e := newEngine(opt, func(si int, dev *eio.Device) index.Index {
-		return index.NewPlanar(dev, parts[si], opt.Seed+int64(si))
+	return newStatic(opt, pd, func(si int, dev *eio.Device, ids []int) index.Index {
+		return index.NewPlanar(dev, pick2(pd, ids), opt.Seed+int64(si))
 	})
-	e.globals, e.sums = globals, sums
-	return e
 }
 
 // New3D builds a sharded engine over the §4 3D structure. opt.Window
@@ -300,13 +363,13 @@ func New3D(points []geom.Point3, opt Options) *Engine {
 	for i, p := range points {
 		pd[i] = geom.PointD{p.X, p.Y, p.Z}
 	}
-	asg, sums := layout(opt, pd)
-	parts, globals := splitBy(points, asg, opt.Shards)
-	e := newEngine(opt, func(si int, dev *eio.Device) index.Index {
-		return index.NewSpatial3(dev, parts[si], opt.Window, opt.Seed+int64(si))
+	return newStatic(opt, pd, func(si int, dev *eio.Device, ids []int) index.Index {
+		sub := make([]geom.Point3, len(ids))
+		for j, g := range ids {
+			sub[j] = geom.Point3{X: pd[g][0], Y: pd[g][1], Z: pd[g][2]}
+		}
+		return index.NewSpatial3(dev, sub, opt.Window, opt.Seed+int64(si))
 	})
-	e.globals, e.sums = globals, sums
-	return e
 }
 
 // NewKNN builds a sharded engine over the Theorem 4.3 k-NN structure.
@@ -316,25 +379,33 @@ func NewKNN(points []geom.Point2, opt Options) *Engine {
 	for i, p := range points {
 		pd[i] = geom.PointD{p.X, p.Y}
 	}
-	asg, sums := layout(opt, pd)
-	parts, globals := splitBy(points, asg, opt.Shards)
-	e := newEngine(opt, func(si int, dev *eio.Device) index.Index {
-		return index.NewKNN(dev, parts[si], opt.Seed+int64(si))
+	return newStatic(opt, pd, func(si int, dev *eio.Device, ids []int) index.Index {
+		return index.NewKNN(dev, pick2(pd, ids), opt.Seed+int64(si))
 	})
-	e.globals, e.sums = globals, sums
-	return e
 }
 
 // NewPartition builds a sharded engine over the §5 partition tree.
 func NewPartition(points []geom.PointD, opt Options) *Engine {
 	opt = opt.normalized()
-	asg, sums := layout(opt, points)
-	parts, globals := splitBy(points, asg, opt.Shards)
-	e := newEngine(opt, func(si int, dev *eio.Device) index.Index {
-		return index.NewPartition(dev, parts[si])
+	// Deep-copy the build set like the other constructors do: the
+	// retained pd feeds later Rebalance rebuilds, so it must not alias
+	// caller memory.
+	pd := make([]geom.PointD, len(points))
+	for i, p := range points {
+		pd[i] = append(geom.PointD(nil), p...)
+	}
+	return newStatic(opt, pd, func(si int, dev *eio.Device, ids []int) index.Index {
+		return index.NewPartition(dev, pick(pd, ids))
 	})
-	e.globals, e.sums = globals, sums
-	return e
+}
+
+// pretrain trains the layout on the configured sample before the
+// engine goes concurrent, so a mutable engine's first inserts route
+// spatially instead of delegating to load balancing.
+func pretrain(opt Options) {
+	if len(opt.PretrainSample) > 0 {
+		opt.Partitioner.Split(opt.PretrainSample, opt.Shards)
+	}
 }
 
 // NewDynamicPlanar builds an empty mutable engine over the dynamized
@@ -342,6 +413,7 @@ func NewPartition(points []geom.PointD, opt Options) *Engine {
 // report records in canonical order.
 func NewDynamicPlanar(opt Options) *Engine {
 	opt = opt.normalized()
+	pretrain(opt)
 	return newEngine(opt, func(si int, dev *eio.Device) index.Index {
 		return index.NewDynamicPlanar(dev, opt.Seed+int64(si))
 	})
@@ -351,6 +423,7 @@ func NewDynamicPlanar(opt Options) *Engine {
 // dynamized §5 partition tree.
 func NewDynamicPartition(opt Options) *Engine {
 	opt = opt.normalized()
+	pretrain(opt)
 	return newEngine(opt, func(si int, dev *eio.Device) index.Index {
 		return index.NewDynamicPartition(dev)
 	})
@@ -380,6 +453,10 @@ func (e *Engine) Insert(r index.Record) error {
 	if !e.mutable {
 		return ErrImmutable
 	}
+	// Shared against migration: an insert lands entirely before or
+	// entirely after any rebalance move batch (rebalance.go).
+	e.migMu.RLock()
+	defer e.migMu.RUnlock()
 	// Pin the PD dimension before inserting so two concurrent first
 	// inserts of different dimensions cannot both land (on different
 	// shards); a failed shard insert releases a pin it took, so a
@@ -445,6 +522,11 @@ func (e *Engine) Delete(r index.Record) (bool, error) {
 	if !e.mutable {
 		return false, ErrImmutable
 	}
+	// Shared against migration, like Insert: the shard probe can never
+	// race a record mid-move (absent from its source, not yet at its
+	// destination) and miss it.
+	e.migMu.RLock()
+	defer e.migMu.RUnlock()
 	for si, sh := range e.shards {
 		sh.mu.Lock()
 		ok, err := sh.idx.(index.Mutable).Delete(r)

@@ -341,17 +341,22 @@ func (e *Engine) applyUpdate(q Query, r *Result) {
 }
 
 // snapshotSumsInto refreshes the arena's summary snapshot for one run.
-// A static engine's summaries are immutable after build, so the live
-// slice is used as-is; a mutable engine's keep growing in place, so the
-// arena gets a deep copy (into reused buffers) that stays valid after
-// the lock is released. One snapshot serves the whole run: summaries
-// only grow, so every plan drawn from it is sound for queries of this
-// run (see the monotonicity argument in DESIGN.md §6).
+// A static engine's summaries change only under the exclusive
+// migration lock (rebuildStatic's in-place copy), and every run holds
+// the shared side, so the live slice is aliased as-is — valid for
+// exactly this run, no longer; a mutable engine's keep growing in
+// place under sumsMu, so the arena gets a deep copy (into reused
+// buffers) that stays valid after the lock is released. One snapshot
+// serves the whole run: while queries can observe them, summaries only
+// grow (shrinks happen under the exclusive lock, between runs), so
+// every plan drawn from it is sound for queries of this run (see the
+// monotonicity argument in DESIGN.md §6 and the shrink rules in §8).
 func (e *Engine) snapshotSumsInto(a *batchArena) {
 	if !e.mutable {
-		// Safe to alias: immutable, and an arena only ever serves one
-		// engine, so the slice can never be mistaken for a mutable
-		// engine's copy buffer.
+		// Safe to alias under the run's shared migMu: writes are
+		// excluded, and an arena only ever serves one engine, so the
+		// slice can never be mistaken for a mutable engine's copy
+		// buffer.
 		a.sums = e.sums
 		return
 	}
@@ -375,6 +380,13 @@ func (e *Engine) snapshotSumsInto(a *batchArena) {
 // is constant per family, so no lock is needed) error without fanning
 // out to any shard.
 func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
+	// Shared against migration for the whole run: the summary snapshot,
+	// every shard visit and the merge all observe either none or all of
+	// a rebalance move batch, so answers stay byte-identical while
+	// records are in flight (DESIGN.md §8). Held shared, so concurrent
+	// runs and updates still proceed in parallel.
+	e.migMu.RLock()
+	defer e.migMu.RUnlock()
 	a.beginRun(e, qs, results)
 	if !e.noPlan {
 		e.snapshotSumsInto(a)

@@ -21,6 +21,9 @@ import (
 type DynamicPlanar struct {
 	dev *eio.Device
 	idx *dynamic.Halfplane2D
+	// enumBuf is AppendRecords' reused point scratch. Safe as a plain
+	// field: indexes are single-owner, callers serialize all access.
+	enumBuf []geom.Point2
 }
 
 // NewDynamicPlanar returns an empty mutable planar index on dev.
@@ -68,6 +71,18 @@ func (d *DynamicPlanar) Halfplane(a, b float64) []geom.Point2 {
 	return pts
 }
 
+// AppendRecords appends every live record to dst (the Enumerable
+// capability the engine's rebalancer migrates through), reusing the
+// adapter's point scratch so repeated enumerations of a warm shard
+// allocate only for dst's own growth.
+func (d *DynamicPlanar) AppendRecords(dst []Record) []Record {
+	d.enumBuf = d.idx.AppendLive(d.enumBuf[:0])
+	for _, p := range d.enumBuf {
+		dst = append(dst, Record{P2: p})
+	}
+	return dst
+}
+
 // Len returns the number of live points.
 func (d *DynamicPlanar) Len() int { return d.idx.Len() }
 
@@ -102,6 +117,9 @@ type DynamicPartition struct {
 	dev *eio.Device
 	idx *dynamic.PartitionD
 	dim int // dimension pinned by the first insert (0 = none yet)
+	// enumBuf is AppendRecords' reused point scratch (single-owner,
+	// like the index itself).
+	enumBuf []geom.PointD
 }
 
 // NewDynamicPartition returns an empty mutable d-dimensional index on
@@ -171,6 +189,18 @@ func sortPD(pts []geom.PointD) []geom.PointD {
 	return pts
 }
 
+// AppendRecords appends every live record to dst (the Enumerable
+// capability the engine's rebalancer migrates through), reusing the
+// adapter's point scratch so repeated enumerations of a warm shard
+// allocate only for dst's own growth.
+func (d *DynamicPartition) AppendRecords(dst []Record) []Record {
+	d.enumBuf = d.idx.AppendLive(d.enumBuf[:0])
+	for _, p := range d.enumBuf {
+		dst = append(dst, Record{PD: p})
+	}
+	return dst
+}
+
 // Len returns the number of live points.
 func (d *DynamicPartition) Len() int { return d.idx.Len() }
 
@@ -208,6 +238,8 @@ func (d *DynamicPartition) QueryInto(q Query, ans *Answer) error {
 }
 
 var (
-	_ Mutable = (*DynamicPlanar)(nil)
-	_ Mutable = (*DynamicPartition)(nil)
+	_ Mutable    = (*DynamicPlanar)(nil)
+	_ Mutable    = (*DynamicPartition)(nil)
+	_ Enumerable = (*DynamicPlanar)(nil)
+	_ Enumerable = (*DynamicPartition)(nil)
 )

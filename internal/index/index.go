@@ -182,6 +182,14 @@ type Mutable interface {
 	Delete(r Record) (bool, error)
 }
 
+// Enumerable is the optional capability the engine's rebalancer
+// probes for: append every live record to dst and return it, in an
+// arbitrary but deterministic order. Both mutable families implement
+// it; callers serialize access as for every other Index method.
+type Enumerable interface {
+	AppendRecords(dst []Record) []Record
+}
+
 func devStats(dev *eio.Device) Stats {
 	return Stats{IO: dev.Stats(), SpaceBlocks: dev.SpaceBlocks()}
 }

@@ -1,0 +1,189 @@
+package partition
+
+// Rebalance planning. The engine's shard summaries drift away from a
+// good layout over time: a delete-heavy run hollows out shards (live
+// counts skew), and because summaries only grow between rebalances, a
+// shard's recorded region keeps covering space its records have long
+// left — queries into cleared regions still visit the shard. The
+// functions here turn the summaries into the two trigger signals
+// (count skew and region overlap) and turn a current-vs-target
+// assignment diff into a bounded, deterministic migration plan the
+// engine applies under its locks.
+//
+// A plan is pure data: it never drops or duplicates a live record
+// (each snapshot index appears in at most one Move, Src is where the
+// record is, Dst where the target assignment wants it) and it never
+// exceeds its move budget. Under a budget, moves drain the most
+// overfull source shards first, so a truncated plan buys the largest
+// balance improvement its budget allows. FuzzRebalancePlan
+// (internal/planner) hammers these invariants with adversarial inputs.
+
+import (
+	"math"
+	"sort"
+
+	"linconstraint/internal/geom"
+)
+
+// SkewStats condenses per-shard summaries into the balance and
+// locality signals a rebalance triggers on.
+type SkewStats struct {
+	// Live is the total live record count across shards.
+	Live int
+	// MaxCount and MeanCount describe the live-count distribution.
+	MaxCount  int
+	MeanCount float64
+	// Skew is MaxCount / MeanCount: 1 means perfectly balanced, S means
+	// one shard holds everything. 1 when no records are live.
+	Skew float64
+	// Spread is the sum of the populated shards' box volumes divided by
+	// the volume of their union's bounding box: ~1 when shards tile
+	// disjoint regions (a trained locality-aware layout), ~S when every
+	// shard spans the whole data set (round-robin, or an untrained
+	// layout's delegated placements). 0 when the union is degenerate
+	// (no boxes, or zero volume), meaning "unknown".
+	Spread float64
+}
+
+// NeedsRebalance reports whether the measured skew or spread exceeds
+// the given thresholds (a non-positive threshold disables that
+// signal). Typical values: maxSkew 1.5, maxSpread half the shard
+// count.
+func (s SkewStats) NeedsRebalance(maxSkew, maxSpread float64) bool {
+	if maxSkew > 0 && s.Skew > maxSkew {
+		return true
+	}
+	if maxSpread > 0 && s.Spread > maxSpread {
+		return true
+	}
+	return false
+}
+
+// MeasureSkew computes the rebalance trigger signals from the
+// per-shard summaries.
+func MeasureSkew(sums []ShardSummary) SkewStats {
+	var st SkewStats
+	var union geom.Box
+	volSum := 0.0
+	boxes := 0
+	for _, sum := range sums {
+		st.Live += sum.Count
+		if sum.Count > st.MaxCount {
+			st.MaxCount = sum.Count
+		}
+		if sum.Count == 0 || sum.Box.Min == nil {
+			continue
+		}
+		volSum += boxVolume(sum.Box)
+		boxes++
+		if union.Min == nil {
+			union = geom.Box{
+				Min: append(geom.PointD(nil), sum.Box.Min...),
+				Max: append(geom.PointD(nil), sum.Box.Max...),
+			}
+			continue
+		}
+		if len(sum.Box.Min) != len(union.Min) {
+			continue // mixed dimensions: leave the union as-is
+		}
+		for i := range union.Min {
+			union.Min[i] = math.Min(union.Min[i], sum.Box.Min[i])
+			union.Max[i] = math.Max(union.Max[i], sum.Box.Max[i])
+		}
+	}
+	st.Skew = 1
+	if len(sums) > 0 && st.Live > 0 {
+		st.MeanCount = float64(st.Live) / float64(len(sums))
+		st.Skew = float64(st.MaxCount) / st.MeanCount
+	}
+	if boxes > 0 {
+		if uv := boxVolume(union); uv > 0 {
+			st.Spread = volSum / uv
+		}
+	}
+	return st
+}
+
+func boxVolume(b geom.Box) float64 {
+	v := 1.0
+	for i := range b.Min {
+		v *= b.Max[i] - b.Min[i]
+	}
+	return v
+}
+
+// Move migrates one snapshot record: the record at snapshot index Idx
+// moves from shard Src to shard Dst.
+type Move struct {
+	Idx, Src, Dst int
+}
+
+// RebalancePlan is a bounded set of record migrations.
+type RebalancePlan struct {
+	// Moves lists the migrations, at most the planning budget, grouped
+	// by source shard in descending order of the source's excess over
+	// its target count (the order a truncated plan drains shards in).
+	Moves []Move
+	// Deferred counts the wanted moves beyond the budget; a later
+	// rebalance round picks them up.
+	Deferred int
+}
+
+// PlanRebalance diffs the current placement cur against the target
+// assignment want (both parallel to one snapshot of the live records,
+// values in [0, s)) and returns at most budget moves (budget <= 0:
+// unlimited). Records whose current and target shards agree, or whose
+// assignments are out of range, produce no move. Sources are drained
+// most-overfull-first so a truncated plan maximizes the balance it
+// buys; within a source, moves keep ascending snapshot order. The
+// plan is deterministic in its inputs.
+func PlanRebalance(cur, want []int, s, budget int) RebalancePlan {
+	if len(cur) != len(want) {
+		panic("partition: PlanRebalance: cur and want describe different snapshots")
+	}
+	counts := make([]int, s)   // current live count per shard
+	targets := make([]int, s)  // target count per shard
+	bySrc := make([][]Move, s) // candidate moves grouped by source
+	wanted := 0
+	for i := range cur {
+		ci, wi := cur[i], want[i]
+		if ci < 0 || ci >= s || wi < 0 || wi >= s {
+			continue
+		}
+		counts[ci]++
+		targets[wi]++
+		if ci != wi {
+			bySrc[ci] = append(bySrc[ci], Move{Idx: i, Src: ci, Dst: wi})
+			wanted++
+		}
+	}
+	order := make([]int, s)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea := counts[order[a]] - targets[order[a]]
+		eb := counts[order[b]] - targets[order[b]]
+		if ea != eb {
+			return ea > eb
+		}
+		return order[a] < order[b]
+	})
+	if budget <= 0 || budget > wanted {
+		budget = wanted
+	}
+	pl := RebalancePlan{Deferred: wanted - budget}
+	if budget == 0 {
+		return pl
+	}
+	pl.Moves = make([]Move, 0, budget)
+	for _, si := range order {
+		for _, m := range bySrc[si] {
+			if len(pl.Moves) == budget {
+				return pl
+			}
+			pl.Moves = append(pl.Moves, m)
+		}
+	}
+	return pl
+}

@@ -1,0 +1,128 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"linconstraint/internal/geom"
+)
+
+// TestMeasureSkew: the trigger signals separate a balanced disjoint
+// tiling from a hollowed, fully-overlapping layout.
+func TestMeasureSkew(t *testing.T) {
+	// Four disjoint unit tiles, equal counts: skew 1, spread ~1.
+	tiled := make([]ShardSummary, 4)
+	for si := range tiled {
+		for i := 0; i < 10; i++ {
+			x := float64(si) + float64(i)/10
+			tiled[si].Add(geom.PointD{x, float64(i) / 10})
+		}
+	}
+	st := MeasureSkew(tiled)
+	if st.Live != 40 || st.MaxCount != 10 || st.Skew != 1 {
+		t.Fatalf("tiled skew stats: %+v", st)
+	}
+	if st.Spread > 1.1 {
+		t.Fatalf("disjoint tiles measured spread %.2f, want ~1", st.Spread)
+	}
+	if st.NeedsRebalance(1.5, 2) {
+		t.Fatalf("balanced tiling flagged for rebalance: %+v", st)
+	}
+
+	// Hollow three of the four shards down to one record each but keep
+	// every box spanning the full extent: skew and spread both fire.
+	overlapped := make([]ShardSummary, 4)
+	for si := range overlapped {
+		n := 1
+		if si == 0 {
+			n = 40
+		}
+		overlapped[si].Add(geom.PointD{0, 0})
+		overlapped[si].Add(geom.PointD{4, 1})
+		overlapped[si].Count = n
+	}
+	st = MeasureSkew(overlapped)
+	if st.Skew < 3 {
+		t.Fatalf("hollowed shards measured skew %.2f, want > 3", st.Skew)
+	}
+	if st.Spread < 3.9 {
+		t.Fatalf("full-overlap boxes measured spread %.2f, want ~4", st.Spread)
+	}
+	if !st.NeedsRebalance(1.5, 2) {
+		t.Fatalf("hollowed layout not flagged: %+v", st)
+	}
+
+	// No live records: neutral signals.
+	st = MeasureSkew(make([]ShardSummary, 3))
+	if st.Skew != 1 || st.Spread != 0 || st.NeedsRebalance(1.5, 2) {
+		t.Fatalf("empty summaries: %+v", st)
+	}
+}
+
+// TestPlanRebalance: the plan is exactly the cur-vs-want diff, each
+// record moved at most once, and a budget truncates deterministically,
+// draining the most overfull source first.
+func TestPlanRebalance(t *testing.T) {
+	// Shard 0 holds 6 records that want to leave; shard 2 holds 1.
+	cur := []int{0, 0, 0, 0, 0, 0, 1, 1, 2, 2}
+	want := []int{0, 1, 1, 2, 2, 2, 1, 1, 2, 1}
+	pl := PlanRebalance(cur, want, 3, 0)
+	if len(pl.Moves) != 6 || pl.Deferred != 0 {
+		t.Fatalf("unlimited plan: %d moves, %d deferred", len(pl.Moves), pl.Deferred)
+	}
+	seen := map[int]bool{}
+	for _, m := range pl.Moves {
+		if seen[m.Idx] {
+			t.Fatalf("record %d moved twice", m.Idx)
+		}
+		seen[m.Idx] = true
+		if m.Src != cur[m.Idx] || m.Dst != want[m.Idx] || m.Src == m.Dst {
+			t.Fatalf("bad move %+v (cur %d, want %d)", m, cur[m.Idx], want[m.Idx])
+		}
+	}
+
+	// Budget 3: only shard 0's moves (excess 6-1=5, the largest) fit.
+	pl = PlanRebalance(cur, want, 3, 3)
+	if len(pl.Moves) != 3 || pl.Deferred != 3 {
+		t.Fatalf("budgeted plan: %d moves, %d deferred", len(pl.Moves), pl.Deferred)
+	}
+	for _, m := range pl.Moves {
+		if m.Src != 0 {
+			t.Fatalf("budgeted plan drained shard %d before the most overfull", m.Src)
+		}
+	}
+
+	// Out-of-range assignments are skipped, not moved.
+	pl = PlanRebalance([]int{0, -1, 5}, []int{1, 0, 0}, 2, 0)
+	if len(pl.Moves) != 1 || pl.Moves[0].Idx != 0 {
+		t.Fatalf("out-of-range handling: %+v", pl.Moves)
+	}
+}
+
+// TestPlanRebalanceConverges: applying the full plan of a retrained
+// layout reaches the layout's own balance on a skewed live set.
+func TestPlanRebalanceConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const s = 8
+	var pts []geom.PointD
+	cur := make([]int, 0, 1200)
+	// A hollowed state: shards 0 and 1 hold almost everything.
+	for i := 0; i < 1200; i++ {
+		pts = append(pts, geom.PointD{rng.Float64(), rng.Float64()})
+		cur = append(cur, i%2)
+	}
+	lay := NewKDCut()
+	want := lay.Split(pts, s)
+	pl := PlanRebalance(cur, want, s, 0)
+	post := append([]int(nil), cur...)
+	for _, m := range pl.Moves {
+		post[m.Idx] = m.Dst
+	}
+	st := MeasureSkew(Summarize(pts, post, s))
+	if st.Skew > 1.05 {
+		t.Fatalf("post-plan skew %.3f, want ~1 (kd-cut balances counts)", st.Skew)
+	}
+	if before := MeasureSkew(Summarize(pts, cur, s)); before.Skew < 3 {
+		t.Fatalf("precondition: hollowed skew %.2f should be large", before.Skew)
+	}
+}

@@ -333,6 +333,10 @@ func Directions2() [][2]float64 { return dirs2 }
 // Directions2. Deletes decrement Count but never shrink Box or DirLo:
 // a too-large region can only cost an unpruned shard, never a missed
 // record, so summaries stay sound under any interleaving of updates.
+// The one sanctioned shrink is the engine's rebalance, which
+// recomputes summaries from the live set while holding its migration
+// lock exclusively — no concurrently planned query can observe the
+// shrink halfway (DESIGN.md §8).
 type ShardSummary struct {
 	// Count is the number of live records on the shard. Zero means the
 	// planner can skip the shard outright.

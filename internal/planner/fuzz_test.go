@@ -27,6 +27,7 @@ func FuzzPlanner(f *testing.F) {
 	f.Add(mk(-2, 0, 0.1, 0.1, 0.1, 0.2, 0.9, 0.9, 0.5, 0.5, 0.4, 0.6))
 	f.Add(mk(1e6, -1e6, 1e-9, 1e9, -5, 5, 0, 0))
 	f.Fuzz(func(t *testing.T, data []byte) {
+		raw := data
 		vals := make([]float64, 0, len(data)/8)
 		for len(data) >= 8 {
 			v := math.Float64frombits(binary.LittleEndian.Uint64(data))
@@ -72,6 +73,133 @@ func FuzzPlanner(f *testing.F) {
 		for i := 1; i < len(kpl.MinDist2); i++ {
 			if kpl.MinDist2[i] < kpl.MinDist2[i-1] {
 				t.Fatalf("k-NN plan distances not ascending: %v", kpl.MinDist2)
+			}
+		}
+
+		// Shrink-on-rebalance soundness: hollow a fuzzer-chosen subset,
+		// recompute the summaries from the survivors only — exactly what
+		// the engine's post-migration summary shrink does — and re-check
+		// the one-sidedness contract against the shrunk regions.
+		var livePts []geom.PointD
+		var liveAsg []int
+		for i := range pts {
+			if raw[i%len(raw)]&1 == 0 {
+				continue
+			}
+			livePts = append(livePts, pts[i])
+			liveAsg = append(liveAsg, asg[i])
+		}
+		shrunk := partition.Summarize(livePts, liveAsg, s)
+		spl := PlanQuery(q, shrunk)
+		splanned := map[int]bool{}
+		for _, si := range spl.Shards {
+			splanned[si] = true
+		}
+		for i, p := range livePts {
+			if geom.SideOfLine2(geom.Line2{A: a, B: b}, geom.Point2{X: p[0], Y: p[1]}) <= 0 &&
+				!splanned[liveAsg[i]] {
+				t.Fatalf("qualifying survivor %v on shard %d pruned under shrunk summaries", p, liveAsg[i])
+			}
+		}
+	})
+}
+
+// FuzzRebalancePlan drives the rebalance planner's contract with
+// adversarial inputs: however the points, the hollowing mask, the
+// retrained target and the move budget are chosen, a plan never drops
+// or duplicates a live record, never exceeds its budget, and the
+// post-move summaries — shrunk to the live set, as after the engine's
+// migration — remain sound for the planner's prune tests.
+func FuzzRebalancePlan(f *testing.F) {
+	mk := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(mk(0.5, 0.1, 3, 0, 0, 1, 1, 0.2, 0.8, 0.9, 0.3, 0.4, 0.6))
+	f.Add(mk(-2, 0, 0, 0.1, 0.1, 0.1, 0.2, 0.9, 0.9, 0.5, 0.5))
+	f.Add(mk(1e6, -1e6, 1, 1e-9, 1e9, -5, 5, 0, 0, 2, 2, 3, 3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		raw := data
+		vals := make([]float64, 0, len(data)/8)
+		for len(data) >= 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data))
+			data = data[8:]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) < 7 {
+			return
+		}
+		a, b := vals[0], vals[1]
+		budget := int(math.Mod(math.Abs(vals[2]), 16))
+		vals = vals[3:]
+		pts := make([]geom.PointD, 0, len(vals)/2)
+		for i := 0; i+1 < len(vals); i += 2 {
+			pts = append(pts, geom.PointD{vals[i], vals[i+1]})
+		}
+		const s = 4
+		cur := partition.NewKDCut().Split(pts, s)
+
+		// The live snapshot: whatever survived the fuzzer's deletes.
+		var livePts []geom.PointD
+		var liveCur []int
+		for i := range pts {
+			if raw[i%len(raw)]&1 == 0 {
+				continue
+			}
+			livePts = append(livePts, pts[i])
+			liveCur = append(liveCur, cur[i])
+		}
+		if len(livePts) == 0 {
+			return
+		}
+		want := partition.NewKDCut().Split(livePts, s)
+		pl := partition.PlanRebalance(liveCur, want, s, budget)
+
+		if budget > 0 && len(pl.Moves) > budget {
+			t.Fatalf("plan has %d moves over budget %d", len(pl.Moves), budget)
+		}
+		if wanted := len(pl.Moves) + pl.Deferred; wanted > len(livePts) {
+			t.Fatalf("plan wants %d moves for %d live records", wanted, len(livePts))
+		}
+		seen := make([]bool, len(livePts))
+		post := append([]int(nil), liveCur...)
+		for _, m := range pl.Moves {
+			if m.Idx < 0 || m.Idx >= len(livePts) || seen[m.Idx] {
+				t.Fatalf("move %+v drops or duplicates a record", m)
+			}
+			seen[m.Idx] = true
+			if m.Src != liveCur[m.Idx] || m.Dst != want[m.Idx] || m.Src == m.Dst ||
+				m.Dst < 0 || m.Dst >= s {
+				t.Fatalf("inconsistent move %+v (cur %d, want %d)", m, liveCur[m.Idx], want[m.Idx])
+			}
+			post[m.Idx] = m.Dst
+		}
+		if budget == 0 { // unlimited: the plan lands exactly on the target
+			for i := range post {
+				if post[i] != want[i] {
+					t.Fatalf("unbounded plan left record %d on %d, target %d", i, post[i], want[i])
+				}
+			}
+		}
+
+		// Post-move, shrunk-to-live summaries must stay sound.
+		sums := partition.Summarize(livePts, post, s)
+		q := index.Query{Op: index.OpHalfplane, A: a, B: b}
+		ppl := PlanQuery(q, sums)
+		planned := map[int]bool{}
+		for _, si := range ppl.Shards {
+			planned[si] = true
+		}
+		for i, p := range livePts {
+			if geom.SideOfLine2(geom.Line2{A: a, B: b}, geom.Point2{X: p[0], Y: p[1]}) <= 0 &&
+				!planned[post[i]] {
+				t.Fatalf("qualifying record %v on pruned shard %d after migration", p, post[i])
 			}
 		}
 	})

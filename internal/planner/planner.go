@@ -12,8 +12,12 @@
 // shard that answers empty costs I/O, never correctness), but it must
 // never prune a shard holding a qualifying record. Two disciplines
 // enforce that. First, the geometric tests compare against summaries
-// that only ever grow (see partition.ShardSummary), so a record is
-// always inside its shard's summarized region. Second, the float
+// that only grow while queries can observe them (see
+// partition.ShardSummary; the engine's rebalance shrinks them to the
+// live set, but only under its exclusive migration lock, when no plan
+// is in flight and none of the shrunk regions has lost a live record),
+// so a record is always inside its shard's summarized region. Second,
+// the float
 // comparisons carry a relative slack: the indexes decide membership
 // with exact rational predicates (internal/geom), so a prune decision
 // within rounding distance of the boundary is refused and the shard is

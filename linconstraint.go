@@ -336,12 +336,11 @@ func (d *DynamicPartitionTree) ResetStats() { d.idx.ResetStats() }
 // locality-aware layout delegates insert placement to load balancing
 // (answers stay exact; pruning just stays off until the summaries
 // separate). To give a mutable engine spatial routing from the start,
-// pre-train the layout on a sample before passing it in:
+// set EngineConfig.PretrainSample (or call Engine.Retrain later):
 //
-//	p := linconstraint.KDCutLayout()
-//	p.Split(samplePoints, shards) // samplePoints []PointD
 //	eng := linconstraint.NewDynamicPlanarEngine(linconstraint.EngineConfig{
-//		Shards: shards, Partitioner: p,
+//		Shards: shards, Partitioner: linconstraint.KDCutLayout(),
+//		PretrainSample: samplePoints, // []PointD
 //	})
 type Partitioner = partition.Partitioner
 
@@ -390,6 +389,12 @@ type EngineConfig struct {
 	// DisablePlanner forces full fan-out (every query visits every
 	// shard), the pre-planner behavior; useful as a pruning baseline.
 	DisablePlanner bool
+	// PretrainSample, when non-empty, trains the Partitioner on the
+	// sample before the engine is built, so an engine that builds
+	// empty (the dynamic constructors) routes its very first inserts
+	// spatially and gets planner pruning from the start. Static
+	// engines ignore it — their build set trains the layout anyway.
+	PretrainSample []PointD
 }
 
 func (c EngineConfig) options() engine.Options {
@@ -398,6 +403,7 @@ func (c EngineConfig) options() engine.Options {
 		BlockSize: c.BlockSize, CacheBlocks: c.CacheBlocks,
 		Seed: c.Seed, IOLatency: c.IOLatency,
 		Partitioner: c.Partitioner, NoPlanner: c.DisablePlanner,
+		PretrainSample: c.PretrainSample,
 	}
 }
 
@@ -428,6 +434,23 @@ const (
 // ErrImmutable is returned by Insert/Delete on an engine built over a
 // static index family.
 var ErrImmutable = engine.ErrImmutable
+
+// RebalanceOptions tune one Engine.Rebalance call: the per-call move
+// budget (MaxMoves), how many moves apply per exclusive lock
+// acquisition (BatchSize), and an optional replacement layout
+// (Partitioner) the records migrate onto.
+type RebalanceOptions = engine.RebalanceOptions
+
+// RebalanceStats reports what one Engine.Rebalance call did: moves
+// planned / applied / deferred beyond the budget, and the skew
+// measurements before and after.
+type RebalanceStats = engine.RebalanceStats
+
+// SkewStats are the rebalance trigger signals measured from the shard
+// summaries: live-count skew (max/mean; 1 = perfectly balanced) and
+// region spread (sum of shard box volumes over their union's; ~1 =
+// disjoint tiles, ~shards = everything overlaps).
+type SkewStats = partition.SkewStats
 
 // EngineStats is an aggregated I/O snapshot across an engine's shards:
 // summed counters and space, the worst single shard (the critical-path
@@ -573,6 +596,28 @@ func (e *Engine) Batch(qs []Query) []QueryResult { return e.eng.Batch(qs) }
 func (e *Engine) BatchInto(qs []Query, results []QueryResult) []QueryResult {
 	return e.eng.BatchInto(qs, results)
 }
+
+// Rebalance migrates records onto a layout retrained on the live data
+// (DESIGN.md §8). On a dynamic engine it snapshots the live records,
+// retrains the layout, moves at most MaxMoves records between shards
+// in small batches interleaved with serving — answers remain
+// byte-identical to an unsharded index throughout — and shrinks every
+// shard summary to its live set, so regions cleared by deletes prune
+// again. On a static engine it re-splits the build set and rebuilds
+// the shards in parallel (one brief exclusive swap; per-shard I/O
+// counters restart). Concurrent Rebalance calls serialize; queries
+// and updates keep flowing between move batches.
+func (e *Engine) Rebalance(opt RebalanceOptions) (RebalanceStats, error) {
+	return e.eng.Rebalance(opt)
+}
+
+// Retrain (re)trains a dynamic engine's layout without moving
+// records: on a non-empty sample directly, otherwise on a snapshot of
+// the live records. It steers future insert placement and the target
+// of a later Rebalance. Static engines return an error — their layout
+// state is consumed only by Rebalance, which retrains as part of
+// rebuilding.
+func (e *Engine) Retrain(sample []PointD) error { return e.eng.Retrain(sample) }
 
 // Stats aggregates I/O counters and space across shards, including all
 // construction and rebuild (compaction) work.

@@ -403,3 +403,85 @@ func TestEngineConjunctionAndKNNFacade(t *testing.T) {
 		}
 	}
 }
+
+func TestRebalanceFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	var pts []Point2
+	var pd []PointD
+	for i := 0; i < 1200; i++ {
+		p := Point2{X: rng.Float64(), Y: rng.Float64()}
+		pts = append(pts, p)
+		pd = append(pd, PointD{p.X, p.Y})
+	}
+
+	// A pre-trained dynamic engine prunes from the very first inserts.
+	e := NewDynamicPlanarEngine(EngineConfig{
+		Shards: 6, BlockSize: 32, Seed: 2,
+		Partitioner: KDCutLayout(), PretrainSample: pd,
+	})
+	defer e.Close()
+	ref := NewDynamicPlanarIndex(Config{BlockSize: 32, Seed: 2})
+	for _, p := range pts {
+		if err := e.Insert(Rec2(p)); err != nil {
+			t.Fatal(err)
+		}
+		ref.Insert(p)
+	}
+	if st := e.Stats(); st.ShardsPruned == 0 {
+		// Every insert plans nothing; run one selective query.
+		r := e.Batch([]Query{{Op: OpHalfplane, A: 0, B: 0.05}})[0]
+		if r.Err != nil || r.ShardsPruned == 0 {
+			t.Fatalf("pre-trained engine pruned nothing: %+v", r)
+		}
+	}
+
+	// Hollow the right side, rebalance, and verify the facade reports
+	// sane stats while answers track the unsharded reference.
+	for _, p := range pts {
+		if p.X > 0.5 {
+			if ok, err := e.Delete(Rec2(p)); err != nil || !ok {
+				t.Fatalf("delete: %v %v", ok, err)
+			}
+			if !ref.Delete(p) {
+				t.Fatal("reference delete missed")
+			}
+		}
+	}
+	st, err := e.Rebalance(RebalanceOptions{BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.After.Skew > 1.5 || st.Moved == 0 {
+		t.Fatalf("facade rebalance stats: %+v", st)
+	}
+	got, want := e.LiveHalfplane(0.3, 0.4), ref.Halfplane(0.3, 0.4)
+	if len(got) != len(want) {
+		t.Fatalf("post-rebalance answer: %d recs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("post-rebalance answer differs at %d", i)
+		}
+	}
+	if err := e.Retrain(nil); err != nil {
+		t.Fatalf("Retrain on live records: %v", err)
+	}
+
+	// Static engines rebalance by rebuilding onto the new layout.
+	se := NewPlanarEngine(pts, EngineConfig{Shards: 4, BlockSize: 32, Seed: 1})
+	defer se.Close()
+	before := se.Halfplane(0.2, 0.3)
+	sst, err := se.Rebalance(RebalanceOptions{Partitioner: KDCutLayout()})
+	if err != nil || !sst.Rebuilt || sst.Moved == 0 {
+		t.Fatalf("static facade rebalance: %+v, %v", sst, err)
+	}
+	after := se.Halfplane(0.2, 0.3)
+	if len(before) != len(after) {
+		t.Fatalf("static rebuild changed the answer: %d vs %d ids", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("static rebuild changed id %d", i)
+		}
+	}
+}
