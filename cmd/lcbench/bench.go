@@ -28,6 +28,8 @@ type benchRow struct {
 	Name                  string  `json:"name"`
 	QueriesPerOp          int     `json:"queries_per_op"`
 	NsPerOp               float64 `json:"ns_per_op"`
+	P50Ns                 float64 `json:"p50_ns,omitempty"`
+	P99Ns                 float64 `json:"p99_ns,omitempty"`
 	QPS                   float64 `json:"qps"`
 	BytesPerOp            int64   `json:"bytes_per_op"`
 	AllocsPerOp           int64   `json:"allocs_per_op"`
@@ -125,23 +127,26 @@ func runBenchJSON(path, baselinePath string, seed int64, quick bool) error {
 	pts := workload.Uniform2(rng, n)
 	planarKD := linconstraint.NewPlanarEngine(pts, linconstraint.EngineConfig{
 		Shards: shards, BlockSize: block, Seed: seed, Partitioner: linconstraint.KDCutLayout(),
+		Metrics: linconstraint.NewMetrics(),
 	})
 	defer planarKD.Close()
 	planarRR := linconstraint.NewPlanarEngine(pts, linconstraint.EngineConfig{
-		Shards: shards, BlockSize: block, Seed: seed,
+		Shards: shards, BlockSize: block, Seed: seed, Metrics: linconstraint.NewMetrics(),
 	})
 	defer planarRR.Close()
 	knnEng := linconstraint.NewKNNEngine(pts, linconstraint.EngineConfig{
 		Shards: shards, BlockSize: block, Seed: seed, Partitioner: linconstraint.KDCutLayout(),
+		Metrics: linconstraint.NewMetrics(),
 	})
 	defer knnEng.Close()
 	ptsD := workload.CubeD(rng, n/2, 3)
 	partEng := linconstraint.NewPartitionEngine(ptsD, linconstraint.EngineConfig{
 		Shards: shards, BlockSize: block, Seed: seed, Partitioner: linconstraint.KDCutLayout(),
+		Metrics: linconstraint.NewMetrics(),
 	})
 	defer partEng.Close()
 	dynEng := linconstraint.NewDynamicPlanarEngine(linconstraint.EngineConfig{
-		Shards: shards, BlockSize: block, Seed: seed,
+		Shards: shards, BlockSize: block, Seed: seed, Metrics: linconstraint.NewMetrics(),
 	})
 	defer dynEng.Close()
 	dynPts := workload.Uniform2(rng, dynN)
@@ -178,7 +183,21 @@ func runBenchJSON(path, baselinePath string, seed int64, quick bool) error {
 	bench := func(name string, queriesPerOp int, e *linconstraint.Engine, fn func(n int) error) {
 		fmt.Fprintf(os.Stderr, "bench: %s...\n", name)
 		// 256 warm ops covers every precomputed query shape at least once.
-		rows = append(rows, measure(name, queriesPerOp, 256, e.ResetStats, engineStats(e), fn))
+		row := measure(name, queriesPerOp, 256, e.ResetStats, engineStats(e), fn)
+		// Latency quantiles come from the engine's own run histogram
+		// (each engine carries a private registry, so the series is this
+		// op family's alone). The distribution includes the warm pass —
+		// a few hundred ops against the thousands of timed trials, noise
+		// at the p50/p99 level. ns_per_op stays the batch-granular mean;
+		// p50/p99 are per run, the tail a client actually observes.
+		if reg := e.Metrics(); reg != nil {
+			snap := reg.Snapshot()
+			if h := snap.Histogram("engine_run_total_ns"); h != nil && h.Count > 0 {
+				row.P50Ns = h.Quantile(0.50)
+				row.P99Ns = h.Quantile(0.99)
+			}
+		}
+		rows = append(rows, row)
 	}
 
 	bench("halfplane_kd", 1, planarKD, func(n int) error {
@@ -283,14 +302,14 @@ func printBenchTable(f benchFile) {
 	for _, r := range f.Baseline {
 		base[r.Name] = r
 	}
-	fmt.Printf("%-24s %12s %12s %10s %10s %10s %9s\n",
-		"op family", "ns/op", "qps", "B/op", "allocs/op", "visited/q", "Δns/op")
+	fmt.Printf("%-24s %12s %10s %10s %12s %10s %10s %10s %9s\n",
+		"op family", "ns/op", "p50", "p99", "qps", "B/op", "allocs/op", "visited/q", "Δns/op")
 	for _, r := range f.Rows {
 		delta := "-"
 		if b, ok := base[r.Name]; ok && b.NsPerOp > 0 {
 			delta = fmt.Sprintf("%+.1f%%", 100*(r.NsPerOp-b.NsPerOp)/b.NsPerOp)
 		}
-		fmt.Printf("%-24s %12.0f %12.0f %10d %10d %10.2f %9s\n",
-			r.Name, r.NsPerOp, r.QPS, r.BytesPerOp, r.AllocsPerOp, r.ShardsVisitedPerQuery, delta)
+		fmt.Printf("%-24s %12.0f %10.0f %10.0f %12.0f %10d %10d %10.2f %9s\n",
+			r.Name, r.NsPerOp, r.P50Ns, r.P99Ns, r.QPS, r.BytesPerOp, r.AllocsPerOp, r.ShardsVisitedPerQuery, delta)
 	}
 }

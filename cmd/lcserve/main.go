@@ -24,6 +24,19 @@
 //	        [-n N] [-shards S] [-workers W] [-batch B] [-queries Q]
 //	        [-sel F] [-mix F] [-k K] [-dim D] [-block B] [-cache M]
 //	        [-lat DUR] [-seed N]
+//	        [-metrics-addr HOST:PORT] [-metrics-dump FILE] [-trace N]
+//	        [-linger DUR] [-promcheck FILE]
+//
+// The engine always runs instrumented: run-phase latency histograms
+// (p50/p95/p99 per phase in the report), per-shard visit counters (the
+// shard-heat line), and 1-in-N query-run traces (-trace). With
+// -metrics-addr the same registry is served live over HTTP — Prometheus
+// text at /metrics, JSON at /metrics.json, pprof under /debug/pprof/ —
+// and -linger keeps the process (and the endpoint) alive after the
+// report so a scraper can collect the final state. -metrics-dump
+// writes the final JSON snapshot to a file (the CI artifact), and
+// -promcheck FILE validates a saved Prometheus payload and exits —
+// the smoke test's stand-in for promtool.
 //
 // With -rebalance (dynamic kinds) one online rebalance fires in the
 // background from the load phase's midpoint: the layout retrains on
@@ -41,10 +54,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -52,6 +67,7 @@ import (
 
 	"linconstraint"
 	"linconstraint/internal/geom"
+	"linconstraint/internal/metrics"
 	"linconstraint/internal/workload"
 )
 
@@ -75,8 +91,31 @@ func main() {
 		seed    = flag.Int64("seed", 1, "RNG seed")
 		profile = flag.Int("profile", 128, "sequential queries for the per-query I/O histogram")
 		rebal   = flag.Bool("rebalance", false, "run one online rebalance (retrain + migrate) in the background from the load phase's midpoint (dynamic kinds)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus text at /metrics, JSON at /metrics.json and pprof at /debug/pprof on this host:port")
+		metricsDump = flag.String("metrics-dump", "", "write the final JSON metrics snapshot to this file")
+		traceEvery  = flag.Int("trace", 32, "sample every Nth query run into the engine's trace ring (0 disables tracing)")
+		linger      = flag.Duration("linger", 0, "keep the process (and -metrics-addr) alive this long after the report")
+		promcheck   = flag.String("promcheck", "", "validate a saved Prometheus text payload and exit (no engine run)")
 	)
 	flag.Parse()
+
+	// Standalone validator mode: the CI smoke saves a /metrics scrape to
+	// a file and feeds it back through -promcheck instead of depending
+	// on promtool being installed.
+	if *promcheck != "" {
+		payload, err := os.ReadFile(*promcheck)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := metrics.CheckProm(payload); err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck %s: %v\n", *promcheck, err)
+			os.Exit(1)
+		}
+		fmt.Printf("promcheck %s: OK\n", *promcheck)
+		return
+	}
 
 	if *mix > 0 && *kind != "dynplanar" && *kind != "dynpartition" {
 		fmt.Fprintf(os.Stderr, "-mix requires a dynamic kind (dynplanar, dynpartition)\n")
@@ -88,11 +127,23 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
+	reg := linconstraint.NewMetrics()
 	cfg := linconstraint.EngineConfig{
 		Shards: *shards, Workers: *workers,
 		BlockSize: *block, CacheBlocks: *cache,
 		Seed: *seed, IOLatency: *lat,
 		DisablePlanner: *noplan,
+		Metrics:        reg,
+		TraceEvery:     *traceEvery,
+	}
+	if *metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, linconstraint.MetricsHandler(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("telemetry on http://%s/metrics (JSON at /metrics.json, pprof at /debug/pprof/)\n", *metricsAddr)
 	}
 	switch *layoutF {
 	case "rr":
@@ -269,6 +320,14 @@ func main() {
 	// engine's allocation-free hot path (DESIGN.md §7): the generator,
 	// not the engine, is the only allocator in this loop.
 	res := make([]linconstraint.QueryResult, 0, *batch)
+	// Progress probes every quarter of the load report the I/O *rate*
+	// over the interval — Stats.Sub of consecutive device snapshots —
+	// rather than cumulative totals, so a mid-load shift (cache warmup,
+	// a rebalance stealing bandwidth) is visible as it happens.
+	probeAt := maxi(1, len(qs)/4)
+	nextProbe := probeAt
+	lastIO := eng.Stats().Total
+	lastAt := start
 	for done < len(qs) {
 		if *rebal && !rebFired && done >= len(qs)/2 {
 			rebFired = true
@@ -291,6 +350,16 @@ func main() {
 			}
 		}
 		done = end
+		if done >= nextProbe && done < len(qs) {
+			nextProbe += probeAt
+			now := time.Now()
+			cur := eng.Stats().Total
+			d := cur.Sub(lastIO)
+			fmt.Printf("  progress %5d/%d ops: +%d I/Os (+%d reads, +%d writes, +%d hits, interval hit rate %.2f) in %v\n",
+				done, len(qs), d.IOs(), d.Reads, d.Writes, d.Hits, d.HitRate(),
+				now.Sub(lastAt).Round(time.Millisecond))
+			lastIO, lastAt = cur, now
+		}
 	}
 	rebWG.Wait()
 	el := time.Since(start)
@@ -327,6 +396,82 @@ func main() {
 	}
 	fmt.Println("\nper-shard I/O histogram (load phase):")
 	printHistogram(shardIOs, "I/Os")
+
+	// Run-phase latency quantiles come from the engine's own fixed-bucket
+	// histograms (DESIGN.md §9), not a client-side mean: the tail is what
+	// a scatter-gather engine actually pays for a straggler shard.
+	snap := reg.Snapshot()
+	fmt.Println("\nrun latency by phase (engine histograms; build + profile + load):")
+	fmt.Printf("  %-6s %12s %12s %12s %8s\n", "phase", "p50", "p95", "p99", "runs")
+	for _, ph := range []struct{ name, series string }{
+		{"plan", "engine_run_plan_ns"},
+		{"exec", "engine_run_exec_ns"},
+		{"wait", "engine_run_wait_ns"},
+		{"merge", "engine_run_merge_ns"},
+		{"total", "engine_run_total_ns"},
+	} {
+		h := snap.Histogram(ph.series)
+		if h == nil || h.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-6s %12v %12v %12v %8d\n", ph.name,
+			time.Duration(h.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.95)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.99)).Round(time.Microsecond),
+			h.Count)
+	}
+
+	// The shard-visit heatmap reads the per-shard counter vector: one
+	// glyph per shard, scaled to the busiest shard, so layout skew is
+	// visible at a glance (a kd layout under clustered queries lights up
+	// a few shards; round-robin is a flat bar).
+	heat := make([]rune, *shards)
+	visitMax := float64(0)
+	visits := make([]float64, *shards)
+	for i, lab := range metrics.ShardLabels(*shards) {
+		v, _ := snap.Value("engine_shard_visits_total", lab)
+		visits[i] = v
+		if v > visitMax {
+			visitMax = v
+		}
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	for i, v := range visits {
+		idx := 0
+		if visitMax > 0 {
+			idx = int(v / visitMax * float64(len(ramp)-1))
+		}
+		heat[i] = ramp[idx]
+	}
+	fmt.Printf("shard visit heat (max %d visits): %s\n", int64(visitMax), string(heat))
+
+	if traces := eng.Traces(nil); len(traces) > 0 {
+		last := traces[len(traces)-1]
+		fmt.Printf("traces: %d sampled (1 in %d); last: %d queries, %d visited / %d pruned shards, %d shared plans, plan %v exec %v merge %v total %v, %d I/Os\n",
+			len(traces), maxi(1, *traceEvery), last.Queries,
+			last.ShardsVisited, last.ShardsPruned, last.PlansShared,
+			time.Duration(last.PlanNs).Round(time.Microsecond),
+			time.Duration(last.ExecNs).Round(time.Microsecond),
+			time.Duration(last.MergeNs).Round(time.Microsecond),
+			time.Duration(last.TotalNs).Round(time.Microsecond),
+			last.IO.IOs())
+	}
+
+	if *metricsDump != "" {
+		buf, err := json.MarshalIndent(&snap, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metricsDump, buf, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsDump)
+	}
+	if *linger > 0 {
+		fmt.Printf("lingering %v for scrapes...\n", *linger)
+		time.Sleep(*linger)
+	}
 }
 
 // updGen returns an update generator over a live book of records

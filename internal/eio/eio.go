@@ -24,17 +24,49 @@ type BlockID int64
 
 // Stats holds cumulative I/O counters for a Device.
 type Stats struct {
-	Reads  int64 // block reads that missed the cache
-	Writes int64 // block writes that missed the cache
-	Hits   int64 // block touches served by the cache
+	Reads   int64 // block reads that missed the cache
+	Writes  int64 // block writes that missed the cache
+	Hits    int64 // block touches served by the cache
+	StallNs int64 // simulated miss-latency time charged (SetMissLatency)
 }
 
 // IOs returns the total number of block transfers (reads plus writes).
 func (s Stats) IOs() int64 { return s.Reads + s.Writes }
 
-// Sub returns the counter deltas s minus t.
+// Touches returns the total number of block accesses (transfers plus
+// cache hits).
+func (s Stats) Touches() int64 { return s.Reads + s.Writes + s.Hits }
+
+// HitRate returns the fraction of block touches served by the cache
+// (0 when nothing was touched).
+func (s Stats) HitRate() float64 {
+	t := s.Touches()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// Sub returns the counter deltas s minus t — the per-window I/O of an
+// interval bounded by two snapshots, so progress reporting and
+// tracing never do field-by-field arithmetic by hand.
 func (s Stats) Sub(t Stats) Stats {
-	return Stats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes, Hits: s.Hits - t.Hits}
+	return Stats{
+		Reads:   s.Reads - t.Reads,
+		Writes:  s.Writes - t.Writes,
+		Hits:    s.Hits - t.Hits,
+		StallNs: s.StallNs - t.StallNs,
+	}
+}
+
+// Add returns the counter sums s plus t, the aggregation dual of Sub.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		Reads:   s.Reads + t.Reads,
+		Writes:  s.Writes + t.Writes,
+		Hits:    s.Hits + t.Hits,
+		StallNs: s.StallNs + t.StallNs,
+	}
 }
 
 // Device is a simulated disk with block size B (in records) and an LRU
@@ -196,11 +228,16 @@ func (d *Device) touch(id BlockID, write bool) {
 	d.insert(id)
 }
 
-// stall sleeps for the simulated miss latency. Kept out of touch so the
-// zero-latency path carries no time-package code.
+// stall sleeps for the simulated miss latency and charges it to the
+// StallNs rollup (the simulated value, not the measured sleep, so the
+// counter stays deterministic). Kept out of touch so the zero-latency
+// path carries no time-package code.
 //
 //go:noinline
-func (d *Device) stall() { time.Sleep(d.missLatency) }
+func (d *Device) stall() {
+	d.stats.StallNs += int64(d.missLatency)
+	time.Sleep(d.missLatency)
+}
 
 // insert adds id to the LRU cache (a no-op without a cache).
 func (d *Device) insert(id BlockID) {

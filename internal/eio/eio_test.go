@@ -276,6 +276,11 @@ func TestPrefetchCountInvariance(t *testing.T) {
 		for _, stop := range []int{33, 5, 1} { // full scan, early stops
 			plain := scan(0, cache, 33, stop)
 			ahead := scan(time.Microsecond, cache, 33, stop)
+			// StallNs is a time rollup, not a count: the zero-latency
+			// baseline never stalls, the latency run stalls on hints the
+			// prefetcher could not cover (at least the first block). The
+			// invariance contract is about block-transfer counts only.
+			plain.StallNs, ahead.StallNs = 0, 0
 			if plain != ahead {
 				t.Errorf("cache=%d stop=%d: counts with prefetch %+v != without %+v", cache, stop, ahead, plain)
 			}
@@ -301,5 +306,48 @@ func TestPrefetchCountInvariance(t *testing.T) {
 	// both scans, every block misses exactly once: 16 reads.
 	if got.Reads != 16 {
 		t.Errorf("interleaved scans: %d reads, want 16 (%+v)", got.Reads, got)
+	}
+}
+
+func TestStatsSubAddHitRate(t *testing.T) {
+	a := Stats{Reads: 10, Writes: 4, Hits: 6, StallNs: 900}
+	b := Stats{Reads: 3, Writes: 1, Hits: 2, StallNs: 300}
+	d := a.Sub(b)
+	if d != (Stats{Reads: 7, Writes: 3, Hits: 4, StallNs: 600}) {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if got := d.Add(b); got != a {
+		t.Fatalf("Add(Sub) = %+v, want %+v", got, a)
+	}
+	if r := a.HitRate(); r != 6.0/20.0 {
+		t.Fatalf("HitRate = %v", r)
+	}
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Fatalf("zero HitRate = %v", r)
+	}
+}
+
+func TestStallNsRollup(t *testing.T) {
+	d := NewDevice(4, 1)
+	d.SetMissLatency(time.Microsecond)
+	id := d.Alloc(2)
+	d.Read(id)     // miss: one stall
+	d.Read(id)     // hit: no stall
+	d.Read(id + 1) // miss: second stall
+	st := d.Stats()
+	if st.StallNs != 2*int64(time.Microsecond) {
+		t.Fatalf("StallNs = %d, want %d", st.StallNs, 2*int64(time.Microsecond))
+	}
+	// Prefetched sequential reads charge the transfer but not the stall.
+	d.ResetCounters()
+	d.Read(id)
+	d.Prefetch(id + 1)
+	d.Read(id + 1)
+	st = d.Stats()
+	if st.Reads != 2 {
+		t.Fatalf("Reads = %d, want 2", st.Reads)
+	}
+	if st.StallNs != int64(time.Microsecond) {
+		t.Fatalf("StallNs with prefetch = %d, want %d (prefetched read hides its stall)", st.StallNs, int64(time.Microsecond))
 	}
 }

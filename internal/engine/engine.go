@@ -67,7 +67,9 @@ import (
 	"linconstraint/internal/geom"
 	"linconstraint/internal/hull3d"
 	"linconstraint/internal/index"
+	"linconstraint/internal/metrics"
 	"linconstraint/internal/partition"
+	"linconstraint/internal/planner"
 )
 
 // Options configure an engine.
@@ -109,6 +111,22 @@ type Options struct {
 	// from the start. Static engines ignore it (their build set trains
 	// the layout anyway).
 	PretrainSample []geom.PointD
+	// Metrics, when non-nil, receives the engine's instruments (run
+	// timings, plan verdicts, per-shard visit counters, rebalance
+	// events) and a scrape-time collector for the per-shard device
+	// rollups. Instruments are registered once at construction and
+	// observed with single atomic operations, so enabling metrics keeps
+	// the steady-state query path allocation-free. Give each engine its
+	// own registry: the per-shard counter vectors are sized to the
+	// engine's shard count.
+	Metrics *metrics.Registry
+	// TraceEvery, when positive, samples one query run in every
+	// TraceEvery into a fixed ring of Trace records (Engine.Traces).
+	// Sampling decisions are one atomic; a sampled run additionally
+	// captures its per-shard I/O delta. Zero disables tracing.
+	TraceEvery int
+	// TraceBuf is the trace ring capacity (default 256).
+	TraceBuf int
 }
 
 func (o Options) normalized() Options {
@@ -218,6 +236,11 @@ type Engine struct {
 	// statsMu serializes Stats/ResetStats snapshots so an aggregate is
 	// internally consistent even while queries run on other shards.
 	statsMu sync.Mutex
+
+	// met is the pre-registered instrument set (metrics.go); nil when
+	// the engine was built without Options.Metrics and without tracing,
+	// so an uninstrumented engine pays one nil check per site.
+	met *engineMetrics
 }
 
 // getArena pops a scratch arena off the free list (or makes a fresh
@@ -228,7 +251,13 @@ func (e *Engine) getArena() *batchArena {
 	if n := len(e.arenas); n > 0 {
 		a := e.arenas[n-1]
 		e.arenas = e.arenas[:n-1]
+		if m := e.met; m != nil {
+			m.arenaReuse.Inc()
+		}
 		return a
+	}
+	if m := e.met; m != nil {
+		m.arenaFresh.Inc()
 	}
 	return &batchArena{}
 }
@@ -317,6 +346,15 @@ func newEngine(opt Options, build func(si int, dev *eio.Device) index.Index) *En
 	}
 	wg.Wait()
 	_, e.mutable = e.shards[0].idx.(index.Mutable)
+	// Instruments are registered before the workers start, so every
+	// observation site sees a fully built met (or nil) for the engine's
+	// whole lifetime. The registry pointer is not retained in e.opt —
+	// met owns it.
+	e.met = newEngineMetrics(opt, opt.Shards)
+	e.opt.Metrics = nil
+	if e.met != nil {
+		e.met.reg.RegisterCollector(e.collectShardIO)
+	}
 	for si := range e.work {
 		e.work[si] = make(chan *batchArena, 4)
 		e.workersWG.Add(1)
@@ -333,7 +371,13 @@ func (e *Engine) shardWorker(si int) {
 	defer e.workersWG.Done()
 	for a := range e.work[si] {
 		if e.sem != nil {
-			e.sem <- struct{}{}
+			if m := e.met; m != nil {
+				t := time.Now()
+				e.sem <- struct{}{}
+				m.workerWaitNs.Observe(int64(time.Since(t)))
+			} else {
+				e.sem <- struct{}{}
+			}
 		}
 		e.execShard(a, si)
 		if e.sem != nil {
@@ -453,6 +497,9 @@ func (e *Engine) Insert(r index.Record) error {
 	if !e.mutable {
 		return ErrImmutable
 	}
+	if m := e.met; m != nil {
+		m.ops.Inc(planner.OpIndex(index.OpInsert))
+	}
 	// Shared against migration: an insert lands entirely before or
 	// entirely after any rebalance move batch (rebalance.go).
 	e.migMu.RLock()
@@ -521,6 +568,9 @@ func (e *Engine) Insert(r index.Record) error {
 func (e *Engine) Delete(r index.Record) (bool, error) {
 	if !e.mutable {
 		return false, ErrImmutable
+	}
+	if m := e.met; m != nil {
+		m.ops.Inc(planner.OpIndex(index.OpDelete))
 	}
 	// Shared against migration, like Insert: the shard probe can never
 	// race a record mid-move (absent from its source, not yet at its

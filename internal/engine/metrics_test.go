@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"linconstraint/internal/geom"
+	"linconstraint/internal/index"
+	"linconstraint/internal/metrics"
+	"linconstraint/internal/partition"
+	"linconstraint/internal/workload"
+)
+
+// TestInstrumentedQueryZeroAllocs is the observability contract of this
+// PR: with metrics AND trace sampling enabled (TraceEvery 1 — every
+// run sampled, the worst case, since a sampled run additionally
+// captures its I/O delta and puts a Trace), the steady-state query path
+// still performs zero heap allocations.
+func TestInstrumentedQueryZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pts := workload.Uniform2(rng, 20_000)
+	reg := metrics.NewRegistry()
+	e := NewPlanar(pts, Options{
+		Shards: 8, BlockSize: 128, Seed: 1, Partitioner: partition.NewKDCut(),
+		Metrics: reg, TraceEvery: 1, TraceBuf: 16,
+	})
+	t.Cleanup(e.Close)
+	qs := make([]Query, 8)
+	for i := range qs {
+		h := workload.HalfplaneWithSelectivity(rng, pts, 0.01)
+		qs[i] = Query{Op: OpHalfplane, A: h.A, B: h.B}
+	}
+	one := make([]Query, 1)
+	res := make([]Result, 0, 1)
+	i := 0
+	assertZeroAllocs(t, "instrumented single-query BatchInto", func() {
+		for j := 0; j < len(qs); j++ {
+			one[0] = qs[i%len(qs)]
+			i++
+			res = e.BatchInto(one, res[:0])
+			if res[0].Err != nil {
+				t.Fatal(res[0].Err)
+			}
+		}
+	})
+	batch := make([]Query, 32)
+	for i := range batch {
+		batch[i] = qs[i%len(qs)]
+	}
+	bres := make([]Result, 0, len(batch))
+	assertZeroAllocs(t, "instrumented batch BatchInto", func() {
+		bres = e.BatchInto(batch, bres[:0])
+	})
+	// Polling the trace ring into a reused buffer is allocation-free
+	// too, so a telemetry loop does not perturb what it measures.
+	traces := make([]Trace, 0, 16)
+	assertZeroAllocs(t, "Traces into reused dst", func() {
+		traces = e.Traces(traces[:0])
+	})
+	if len(traces) == 0 {
+		t.Fatal("no traces captured at TraceEvery=1")
+	}
+}
+
+// TestEngineMetricsContent checks the instruments actually move: op
+// counts, run timings, plan verdicts, shard visits, and the exposition
+// includes the engine histogram series the CI smoke greps for.
+func TestEngineMetricsContent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := workload.Uniform2(rng, 4_000)
+	reg := metrics.NewRegistry()
+	e := NewPlanar(pts, Options{
+		Shards: 4, BlockSize: 64, Seed: 1, Partitioner: partition.NewKDCut(),
+		Metrics: reg, TraceEvery: 2,
+	})
+	defer e.Close()
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		h := workload.HalfplaneWithSelectivity(rng, pts, 0.05)
+		e.Halfplane(h.A, h.B)
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap.Value("engine_runs_total", ""); !ok || v != runs {
+		t.Fatalf("engine_runs_total = %v (ok=%v), want %d", v, ok, runs)
+	}
+	if v, ok := snap.Value("engine_ops_total", "halfplane"); !ok || v != runs {
+		t.Fatalf("engine_ops_total{op=halfplane} = %v (ok=%v), want %d", v, ok, runs)
+	}
+	h := snap.Histogram("engine_run_total_ns")
+	if h == nil || h.Count != runs {
+		t.Fatalf("engine_run_total_ns: %+v, want count %d", h, runs)
+	}
+	if h.Quantile(0.99) <= 0 {
+		t.Fatal("engine_run_total_ns p99 is zero")
+	}
+	// Plan verdicts: visited + pruned must sum to shards × runs.
+	vis, _ := snap.Value("engine_plan_visited_total", "halfplane")
+	pru, _ := snap.Value("engine_plan_pruned_total", "halfplane")
+	if vis+pru != float64(4*runs) {
+		t.Fatalf("visited %v + pruned %v != %d", vis, pru, 4*runs)
+	}
+	// Shard-visit counters agree with the visited verdicts.
+	var shardSum float64
+	for i := 0; i < 4; i++ {
+		v, ok := snap.Value("engine_shard_visits_total", metrics.ShardLabels(4)[i])
+		if !ok {
+			t.Fatalf("missing engine_shard_visits_total slot %d", i)
+		}
+		shardSum += v
+	}
+	if shardSum != vis {
+		t.Fatalf("shard visit sum %v != visited %v", shardSum, vis)
+	}
+	// The scrape collector exports per-shard device rollups.
+	if _, ok := snap.Value("engine_shard_io_reads_total", "0"); !ok {
+		t.Fatal("collector did not export engine_shard_io_reads_total{shard=0}")
+	}
+	// Traces carry the run's I/O and plan stats.
+	traces := e.Traces(nil)
+	if len(traces) == 0 {
+		t.Fatal("no traces at TraceEvery=2")
+	}
+	last := traces[len(traces)-1]
+	if last.Op != OpHalfplane || last.Queries != 1 {
+		t.Fatalf("trace %+v: want halfplane scalar run", last)
+	}
+	if last.ShardsVisited+last.ShardsPruned != 4 {
+		t.Fatalf("trace verdicts %d+%d != 4", last.ShardsVisited, last.ShardsPruned)
+	}
+	if last.IO.Reads <= 0 {
+		t.Fatalf("trace captured no I/O: %+v", last.IO)
+	}
+	if last.TotalNs <= 0 || last.TotalNs < last.MergeNs {
+		t.Fatalf("trace timing inconsistent: %+v", last)
+	}
+	for i := 1; i < len(traces); i++ {
+		if traces[i].Seq != traces[i-1].Seq+1 {
+			t.Fatalf("trace seqs not consecutive: %d then %d", traces[i-1].Seq, traces[i].Seq)
+		}
+	}
+}
+
+// TestTraceWithoutRegistry pins that tracing alone (no caller registry)
+// works — instruments land in a private registry.
+func TestTraceWithoutRegistry(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := workload.Uniform2(rng, 1_000)
+	e := NewPlanar(pts, Options{Shards: 2, Seed: 1, TraceEvery: 1})
+	defer e.Close()
+	e.Halfplane(0.3, 0.1)
+	if got := e.Traces(nil); len(got) != 1 {
+		t.Fatalf("got %d traces, want 1", len(got))
+	}
+	if e.Metrics() == nil {
+		t.Fatal("tracing engine reports no registry")
+	}
+}
+
+// TestUninstrumentedEngineNoTraces pins the nil path: no Options.Metrics
+// and no TraceEvery means no instruments, no traces, no events.
+func TestUninstrumentedEngineNoTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := workload.Uniform2(rng, 500)
+	e := NewPlanar(pts, Options{Shards: 2, Seed: 1})
+	defer e.Close()
+	e.Halfplane(0.3, 0.1)
+	if got := e.Traces(nil); len(got) != 0 {
+		t.Fatalf("uninstrumented engine produced %d traces", len(got))
+	}
+	if got := e.RebalanceEvents(nil); len(got) != 0 {
+		t.Fatalf("uninstrumented engine produced %d rebalance events", len(got))
+	}
+	if e.Metrics() != nil {
+		t.Fatal("uninstrumented engine reports a registry")
+	}
+}
+
+// TestRebalanceEvents checks the phase-event stream of a mutable
+// rebalance: snapshot, retrain, move batches, shrink — in order — plus
+// the migration-lock hold and move counters.
+func TestRebalanceEvents(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := NewDynamicPlanar(Options{Shards: 4, Seed: 1, Partitioner: partition.NewKDCut(), Metrics: reg})
+	defer e.Close()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 400; i++ {
+		p := geom.Point2{X: rng.Float64(), Y: rng.Float64()}
+		if err := e.Insert(index.Record{P2: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := e.Rebalance(RebalanceOptions{BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := e.RebalanceEvents(nil)
+	if len(events) < 3 {
+		t.Fatalf("got %d events, want at least snapshot+retrain+shrink: %+v", len(events), events)
+	}
+	seen := map[string]int{}
+	moves := 0
+	for _, ev := range events {
+		seen[ev.Phase]++
+		moves += ev.Moves
+		if ev.DurNs < 0 || ev.StartUnixNano <= 0 {
+			t.Fatalf("bad event %+v", ev)
+		}
+	}
+	for _, phase := range []string{RebalSnapshot, RebalRetrain, RebalShrink} {
+		if seen[phase] == 0 {
+			t.Fatalf("missing %s event: %+v", phase, events)
+		}
+	}
+	if moves != st.Moved {
+		t.Fatalf("event moves %d != stats moved %d", moves, st.Moved)
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap.Value("engine_rebalance_runs_total", ""); !ok || v != 1 {
+		t.Fatalf("engine_rebalance_runs_total = %v", v)
+	}
+	if v, _ := snap.Value("engine_rebalance_moves_total", ""); v != float64(st.Moved) {
+		t.Fatalf("engine_rebalance_moves_total = %v, want %d", v, st.Moved)
+	}
+	if h := snap.Histogram("engine_miglock_hold_ns"); h == nil || h.Count == 0 {
+		t.Fatal("no migration-lock holds observed")
+	}
+	// Inserts counted by op kind.
+	if v, _ := snap.Value("engine_ops_total", "insert"); v != 400 {
+		t.Fatalf("engine_ops_total{op=insert} = %v, want 400", v)
+	}
+}
+
+// TestStatsWorstEmpty pins the satellite guard: Worst on a zero-value
+// Stats (or one with a corrupt WorstShard) returns the zero snapshot
+// instead of panicking.
+func TestStatsWorstEmpty(t *testing.T) {
+	var s Stats
+	if got := s.Worst(); got != (ShardStats{}) {
+		t.Fatalf("zero Stats.Worst() = %+v, want zero", got)
+	}
+	s.WorstShard = 5
+	s.PerShard = make([]ShardStats, 2)
+	if got := s.Worst(); got != (ShardStats{}) {
+		t.Fatalf("out-of-range WorstShard: got %+v, want zero", got)
+	}
+	s.WorstShard = 1
+	s.PerShard[1].SpaceBlocks = 7
+	if got := s.Worst(); got.SpaceBlocks != 7 {
+		t.Fatalf("valid Worst() = %+v", got)
+	}
+}

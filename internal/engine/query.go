@@ -3,8 +3,11 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"linconstraint/internal/chan3d"
+	"linconstraint/internal/eio"
 	"linconstraint/internal/geom"
 	"linconstraint/internal/index"
 	"linconstraint/internal/partition"
@@ -149,6 +152,24 @@ type batchArena struct {
 	// k-NN query, so multiple k-NN queries of one run can execute
 	// concurrently.
 	knnBufs []knnScratch
+
+	// Trace capture (metrics.go). traced marks the run as sampled:
+	// every shard visit then records its device-counter delta into the
+	// io* accumulators (atomics — shard workers and the k-NN goroutines
+	// write them concurrently). plansShared counts operand-dedup hits
+	// for the run (caller goroutine only).
+	traced                             bool
+	plansShared                        int
+	ioReads, ioWrites, ioHits, ioStall atomic.Int64
+}
+
+// addIODelta folds one visited shard's device-counter delta into the
+// run's trace accumulators.
+func (a *batchArena) addIODelta(d eio.Stats) {
+	a.ioReads.Add(d.Reads)
+	a.ioWrites.Add(d.Writes)
+	a.ioHits.Add(d.Hits)
+	a.ioStall.Add(d.StallNs)
 }
 
 // knnScratch is one incremental k-NN query's private buffers: the
@@ -163,6 +184,7 @@ func (a *batchArena) beginRun(e *Engine, qs []Query, res []Result) {
 	a.qs, a.res = qs, res
 	a.nplans = 0
 	a.nparts = 0
+	a.plansShared = 0
 	a.knn = a.knn[:0]
 	a.planOf = resetInt32(a.planOf, len(qs))
 	a.partOff = resetInt32(a.partOff, len(qs))
@@ -203,6 +225,7 @@ func (a *batchArena) plan(e *Engine, qi int) int32 {
 	}
 	for pi := lo; pi < a.nplans; pi++ {
 		if sameOperand(q, a.qs[a.planRep[pi]]) {
+			a.plansShared++
 			return int32(pi)
 		}
 	}
@@ -387,7 +410,22 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 	// runs and updates still proceed in parallel.
 	e.migMu.RLock()
 	defer e.migMu.RUnlock()
+	m := e.met
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	a.beginRun(e, qs, results)
+	// A nil sampler admits nothing, so traced is false whenever tracing
+	// is off. The accumulators are reset only for sampled runs — the
+	// common path never touches them.
+	a.traced = m != nil && m.sampler.Hit()
+	if a.traced {
+		a.ioReads.Store(0)
+		a.ioWrites.Store(0)
+		a.ioHits.Store(0)
+		a.ioStall.Store(0)
+	}
 	if !e.noPlan {
 		e.snapshotSumsInto(a)
 	}
@@ -396,6 +434,9 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 	// a.parts concurrently later, so all growth happens here.
 	for qi := range qs {
 		results[qi].reset()
+		if m != nil {
+			m.ops.Inc(planner.OpIndex(qs[qi].Op))
+		}
 		if !e.shards[0].idx.Supports(qs[qi].Op) {
 			results[qi].Err = fmt.Errorf("engine: index family: %w %v", index.ErrUnsupported, qs[qi].Op)
 			a.planOf[qi] = -1
@@ -413,11 +454,18 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 		pl := &a.plans[pi]
 		for j, si := range pl.Shards {
 			a.jobs[si] = append(a.jobs[si], shardSlot{qi: int32(qi), part: a.partOff[qi] + int32(j)})
+			if m != nil {
+				m.shardVisits.Inc(si)
+			}
 		}
 		a.nparts += len(pl.Shards)
 	}
 	for len(a.parts) < a.nparts {
 		a.parts = append(a.parts, partial{})
+	}
+	var t1 time.Time
+	if m != nil {
+		t1 = time.Now()
 	}
 
 	// Phase 2: one wakeup per shard with work.
@@ -449,7 +497,15 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 			}(int(qi), ki)
 		}
 	}
+	var tw time.Time
+	if m != nil {
+		tw = time.Now()
+	}
 	a.wg.Wait()
+	var t2 time.Time
+	if m != nil {
+		t2 = time.Now()
+	}
 
 	// Phase 4: merge.
 	for qi := range qs {
@@ -463,6 +519,45 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 		r.ShardsPruned = pl.Pruned
 		e.visited.Add(int64(r.ShardsVisited))
 		e.pruned.Add(int64(r.ShardsPruned))
+		if m != nil {
+			k := planner.OpIndex(qs[qi].Op)
+			m.planVisited.AddAt(k, int64(r.ShardsVisited))
+			m.planPruned.AddAt(k, int64(r.ShardsPruned))
+		}
+	}
+	if m != nil {
+		t3 := time.Now()
+		m.runs.Inc()
+		m.planNs.Observe(int64(t1.Sub(t0)))
+		m.execNs.Observe(int64(t2.Sub(t1)))
+		m.waitNs.Observe(int64(t2.Sub(tw)))
+		m.mergeNs.Observe(int64(t3.Sub(t2)))
+		m.totalNs.Observe(int64(t3.Sub(t0)))
+		if a.plansShared > 0 {
+			m.plansShared.Add(int64(a.plansShared))
+		}
+		if a.traced {
+			tr := Trace{
+				Seq:         m.seq.Add(1),
+				Queries:     len(qs),
+				Op:          qs[0].Op,
+				PlansShared: a.plansShared,
+				PlanNs:      int64(t1.Sub(t0)),
+				ExecNs:      int64(t2.Sub(t1)),
+				WaitNs:      int64(t2.Sub(tw)),
+				MergeNs:     int64(t3.Sub(t2)),
+				TotalNs:     int64(t3.Sub(t0)),
+				IO: eio.Stats{
+					Reads: a.ioReads.Load(), Writes: a.ioWrites.Load(),
+					Hits: a.ioHits.Load(), StallNs: a.ioStall.Load(),
+				},
+			}
+			for qi := range results {
+				tr.ShardsVisited += results[qi].ShardsVisited
+				tr.ShardsPruned += results[qi].ShardsPruned
+			}
+			m.traces.Put(tr)
+		}
 	}
 }
 
@@ -474,6 +569,14 @@ func (e *Engine) execShard(a *batchArena, si int) {
 	sh := e.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	// Sampled runs bracket the sub-batch with the shard's own device
+	// counters: the delta is exactly this run's I/O on this shard (the
+	// lock excludes everything else), and the index Stats snapshots are
+	// plain struct reads, so the capture stays allocation-free.
+	var before eio.Stats
+	if a.traced {
+		before = sh.idx.Stats().IO
+	}
 	for _, s := range a.jobs[si] {
 		p := &a.parts[s.part]
 		p.reset()
@@ -482,6 +585,9 @@ func (e *Engine) execShard(a *batchArena, si int) {
 			continue
 		}
 		e.toGlobal(si, &p.ans)
+	}
+	if a.traced {
+		a.addIODelta(sh.idx.Stats().IO.Sub(before))
 	}
 }
 
@@ -504,16 +610,23 @@ func (e *Engine) toGlobal(si int, ans *index.Answer) {
 // runLocalInto answers q on shard si into the arena slot, locking the
 // shard (the k-NN incremental path's visits run on the caller's
 // goroutine, interleaving with the shard workers under the same mutex).
-func (e *Engine) runLocalInto(si int, q Query, p *partial) {
+func (e *Engine) runLocalInto(a *batchArena, si int, q Query, p *partial) {
 	sh := e.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	var before eio.Stats
+	if a.traced {
+		before = sh.idx.Stats().IO
+	}
 	p.reset()
 	if err := sh.idx.QueryInto(q, &p.ans); err != nil {
 		p.err = err
 		return
 	}
 	e.toGlobal(si, &p.ans)
+	if a.traced {
+		a.addIODelta(sh.idx.Stats().IO.Sub(before))
+	}
 }
 
 // runKNNPlanned answers one k-NN query incrementally: shards are
@@ -536,10 +649,13 @@ func (e *Engine) runKNNPlanned(a *batchArena, qi int, ks *knnScratch) {
 		if q.K > 0 && len(cur) >= q.K && pl.MinDist2[i] > cur[q.K-1].Dist2 {
 			break
 		}
-		e.runLocalInto(si, q, p)
+		e.runLocalInto(a, si, q, p)
 		if p.err != nil {
 			r.Err = p.err
 			break
+		}
+		if m := e.met; m != nil {
+			m.shardVisits.Inc(si)
 		}
 		runs[0], runs[1] = cur, p.ans.Neighbors
 		next := loserMerge(spare[:0], runs[:], &ks.heads, &ks.loser, neighborLess, q.K)
@@ -555,6 +671,11 @@ func (e *Engine) runKNNPlanned(a *batchArena, qi int, ks *knnScratch) {
 	r.ShardsPruned = len(e.shards) - visited
 	e.visited.Add(int64(visited))
 	e.pruned.Add(int64(r.ShardsPruned))
+	if m := e.met; m != nil {
+		k := planner.OpIndex(q.Op)
+		m.planVisited.AddAt(k, int64(visited))
+		m.planPruned.AddAt(k, int64(r.ShardsPruned))
+	}
 }
 
 // mergeInto combines one query's per-shard answers (parts[off:off+n])

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"linconstraint/internal/eio"
 	"linconstraint/internal/geom"
@@ -91,6 +92,9 @@ type RebalanceStats struct {
 func (e *Engine) Rebalance(opt RebalanceOptions) (RebalanceStats, error) {
 	e.rebalMu.Lock()
 	defer e.rebalMu.Unlock()
+	if m := e.met; m != nil {
+		m.rebalRuns.Inc()
+	}
 	if opt.BatchSize <= 0 {
 		opt.BatchSize = 64
 	}
@@ -98,8 +102,10 @@ func (e *Engine) Rebalance(opt RebalanceOptions) (RebalanceStats, error) {
 		// Concurrent Inserts read the layout through Place under the
 		// shared lock; swap it like any other migration write.
 		e.migMu.Lock()
+		th := time.Now()
 		e.part = opt.Partitioner
 		e.migMu.Unlock()
+		e.met.holdDone(th)
 	}
 	if !e.mutable {
 		return e.rebuildStatic()
@@ -117,6 +123,7 @@ func (e *Engine) Rebalance(opt RebalanceOptions) (RebalanceStats, error) {
 	e.sumsMu.RLock()
 	st.Before = partition.MeasureSkew(e.sums)
 	e.sumsMu.RUnlock()
+	tSnap := time.Now()
 	recs, cur, err := e.snapshot()
 	if err != nil {
 		return st, err
@@ -125,9 +132,14 @@ func (e *Engine) Rebalance(opt RebalanceOptions) (RebalanceStats, error) {
 	for i, r := range recs {
 		pts[i] = recPoint(r)
 	}
+	e.met.phaseDone(RebalSnapshot, tSnap, 0, 0)
+	tTrain := time.Now()
 	e.migMu.Lock()
+	th := time.Now()
 	want := e.part.Split(pts, len(e.shards))
 	e.migMu.Unlock()
+	e.met.holdDone(th)
+	e.met.phaseDone(RebalRetrain, tTrain, 0, 0)
 
 	plan := partition.PlanRebalance(cur, want, len(e.shards), opt.MaxMoves)
 	st.Planned = len(plan.Moves)
@@ -145,27 +157,40 @@ func (e *Engine) Rebalance(opt RebalanceOptions) (RebalanceStats, error) {
 			batch = batch[:opt.BatchSize]
 		}
 		moves = moves[len(batch):]
+		applied := 0
 		e.migMu.Lock()
+		th := time.Now()
 		for _, m := range batch {
 			moved, err := e.moveLocked(recs[m.Idx], m.Src, m.Dst)
 			if err != nil {
 				e.migMu.Unlock()
+				e.met.holdDone(th)
 				return st, err
 			}
 			if moved {
-				st.Moved++
+				applied++
 			}
 		}
 		e.migMu.Unlock()
+		e.met.holdDone(th)
+		e.met.phaseDone(RebalMoveBatch, th, applied, st.Deferred)
+		st.Moved += applied
 	}
 
 	// Phase 3 (exclusive): shrink the summaries to the live set.
 	e.migMu.Lock()
+	th = time.Now()
 	err = e.shrinkSummariesLocked()
 	e.sumsMu.RLock()
 	st.After = partition.MeasureSkew(e.sums)
 	e.sumsMu.RUnlock()
 	e.migMu.Unlock()
+	e.met.holdDone(th)
+	e.met.phaseDone(RebalShrink, th, 0, st.Deferred)
+	if m := e.met; m != nil {
+		m.rebalMoves.Add(int64(st.Moved))
+		m.rebalDeferred.Set(int64(st.Deferred))
+	}
 	return st, err
 }
 
@@ -201,8 +226,11 @@ func (e *Engine) Retrain(sample []geom.PointD) error {
 	// Split mutates layout state that concurrent Inserts read through
 	// Place; only this step needs the exclusive lock.
 	e.migMu.Lock()
+	th := time.Now()
 	e.part.Split(sample, len(e.shards))
 	e.migMu.Unlock()
+	e.met.holdDone(th)
+	e.met.phaseDone(RebalRetrain, th, 0, 0)
 	return nil
 }
 
@@ -324,6 +352,7 @@ func (e *Engine) rebuildStatic() (RebalanceStats, error) {
 		st.After = st.Before
 		return st, nil
 	}
+	tBuild := time.Now()
 	globals := groupIDs(want, len(e.shards))
 	sums := partition.Summarize(e.pd, want, len(e.shards))
 	idxs := make([]index.Index, len(e.shards))
@@ -339,6 +368,7 @@ func (e *Engine) rebuildStatic() (RebalanceStats, error) {
 	}
 	wg.Wait()
 	e.migMu.Lock()
+	th := time.Now()
 	for si, sh := range e.shards {
 		sh.mu.Lock()
 		sh.idx = idxs[si]
@@ -350,7 +380,12 @@ func (e *Engine) rebuildStatic() (RebalanceStats, error) {
 	copy(e.sums, sums)
 	e.sumsMu.Unlock()
 	e.migMu.Unlock()
+	e.met.holdDone(th)
 	st.Moved = st.Planned
 	st.After = partition.MeasureSkew(sums)
+	e.met.phaseDone(RebalRebuild, tBuild, st.Moved, 0)
+	if m := e.met; m != nil {
+		m.rebalMoves.Add(int64(st.Moved))
+	}
 	return st, nil
 }

@@ -35,8 +35,17 @@ type Stats struct {
 	PerShard []ShardStats
 }
 
-// Snapshot of the busiest shard's counters.
-func (s Stats) Worst() ShardStats { return s.PerShard[s.WorstShard] }
+// Worst returns a snapshot of the busiest shard's counters, or the
+// zero ShardStats when the snapshot carries no per-shard data (a
+// zero-value Stats, or one whose PerShard was dropped before
+// serialization) — an aggregate someone saved and reloaded should not
+// panic a dashboard.
+func (s Stats) Worst() ShardStats {
+	if len(s.PerShard) == 0 || s.WorstShard < 0 || s.WorstShard >= len(s.PerShard) {
+		return ShardStats{}
+	}
+	return s.PerShard[s.WorstShard]
+}
 
 // Stats aggregates every shard's counters and space under the engine's
 // stats mutex (plus each shard's own lock), so the snapshot is
@@ -57,9 +66,7 @@ func (e *Engine) Stats() Stats {
 		st := sh.idx.Stats()
 		sh.mu.Unlock()
 		out.PerShard[si] = st
-		out.Total.Reads += st.IO.Reads
-		out.Total.Writes += st.IO.Writes
-		out.Total.Hits += st.IO.Hits
+		out.Total = out.Total.Add(st.IO)
 		out.SpaceBlocks += st.SpaceBlocks
 		if ios := st.IO.IOs(); ios > out.MaxShardIOs {
 			out.MaxShardIOs = ios

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Ring is a fixed-capacity overwrite ring of value records — the
+// storage behind the engine's sampled query traces and rebalance
+// events. Put copies the record into the next slot (overwriting the
+// oldest once full) and never allocates after construction; Snapshot
+// copies the live records out oldest-first. A short critical section
+// around a struct copy is the whole synchronization story: traces are
+// sampled, so the lock is uncontended in practice, and a mutex (unlike
+// a clever lock-free scheme) keeps the records tear-free.
+type Ring[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	next uint64 // total Puts; buf[next%len] is the next slot
+}
+
+// NewRing returns a ring holding the last n records (n < 1 is clamped
+// to 1).
+func NewRing[T any](n int) *Ring[T] {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring[T]{buf: make([]T, n)}
+}
+
+// Put records v, overwriting the oldest record once the ring is full.
+func (r *Ring[T]) Put(v T) {
+	r.mu.Lock()
+	r.buf[r.next%uint64(len(r.buf))] = v
+	r.next++
+	r.mu.Unlock()
+}
+
+// Len returns the number of live records (at most the capacity).
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Snapshot appends the live records to dst oldest-first and returns
+// it. Pass a reused dst[:0] to keep the copy allocation-free at
+// steady state.
+func (r *Ring[T]) Snapshot(dst []T) []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	start := uint64(0)
+	count := r.next
+	if r.next > n {
+		start = r.next - n
+		count = n
+	}
+	for i := uint64(0); i < count; i++ {
+		dst = append(dst, r.buf[(start+i)%n])
+	}
+	return dst
+}
+
+// Sampler admits one in every N events, atomically, so concurrent
+// callers agree on the sample without a lock. The zero Sampler (or
+// every <= 0) admits nothing.
+type Sampler struct {
+	every int64
+	n     atomic.Int64
+}
+
+// NewSampler returns a sampler admitting one event in every `every`.
+func NewSampler(every int) *Sampler {
+	return &Sampler{every: int64(every)}
+}
+
+// Hit reports whether this event is sampled. The first event is always
+// admitted (so a sampling rate larger than the run still yields one
+// trace), then every `every`-th after it.
+func (s *Sampler) Hit() bool {
+	if s == nil || s.every <= 0 {
+		return false
+	}
+	return (s.n.Add(1)-1)%s.every == 0
+}

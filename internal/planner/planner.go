@@ -97,6 +97,44 @@ func PlanQueryInto(q index.Query, sums []partition.ShardSummary, pl *Plan) {
 	}
 }
 
+// --- op-kind vocabulary for plan telemetry ---------------------------------
+//
+// Plan verdicts (shards visited vs pruned) are attributed per op kind
+// by the engine's metrics. The vocabulary lives here, next to the
+// predicates that produce the verdicts: OpIndex maps an op to a dense
+// slot and OpLabels gives the matching pre-interned label values, so
+// instrument registration happens once and a per-query attribution is
+// an array index — never a map lookup or a string format.
+
+// opLabels is indexed by index.Op (the ops are a dense iota); the last
+// slot catches unknown ops.
+var opLabels = []string{
+	index.OpHalfplane:   "halfplane",
+	index.OpHalfspace3:  "halfspace3",
+	index.OpHalfspaceD:  "halfspaceD",
+	index.OpConjunction: "conjunction",
+	index.OpKNN:         "knn",
+	index.OpInsert:      "insert",
+	index.OpDelete:      "delete",
+	index.OpDelete + 1:  "other",
+}
+
+// NumOpKinds is the cardinality of the op-kind label set.
+const NumOpKinds = int(index.OpDelete) + 2
+
+// OpIndex returns the dense label slot of op (the last slot for ops
+// outside the known set).
+func OpIndex(op index.Op) int {
+	if op >= 0 && int(op) < NumOpKinds-1 {
+		return int(op)
+	}
+	return NumOpKinds - 1
+}
+
+// OpLabels returns the label values, parallel to OpIndex slots. The
+// caller must not mutate the slice.
+func OpLabels() []string { return opLabels }
+
 // mayContribute reports whether a record of the summarized shard can
 // satisfy q; h is the query hyperplane precomputed by PlanQueryInto
 // (meaningful for the halfplane/halfspace ops only). Unknown regions

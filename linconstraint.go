@@ -40,6 +40,7 @@
 package linconstraint
 
 import (
+	"net/http"
 	"time"
 
 	"linconstraint/internal/chan3d"
@@ -48,6 +49,7 @@ import (
 	"linconstraint/internal/geom"
 	"linconstraint/internal/hull3d"
 	"linconstraint/internal/index"
+	"linconstraint/internal/metrics"
 	"linconstraint/internal/partition"
 )
 
@@ -395,6 +397,21 @@ type EngineConfig struct {
 	// spatially and gets planner pruning from the start. Static
 	// engines ignore it — their build set trains the layout anyway.
 	PretrainSample []PointD
+	// Metrics, when non-nil, receives the engine's instruments: run
+	// latency histograms, op/plan-verdict/per-shard counters, rebalance
+	// phase events, and a scrape-time collector exporting every shard's
+	// device rollups. Instruments are pre-registered and observed with
+	// single atomic operations, so enabling metrics keeps the
+	// steady-state query path allocation-free. Build one with
+	// NewMetrics; serve it with MetricsHandler. Give each engine its
+	// own registry (the per-shard series are sized to the shard count).
+	Metrics *Metrics
+	// TraceEvery, when positive, samples one query run in every
+	// TraceEvery into a fixed ring of Trace records, read with
+	// Engine.Traces. Zero disables tracing.
+	TraceEvery int
+	// TraceBuf is the trace ring capacity (default 256).
+	TraceBuf int
 }
 
 func (c EngineConfig) options() engine.Options {
@@ -404,6 +421,7 @@ func (c EngineConfig) options() engine.Options {
 		Seed: c.Seed, IOLatency: c.IOLatency,
 		Partitioner: c.Partitioner, NoPlanner: c.DisablePlanner,
 		PretrainSample: c.PretrainSample,
+		Metrics:        c.Metrics, TraceEvery: c.TraceEvery, TraceBuf: c.TraceBuf,
 	}
 }
 
@@ -457,6 +475,42 @@ type SkewStats = partition.SkewStats
 // I/O a parallel disk farm would wait for), and the planner's
 // cumulative ShardsVisited / ShardsPruned counts.
 type EngineStats = engine.Stats
+
+// --- Observability (DESIGN.md §9) -------------------------------------------
+
+// Metrics is an allocation-free instrument registry: counters, gauges
+// and fixed-bucket latency histograms observed with single atomic
+// operations. Pass one to EngineConfig.Metrics to instrument an
+// engine, then export it via MetricsHandler (Prometheus text + JSON +
+// pprof), Snapshot (programmatic, what lcbench -json embeds), or
+// WriteProm.
+type Metrics = metrics.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
+
+// MetricsSnapshot is a point-in-time view of a Metrics registry, safe
+// to serialize (it is what /metrics.json and lcbench -json emit).
+type MetricsSnapshot = metrics.Snapshot
+
+// MetricsHandler returns an http.Handler serving reg:
+//
+//	/metrics        Prometheus text exposition (?format=json for JSON)
+//	/metrics.json   JSON snapshot
+//	/debug/pprof/   net/http/pprof profiles
+//
+// Mount it on a side port (lcserve -metrics-addr does) so telemetry
+// never contends with serving.
+func MetricsHandler(reg *Metrics) http.Handler { return metrics.Mux(reg) }
+
+// Trace is one sampled query-run record (EngineConfig.TraceEvery):
+// phase timings, plan verdicts and the run's block-I/O delta. Read
+// them with Engine.Traces.
+type Trace = engine.Trace
+
+// RebalanceEvent is one recorded phase of a Rebalance/Retrain call on
+// an instrumented engine; read them with Engine.RebalanceEvents.
+type RebalanceEvent = engine.RebalanceEvent
 
 // Engine is a sharded concurrent front-end over one of the paper's
 // index families. It returns exactly the same result sets as the
@@ -622,6 +676,22 @@ func (e *Engine) Retrain(sample []PointD) error { return e.eng.Retrain(sample) }
 // Stats aggregates I/O counters and space across shards, including all
 // construction and rebuild (compaction) work.
 func (e *Engine) Stats() EngineStats { return e.eng.Stats() }
+
+// Metrics returns the registry holding the engine's instruments: the
+// one from EngineConfig.Metrics, or a private registry when only
+// tracing was enabled. Nil for an uninstrumented engine.
+func (e *Engine) Metrics() *Metrics { return e.eng.Metrics() }
+
+// Traces appends the engine's sampled query traces to dst, oldest
+// first, and returns it. Empty unless EngineConfig.TraceEvery was
+// positive. Pass a reused dst[:0] to keep polling allocation-free.
+func (e *Engine) Traces(dst []Trace) []Trace { return e.eng.Traces(dst) }
+
+// RebalanceEvents appends the recorded rebalance phase events to dst,
+// oldest first, and returns it. Empty for an uninstrumented engine.
+func (e *Engine) RebalanceEvents(dst []RebalanceEvent) []RebalanceEvent {
+	return e.eng.RebalanceEvents(dst)
+}
 
 // ResetStats zeroes every shard's counters and drops their caches.
 func (e *Engine) ResetStats() { e.eng.ResetStats() }
