@@ -1,0 +1,319 @@
+package main
+
+// The -hotshard mode: an end-to-end smoke of traffic-sketch-driven
+// replication (DESIGN.md §10). A zipf(s=1.2) k-NN read workload
+// concentrates on one shard of an engine whose devices charge per-miss
+// latency, so the hot shard's single device serializes nearly half the
+// traffic while the other shards idle. The smoke measures batched read
+// throughput in that state, lets AutoReplicate read the engine's own
+// traffic sketch and promote the hot shard to three copies, measures
+// again, and fails unless the replicated engine clears 2x the
+// unreplicated qps — with every answer byte-identical across the
+// promotion and the steady-state read path still allocation-free.
+//
+// k-NN is the op under test because a small-k query near a tile center
+// visits exactly one shard under a KDCut layout (the distance cutoff
+// prunes the rest), so the workload's shard skew is controlled by the
+// query points alone; selective halfplanes can solely target only the
+// tiles touching the plane's lower boundary.
+//
+// Concurrency note: the speedup comes from latency hiding, not CPU
+// parallelism — clients blocked on one replica's simulated misses
+// yield the processor while other replicas of the same shard serve
+// their own clients — so the smoke holds on a single-core runner.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"linconstraint"
+	"linconstraint/internal/workload"
+)
+
+// hotshardRecord is the -hotshard -json output (results/BENCH_pr7.json).
+type hotshardRecord struct {
+	N           int     `json:"n"`
+	Shards      int     `json:"shards"`
+	Clients     int     `json:"clients"`
+	ZipfS       float64 `json:"zipf_s"`
+	K           int     `json:"k"`
+	IOLatencyUS int64   `json:"io_latency_us"`
+
+	HotShard   int   `json:"hot_shard"`
+	SketchTop1 int   `json:"sketch_top1"`
+	Degrees    []int `json:"degrees"`
+
+	QPSUnreplicated float64 `json:"qps_unreplicated"`
+	QPSReplicated   float64 `json:"qps_replicated"`
+	Speedup         float64 `json:"speedup"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+
+	Pass bool `json:"pass"`
+}
+
+const (
+	hotZipfS = 1.2
+	hotK     = 16
+)
+
+// hotshardSmoke runs the whole scenario and verifies the acceptance
+// thresholds. Returns false (and prints FAIL lines) on any violation.
+func hotshardSmoke(seed int64, quick bool, jsonPath string) bool {
+	const shards = 8
+	n := 100_000
+	dur := 2 * time.Second
+	if quick {
+		n = 20_000
+		dur = 600 * time.Millisecond
+	}
+	const clients = 8
+	const ioLat = 200 * time.Microsecond
+	rng := rand.New(rand.NewSource(seed))
+	pts := workload.Uniform2(rng, n)
+
+	// Calibration runs on a twin engine with zero latency: same points,
+	// same seed, a fresh KDCut trained on the same build set, so its
+	// tiles — and therefore its plans — match the measured engine's
+	// exactly, without polluting the measured engine's traffic sketch
+	// or paying stalls for thousands of probe queries.
+	calib := linconstraint.NewKNNEngine(pts, linconstraint.EngineConfig{
+		Shards: shards, BlockSize: 128, Seed: seed, Partitioner: linconstraint.KDCutLayout(),
+	})
+	pools := calibratePools(calib, rng, shards)
+	calib.Close()
+	ranked := rankPools(pools)
+	if len(ranked) < 4 {
+		fmt.Printf("FAIL: only %d shards receive single-shard k-NN queries; cannot skew\n", len(ranked))
+		return false
+	}
+	hot := ranked[0]
+
+	eng := linconstraint.NewKNNEngine(pts, linconstraint.EngineConfig{
+		Shards: shards, BlockSize: 128, Seed: seed, Partitioner: linconstraint.KDCutLayout(),
+		IOLatency: ioLat,
+	})
+	defer eng.Close()
+
+	// Fixed probe answers, pinned before any replication.
+	probes := make([]linconstraint.Point2, 0, 32)
+	for i := 0; len(probes) < 32; i++ {
+		pool := pools[ranked[i%len(ranked)]]
+		probes = append(probes, pool[i%len(pool)])
+	}
+	probeAnswers := func() [][]linconstraint.Neighbor {
+		out := make([][]linconstraint.Neighbor, len(probes))
+		for i, p := range probes {
+			out[i] = slices.Clone(eng.KNN(hotK, p))
+		}
+		return out
+	}
+	before := probeAnswers()
+
+	fmt.Printf("hotshard smoke: n=%d, %d shards, zipf s=%.1f over %d rankable shards, k=%d, %d clients, %v/miss\n\n",
+		n, shards, hotZipfS, len(ranked), hotK, clients, ioLat)
+
+	qpsUnrep := measureZipf(eng, pools, ranked, clients, dur, seed+100)
+
+	// The engine's own sketch must have found the hot shard, and
+	// AutoReplicate must spend its whole budget on it: at s=1.2 the
+	// zipf head holds ~43% of the traffic and rank 2 at most ~19%, so
+	// MinShare 0.25 leaves the head as the only promotable shard.
+	top := eng.HotShards(nil)
+	sketchTop1 := -1
+	if len(top) > 0 {
+		sketchTop1 = int(top[0].Key)
+	}
+	ast, err := eng.AutoReplicate(linconstraint.AutoReplicateOptions{
+		Budget: shards + 2, MaxPerShard: 3, MinShare: 0.25,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	qpsRep := measureZipf(eng, pools, ranked, clients, dur, seed+100)
+
+	// Steady-state allocation check on the replicated engine: warmed
+	// single-query BatchInto over the hot pool, sketch recording and
+	// replica dispatch included.
+	one := make([]linconstraint.Query, 1)
+	res := make([]linconstraint.QueryResult, 0, 1)
+	pool := pools[hot]
+	i := 0
+	run := func() {
+		one[0] = linconstraint.Query{Op: linconstraint.OpKNN, K: hotK, Pt: pool[i%len(pool)]}
+		i++
+		res = eng.BatchInto(one, res[:0])
+		if res[0].Err != nil {
+			fmt.Fprintln(os.Stderr, res[0].Err)
+			os.Exit(1)
+		}
+	}
+	run() // warm
+	allocs := testing.AllocsPerRun(20, run)
+
+	after := probeAnswers()
+
+	rec := hotshardRecord{
+		N: n, Shards: shards, Clients: clients, ZipfS: hotZipfS, K: hotK,
+		IOLatencyUS: int64(ioLat / time.Microsecond),
+		HotShard:    hot, SketchTop1: sketchTop1, Degrees: ast.Degrees,
+		QPSUnreplicated: qpsUnrep, QPSReplicated: qpsRep,
+		Speedup: qpsRep / qpsUnrep, AllocsPerOp: allocs,
+	}
+
+	fmt.Printf("%-26s %12s %12s\n", "", "1 copy", "replicated")
+	fmt.Printf("%-26s %12.0f %12.0f\n", "zipf read qps", qpsUnrep, qpsRep)
+	fmt.Printf("\nhot shard %d: sketch top-1 %d, degrees after AutoReplicate %v\n",
+		hot, sketchTop1, ast.Degrees)
+	fmt.Printf("speedup %.2fx, steady-state allocs/op %.1f\n", rec.Speedup, allocs)
+
+	ok := true
+	if sketchTop1 != hot {
+		fmt.Printf("FAIL: sketch top-1 shard %d != hot shard %d\n", sketchTop1, hot)
+		ok = false
+	}
+	if ast.Degrees[hot] != 3 {
+		fmt.Printf("FAIL: AutoReplicate left hot shard at degree %d, want 3 (degrees %v)\n",
+			ast.Degrees[hot], ast.Degrees)
+		ok = false
+	}
+	if rec.Speedup < 2 {
+		fmt.Printf("FAIL: replicated qps %.0f < 2x unreplicated %.0f (%.2fx)\n",
+			qpsRep, qpsUnrep, rec.Speedup)
+		ok = false
+	}
+	if allocs != 0 {
+		fmt.Printf("FAIL: %.1f allocs/op on the replicated steady-state read path, want 0\n", allocs)
+		ok = false
+	}
+	for qi := range probes {
+		if !slices.Equal(before[qi], after[qi]) {
+			fmt.Printf("FAIL: probe %d answer changed across replication (%d vs %d neighbors)\n",
+				qi, len(before[qi]), len(after[qi]))
+			ok = false
+			break
+		}
+	}
+	rec.Pass = ok
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", jsonPath, err)
+			ok = false
+		} else {
+			fmt.Printf("record written to %s\n", jsonPath)
+		}
+	}
+	if ok {
+		fmt.Println("\nPASS")
+	}
+	return ok
+}
+
+// calibratePools finds, per shard, k-NN query points whose plan visits
+// exactly that one shard: uniform candidates are kept when
+// Result.ShardsVisited == 1 and attributed via the calibration
+// engine's traffic-sketch delta (skipping the rare ambiguous count-min
+// collision).
+func calibratePools(calib *linconstraint.Engine, rng *rand.Rand, shards int) [][]linconstraint.Point2 {
+	pools := make([][]linconstraint.Point2, shards)
+	est := make([]uint64, shards)
+	accepted, tries := 0, 0
+	for ; accepted < 512 && tries < 6000; tries++ {
+		p := linconstraint.Point2{X: rng.Float64(), Y: rng.Float64()}
+		for si := range est {
+			est[si] = calib.ShardTraffic(si)
+		}
+		r := calib.Batch([]linconstraint.Query{{Op: linconstraint.OpKNN, K: hotK, Pt: p}})[0]
+		if r.Err != nil {
+			fmt.Fprintln(os.Stderr, r.Err)
+			os.Exit(1)
+		}
+		if r.ShardsVisited != 1 {
+			continue
+		}
+		target := -1
+		for si := range est {
+			if calib.ShardTraffic(si) > est[si] {
+				if target != -1 {
+					target = -2
+					break
+				}
+				target = si
+			}
+		}
+		if target < 0 || len(pools[target]) >= 96 {
+			continue
+		}
+		pools[target] = append(pools[target], p)
+		accepted++
+	}
+	return pools
+}
+
+// rankPools orders the shards with a usable pool (>= 16 single-shard
+// queries) by descending pool size: rank 0 — the zipf head, ~43% of
+// the traffic at s=1.2 — goes to the shard with the deepest supply.
+func rankPools(pools [][]linconstraint.Point2) []int {
+	var ranked []int
+	for si, p := range pools {
+		if len(p) >= 16 {
+			ranked = append(ranked, si)
+		}
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		pa, pb := len(pools[ranked[a]]), len(pools[ranked[b]])
+		if pa != pb {
+			return pa > pb
+		}
+		return ranked[a] < ranked[b]
+	})
+	return ranked
+}
+
+// measureZipf drives clients concurrent goroutines, each issuing
+// single-query k-NN batches whose target shard is zipf(s)-distributed
+// over the ranked shards, for dur; it returns the aggregate qps. Each
+// client reuses its query and result storage (the allocation-free
+// BatchInto path), so the measured cost is dispatch plus simulated
+// I/O, not garbage.
+func measureZipf(eng *linconstraint.Engine, pools [][]linconstraint.Point2, ranked []int, clients int, dur time.Duration, seed int64) float64 {
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(dur)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			crng := rand.New(rand.NewSource(seed + int64(c)))
+			zipf := rand.NewZipf(crng, hotZipfS, 1, uint64(len(ranked)-1))
+			one := make([]linconstraint.Query, 1)
+			res := make([]linconstraint.QueryResult, 0, 1)
+			for time.Now().Before(deadline) {
+				pool := pools[ranked[zipf.Uint64()]]
+				one[0] = linconstraint.Query{Op: linconstraint.OpKNN, K: hotK, Pt: pool[crng.Intn(len(pool))]}
+				res = eng.BatchInto(one, res[:0])
+				if res[0].Err != nil {
+					fmt.Fprintln(os.Stderr, res[0].Err)
+					os.Exit(1)
+				}
+				total.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	return float64(total.Load()) / time.Since(start).Seconds()
+}

@@ -20,6 +20,15 @@
 // is byte-identical across the rebalance. Combine with -json PATH to
 // write the reshard record.
 //
+// With -hotshard it runs the hot-shard replication smoke (hotshard.go):
+// a zipf(s=1.2) read workload concentrates on one shard of a planar
+// engine with per-miss device latency, AutoReplicate reads the
+// engine's traffic sketch and promotes the hot shard to three copies,
+// and the run fails unless the replicated engine clears 2x the
+// unreplicated read qps with byte-identical answers and a zero-alloc
+// steady-state read path. Combine with -json PATH to write the record
+// (the PR 7 state is checked in as results/BENCH_pr7.json).
+//
 // With -json PATH it instead runs the engine hot-path benchmarks
 // (bench.go) and writes a machine-readable perf record — qps, ns/op,
 // B/op, allocs/op, shards visited and I/Os per op family — to PATH;
@@ -31,7 +40,7 @@
 // Usage:
 //
 //	lcbench [-quick] [-seed N] [-out DIR] [-only E1,E7,...] [-pruning]
-//	        [-json PATH [-baseline FILE]]
+//	        [-reshard] [-hotshard] [-json PATH [-baseline FILE]]
 package main
 
 import (
@@ -54,12 +63,20 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (default all)")
 	pruning := flag.Bool("pruning", false, "run the shard-pruning efficiency smoke instead of the experiments")
 	reshard := flag.Bool("reshard", false, "run the online-resharding smoke (skewed delete phase, rebalance, skew + visited-shards before/after); -json writes its record")
+	hotshard := flag.Bool("hotshard", false, "run the hot-shard replication smoke (zipf reads, sketch-driven AutoReplicate, qps before/after); -json writes its record")
 	jsonOut := flag.String("json", "", "run the engine hot-path benchmarks and write the perf record to this path (with -reshard: the reshard record)")
 	baseline := flag.String("baseline", "", "with -json: previously written perf record to embed as the comparison baseline")
 	flag.Parse()
 
 	if *reshard {
 		if !reshardSmoke(*seed, *quick, *jsonOut) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *hotshard {
+		if !hotshardSmoke(*seed, *quick, *jsonOut) {
 			os.Exit(1)
 		}
 		return

@@ -21,6 +21,7 @@
 //
 //	lcserve [-kind planar|3d|knn|partition|dynplanar|dynpartition]
 //	        [-layout rr|sfc|kd] [-noplan] [-rebalance]
+//	        [-replicas SPEC] [-autoreplicate]
 //	        [-n N] [-shards S] [-workers W] [-batch B] [-queries Q]
 //	        [-sel F] [-mix F] [-k K] [-dim D] [-block B] [-cache M]
 //	        [-lat DUR] [-seed N]
@@ -37,6 +38,15 @@
 // writes the final JSON snapshot to a file (the CI artifact), and
 // -promcheck FILE validates a saved Prometheus payload and exits —
 // the smoke test's stand-in for promtool.
+//
+// With -replicas SPEC (comma-separated shard:degree pairs, e.g.
+// "5:3,0:2") the engine clones the named shards onto extra private
+// devices right after the build; with -autoreplicate one sketch-driven
+// AutoReplicate pass fires in the background from the load phase's
+// midpoint, promoting whatever shards the engine's traffic sketch
+// reports hot (DESIGN.md §10). Either way the report ends with a
+// replica-hit heat line showing how reads spread across each
+// replicated shard's copies.
 //
 // With -rebalance (dynamic kinds) one online rebalance fires in the
 // background from the load phase's midpoint: the layout retrains on
@@ -91,6 +101,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "RNG seed")
 		profile = flag.Int("profile", 128, "sequential queries for the per-query I/O histogram")
 		rebal   = flag.Bool("rebalance", false, "run one online rebalance (retrain + migrate) in the background from the load phase's midpoint (dynamic kinds)")
+
+		replicasF = flag.String("replicas", "", "comma-separated shard:degree pairs to replicate after the build, e.g. 5:3,0:2")
+		autoRep   = flag.Bool("autoreplicate", false, "run one sketch-driven AutoReplicate pass in the background from the load phase's midpoint")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus text at /metrics, JSON at /metrics.json and pprof at /debug/pprof on this host:port")
 		metricsDump = flag.String("metrics-dump", "", "write the final JSON metrics snapshot to this file")
@@ -262,6 +275,21 @@ func main() {
 		eng.Len(), eng.NumShards(), eng.NumWorkers(), buildTime.Round(time.Millisecond),
 		st.SpaceBlocks, st.MaxShardIOs)
 
+	if *replicasF != "" {
+		for _, part := range strings.Split(*replicasF, ",") {
+			var si, deg int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d:%d", &si, &deg); err != nil {
+				fmt.Fprintf(os.Stderr, "bad -replicas entry %q (want shard:degree)\n", part)
+				os.Exit(2)
+			}
+			if err := eng.Replicate(si, deg); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("replica degrees after -replicas: %v\n", eng.Replicas())
+	}
+
 	// Phase 1: sequential profile for the per-query I/O histogram and
 	// the per-query plan (shards visited/pruned) columns.
 	var perQuery, perVisited []int64
@@ -316,6 +344,9 @@ func main() {
 	var rebSt linconstraint.RebalanceStats
 	var rebErr error
 	rebFired := false
+	var arSt linconstraint.AutoReplicateStats
+	var arErr error
+	arFired := false
 	// BatchInto with reused result storage keeps the load phase on the
 	// engine's allocation-free hot path (DESIGN.md §7): the generator,
 	// not the engine, is the only allocator in this loop.
@@ -335,6 +366,14 @@ func main() {
 			go func() {
 				defer rebWG.Done()
 				rebSt, rebErr = eng.Rebalance(linconstraint.RebalanceOptions{})
+			}()
+		}
+		if *autoRep && !arFired && done >= len(qs)/2 {
+			arFired = true
+			rebWG.Add(1)
+			go func() {
+				defer rebWG.Done()
+				arSt, arErr = eng.AutoReplicate(linconstraint.AutoReplicateOptions{})
 			}()
 		}
 		end := mini(done+*batch, len(qs))
@@ -377,6 +416,14 @@ func main() {
 		fmt.Printf("online rebalance (fired mid-load): %d moved of %d planned (%d deferred); skew %.2f -> %.2f, spread %.2f -> %.2f\n",
 			rebSt.Moved, rebSt.Planned, rebSt.Deferred,
 			rebSt.Before.Skew, rebSt.After.Skew, rebSt.Before.Spread, rebSt.After.Spread)
+	}
+	if arFired {
+		if arErr != nil {
+			fmt.Fprintf(os.Stderr, "autoreplicate: %v\n", arErr)
+			os.Exit(1)
+		}
+		fmt.Printf("autoreplicate (fired mid-load): %d promoted, %d demoted; degrees %v\n",
+			arSt.Promoted, arSt.Demoted, arSt.Degrees)
 	}
 	fmt.Printf("aggregate I/O: %d total (%d reads, %d writes, %d cache hits), %.1f I/Os/op\n",
 		st.Total.IOs(), st.Total.Reads, st.Total.Writes, st.Total.Hits,
@@ -444,6 +491,41 @@ func main() {
 		heat[i] = ramp[idx]
 	}
 	fmt.Printf("shard visit heat (max %d visits): %s\n", int64(visitMax), string(heat))
+
+	// The replica-hit heat line shows how reads spread across a
+	// replicated shard's copies: one glyph per physical replica, grouped
+	// by shard, scaled to the busiest replica anywhere — a hot shard at
+	// degree 3 under least-in-flight dispatch shows three even bars.
+	replicated := false
+	for _, d := range st.Replicas {
+		if d > 1 {
+			replicated = true
+		}
+	}
+	if replicated {
+		var mx int64
+		for _, per := range st.ReplicaReads {
+			for _, v := range per {
+				mx = maxi64(mx, v)
+			}
+		}
+		var sb strings.Builder
+		for si, per := range st.ReplicaReads {
+			if si > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "s%d:", si)
+			for _, v := range per {
+				idx := 0
+				if mx > 0 {
+					idx = int(float64(v) / float64(mx) * float64(len(ramp)-1))
+				}
+				sb.WriteRune(ramp[idx])
+			}
+		}
+		fmt.Printf("replica hit heat (degrees %v, max %d reads/replica): %s\n",
+			st.Replicas, mx, sb.String())
+	}
 
 	if traces := eng.Traces(nil); len(traces) > 0 {
 		last := traces[len(traces)-1]

@@ -17,9 +17,15 @@ import "linconstraint/internal/eio"
 // Index is a static structure over items of type T that can answer some
 // reporting query; the Set rebuilds them from item slices.
 type Index[T any] interface {
-	// Query returns positions (into the slice the index was built from)
-	// of the items satisfying the caller's current query.
-	Query(q any) []int
+	// QueryAppend appends positions (into the slice the index was
+	// built from) of the items satisfying the caller's current query
+	// to dst and returns it. Implementations must not retain dst.
+	//
+	// Queries are passed boxed as `any`; callers that care about the
+	// allocation-free path box a *pointer* to a reused query value
+	// (boxing a pointer does not allocate, boxing a struct does) and
+	// implementations type-switch on the pointer type.
+	QueryAppend(q any, dst []int) []int
 }
 
 // Builder constructs a static index over items on dev.
@@ -32,6 +38,10 @@ type Set[T any] struct {
 	buckets []*bucket[T]
 	live    int
 	dead    int
+	// posBuf is the reused per-bucket position scratch for
+	// AppendMatches/Query. Safe as a plain field: a Set is
+	// single-owner, callers serialize all access.
+	posBuf []int
 }
 
 type bucket[T any] struct {
@@ -170,16 +180,36 @@ func (s *Set[T]) AppendLive(dst []T) []T {
 }
 
 // Query runs q against every bucket and concatenates live results,
-// remapped through each bucket's item positions via out(item).
+// remapped through each bucket's item positions via emit(item).
 func (s *Set[T]) Query(q any, emit func(item T)) {
 	for _, b := range s.buckets {
 		if b == nil {
 			continue
 		}
-		for _, pos := range b.idx.Query(q) {
+		s.posBuf = b.idx.QueryAppend(q, s.posBuf[:0])
+		for _, pos := range s.posBuf {
 			if !b.dead[pos] {
 				emit(b.items[pos])
 			}
 		}
 	}
+}
+
+// AppendMatches runs q against every bucket and appends the live
+// matching items to dst, returning it. With a pre-grown dst and a
+// pointer-boxed q the whole report path is allocation-free: the
+// per-bucket position scratch is reused across calls.
+func (s *Set[T]) AppendMatches(q any, dst []T) []T {
+	for _, b := range s.buckets {
+		if b == nil {
+			continue
+		}
+		s.posBuf = b.idx.QueryAppend(q, s.posBuf[:0])
+		for _, pos := range s.posBuf {
+			if !b.dead[pos] {
+				dst = append(dst, b.items[pos])
+			}
+		}
+	}
+	return dst
 }

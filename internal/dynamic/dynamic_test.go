@@ -109,12 +109,11 @@ func TestBucketStructure(t *testing.T) {
 // constIndex reports every position.
 type constIndex int
 
-func (c constIndex) Query(q any) []int {
-	out := make([]int, c)
-	for i := range out {
-		out[i] = i
+func (c constIndex) QueryAppend(q any, dst []int) []int {
+	for i := 0; i < int(c); i++ {
+		dst = append(dst, i)
 	}
-	return out
+	return dst
 }
 
 func TestCompactAfterManyDeletes(t *testing.T) {

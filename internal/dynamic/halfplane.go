@@ -15,13 +15,17 @@ import (
 // the standard engineering answer).
 type Halfplane2D struct {
 	set *Set[geom.Point2]
+	// q is the reused query holder: ReportAppend boxes &q into the
+	// Set's `any` query, which — unlike boxing a struct value — does
+	// not allocate.
+	q geom.Line2
 }
 
 type hp2Index struct{ idx *halfspace2d.PointIndex }
 
-func (x hp2Index) Query(q any) []int {
-	l := q.(geom.Line2)
-	return x.idx.Halfplane(l.A, l.B)
+func (x hp2Index) QueryAppend(q any, dst []int) []int {
+	l := q.(*geom.Line2)
+	return x.idx.HalfplaneAppend(l.A, l.B, dst)
 }
 
 // NewHalfplane2D returns an empty dynamic planar index on dev.
@@ -50,9 +54,14 @@ func (h *Halfplane2D) AppendLive(dst []geom.Point2) []geom.Point2 {
 
 // Report returns the live points with y <= a·x + b.
 func (h *Halfplane2D) Report(a, b float64) []geom.Point2 {
-	var out []geom.Point2
-	h.set.Query(geom.Line2{A: a, B: b}, func(p geom.Point2) { out = append(out, p) })
-	return out
+	return h.ReportAppend(a, b, nil)
+}
+
+// ReportAppend appends the live points with y <= a·x + b to dst and
+// returns it. With a pre-grown dst the call is allocation-free.
+func (h *Halfplane2D) ReportAppend(a, b float64, dst []geom.Point2) []geom.Point2 {
+	h.q = geom.Line2{A: a, B: b}
+	return h.set.AppendMatches(&h.q, dst)
 }
 
 // PartitionD is the dynamized §5 partition tree (§5 Remark iii):
@@ -60,20 +69,24 @@ func (h *Halfplane2D) Report(a, b float64) []geom.Point2 {
 // at an O(log N) multiple of the static bound.
 type PartitionD struct {
 	set *Set[geom.PointD]
+	// hq/sq are the reused query holders; the Report*Append methods
+	// box their addresses so the `any` conversion never allocates.
+	hq geom.HyperplaneD
+	sq geom.Simplex
 }
 
 type partIndex struct{ tr *partition.Tree }
 
-// Query dispatches on the query's type: a hyperplane runs a halfspace
-// report, a simplex (any conjunction of constraints, §5 Remark i) runs
-// a simplex report — so the dynamized tree serves the static tree's
-// full op surface.
-func (x partIndex) Query(q any) []int {
+// QueryAppend dispatches on the query's type: a hyperplane runs a
+// halfspace report, a simplex (any conjunction of constraints, §5
+// Remark i) runs a simplex report — so the dynamized tree serves the
+// static tree's full op surface.
+func (x partIndex) QueryAppend(q any, dst []int) []int {
 	switch v := q.(type) {
-	case geom.HyperplaneD:
-		return x.tr.Halfspace(v)
-	case geom.Simplex:
-		return x.tr.Simplex(v)
+	case *geom.HyperplaneD:
+		return x.tr.HalfspaceAppend(*v, dst)
+	case *geom.Simplex:
+		return x.tr.SimplexAppend(*v, dst)
 	}
 	panic("dynamic: partition tree: unsupported query type")
 }
@@ -114,15 +127,28 @@ func (h *PartitionD) AppendLive(dst []geom.PointD) []geom.PointD {
 
 // Report returns the live points on or below the hyperplane.
 func (h *PartitionD) Report(hp geom.HyperplaneD) []geom.PointD {
-	var out []geom.PointD
-	h.set.Query(hp, func(p geom.PointD) { out = append(out, p) })
-	return out
+	return h.ReportAppend(hp, nil)
+}
+
+// ReportAppend appends the live points on or below the hyperplane to
+// dst and returns it. With a pre-grown dst the call is allocation-free
+// (hp's coefficient slice is borrowed for the duration of the call).
+func (h *PartitionD) ReportAppend(hp geom.HyperplaneD, dst []geom.PointD) []geom.PointD {
+	h.hq = hp
+	return h.set.AppendMatches(&h.hq, dst)
 }
 
 // ReportSimplex returns the live points satisfying every constraint of
 // the simplex (a general convex-polytope query, §5 Remark i).
 func (h *PartitionD) ReportSimplex(s geom.Simplex) []geom.PointD {
-	var out []geom.PointD
-	h.set.Query(s, func(p geom.PointD) { out = append(out, p) })
-	return out
+	return h.ReportSimplexAppend(s, nil)
+}
+
+// ReportSimplexAppend appends the live points satisfying every
+// constraint of the simplex to dst and returns it. With a pre-grown
+// dst the call is allocation-free (s's slices are borrowed for the
+// duration of the call).
+func (h *PartitionD) ReportSimplexAppend(s geom.Simplex, dst []geom.PointD) []geom.PointD {
+	h.sq = s
+	return h.set.AppendMatches(&h.sq, dst)
 }

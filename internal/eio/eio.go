@@ -119,8 +119,24 @@ func NewDevice(b, cacheBlocks int) *Device {
 	}
 }
 
+// NewDeviceLike returns a fresh, empty Device with the same geometry
+// as d: block size, cache capacity and simulated miss latency. The new
+// Device shares no state with d — it has its own cache, counters and
+// ownership guard. This is how the engine mints per-replica devices:
+// every clone of a shard gets a "disk" identical to the primary's, so
+// replicated reads pay the same per-copy I/O model (single-owner
+// invariant intact) and merely overlap their stalls.
+func NewDeviceLike(d *Device) *Device {
+	nd := NewDevice(d.b, d.cacheBlocks)
+	nd.missLatency = d.missLatency
+	return nd
+}
+
 // B returns the block size in records.
 func (d *Device) B() int { return d.b }
+
+// CacheBlocks returns the LRU cache capacity in blocks.
+func (d *Device) CacheBlocks() int { return d.cacheBlocks }
 
 // SetMissLatency makes every cache miss additionally sleep for lat,
 // simulating the access time of the underlying disk. The default is

@@ -101,6 +101,68 @@ func TestSteadyStateKNNZeroAllocs(t *testing.T) {
 	})
 }
 
+// TestSteadyStateReplicatedZeroAllocs: replication must not cost the
+// hot path its zero-alloc contract — replica pick, in-flight counting
+// and the traffic sketch's Touch are all plain atomics.
+func TestSteadyStateReplicatedZeroAllocs(t *testing.T) {
+	e, qs := allocEngine(t, partition.NewKDCut())
+	if err := e.Replicate(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Replicate(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	one := make([]Query, 1)
+	res := make([]Result, 0, 1)
+	i := 0
+	assertZeroAllocs(t, "halfplane on a replicated engine", func() {
+		for j := 0; j < len(qs); j++ {
+			one[0] = qs[i%len(qs)]
+			i++
+			res = e.BatchInto(one, res[:0])
+			if res[0].Err != nil {
+				t.Fatal(res[0].Err)
+			}
+		}
+	})
+}
+
+// TestSteadyStateDynHalfplaneZeroAllocs pins the append-into report
+// path through internal/dynamic: a warmed mutable planar engine
+// answers steady-state halfplane queries with zero heap allocations —
+// the logarithmic-method buckets report through QueryAppend into
+// adapter scratch, the canonical sort runs in place, and the records
+// merge into reused Result storage.
+func TestSteadyStateDynHalfplaneZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	e := NewDynamicPlanar(Options{Shards: 4, BlockSize: 128, Seed: 1, Partitioner: partition.NewKDCut()})
+	t.Cleanup(e.Close)
+	pts := workload.Uniform2(rng, 4_096)
+	for _, p := range pts {
+		if err := e.Insert(Record{P2: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qs := make([]Query, 8)
+	for i := range qs {
+		h := workload.HalfplaneWithSelectivity(rng, pts, 0.01)
+		qs[i] = Query{Op: OpHalfplane, A: h.A, B: h.B}
+	}
+	one := make([]Query, 1)
+	res := make([]Result, 0, 1)
+	i := 0
+	assertZeroAllocs(t, "dynamic halfplane via single-query BatchInto", func() {
+		for j := 0; j < len(qs); j++ {
+			one[0] = qs[i%len(qs)]
+			i++
+			res = e.BatchInto(one, res[:0])
+			if res[0].Err != nil {
+				t.Fatal(res[0].Err)
+			}
+		}
+	})
+}
+
 // TestBatchIntoReuseMatchesBatch pins the BatchInto contract: refilled
 // caller storage returns exactly what fresh Batch allocations return,
 // call after call.

@@ -54,6 +54,14 @@
 // live set; Retrain and Options.PretrainSample train a layout for
 // engines that build empty. Answers stay byte-identical throughout.
 // See DESIGN.md §8.
+//
+// Hot-shard replication: each logical shard owns a replica set —
+// identical copies of its index on private devices, each with its own
+// persistent worker. Reads pick the least-loaded replica by in-flight
+// count, writes fan out to every replica of the target shard, and an
+// always-on traffic sketch (internal/sketch) records shard visits so
+// Replicate/Drop/AutoReplicate (replicate.go) can promote hot shards
+// and demote cold ones without changing any answer. See DESIGN.md §10.
 package engine
 
 import (
@@ -70,6 +78,7 @@ import (
 	"linconstraint/internal/metrics"
 	"linconstraint/internal/partition"
 	"linconstraint/internal/planner"
+	"linconstraint/internal/sketch"
 )
 
 // Options configure an engine.
@@ -152,13 +161,98 @@ func (o Options) normalized() Options {
 // family does not implement index.Mutable.
 var ErrImmutable = errors.New("engine: index family does not support updates")
 
-// shard is one slice of the data: one index.Index (which owns its
-// private device). mu serializes all access; it is the only
-// synchronization a shard needs and it upholds the eio single-owner
-// invariant (one request in service per "disk").
+// replica is one physical copy of a shard's index on a private device.
+// mu serializes all access to the index; it is the only synchronization
+// a copy needs and it upholds the eio single-owner invariant (one
+// request in service per "disk"). Each replica runs its own persistent
+// worker goroutine fed through work; inflight counts dispatched
+// sub-batches not yet finished, which is what the read path's
+// least-loaded pick reads, and reads counts queries served (a heat
+// signal for Stats and the scrape collector).
+type replica struct {
+	mu       sync.Mutex
+	idx      index.Index
+	dev      *eio.Device
+	work     chan *batchArena
+	inflight atomic.Int64
+	reads    atomic.Int64
+	// stopped is closed by the worker on exit, so Drop can wait for a
+	// demoted replica's worker to drain.
+	stopped chan struct{}
+}
+
+// newReplica wraps an index and its device with fresh worker plumbing
+// (the worker itself is started by the caller).
+func newReplica(idx index.Index, dev *eio.Device) *replica {
+	return &replica{
+		idx:     idx,
+		dev:     dev,
+		work:    make(chan *batchArena, 4),
+		stopped: make(chan struct{}),
+	}
+}
+
+// shard is one logical slice of the data: a set of identical replicas,
+// reps[0] being the primary (never dropped). The slice itself mutates
+// only under the engine's exclusive migration lock (Replicate/Drop),
+// while every reader — query runs, updates, Stats — holds the shared
+// side, so a replica set observed by any operation is stable for that
+// operation's whole duration.
 type shard struct {
-	mu  sync.Mutex
-	idx index.Index
+	reps []*replica
+}
+
+// lockAll/unlockAll acquire every replica's mutex in index order — the
+// write fan-out's atomicity: a record lands on all copies or none as
+// far as any other writer can observe, so replicas remain identical
+// multisets under concurrent updates. (Readers lock one replica at a
+// time and may see a write on one copy before another run sees it on a
+// different copy; that nondeterminism already exists with one copy —
+// a query concurrent with an insert may or may not see the record.)
+func (sh *shard) lockAll() {
+	for _, rep := range sh.reps {
+		rep.mu.Lock()
+	}
+}
+
+func (sh *shard) unlockAll() {
+	for _, rep := range sh.reps {
+		rep.mu.Unlock()
+	}
+}
+
+// insertLocked applies r to every replica. Caller holds all replica
+// locks. The primary validates; a failure on any later copy means the
+// copies diverged, which the single-family invariant rules out short
+// of a bug — surface it loudly rather than serve inconsistent answers.
+func (sh *shard) insertLocked(r index.Record) error {
+	if err := sh.reps[0].idx.(index.Mutable).Insert(r); err != nil {
+		return err
+	}
+	for ri, rep := range sh.reps[1:] {
+		if err := rep.idx.(index.Mutable).Insert(r); err != nil {
+			return fmt.Errorf("engine: replica %d diverged on insert: %w", ri+1, err)
+		}
+	}
+	return nil
+}
+
+// deleteLocked removes one copy of r from every replica. Caller holds
+// all replica locks. The primary decides presence; every other copy
+// must then hold the record too (identical multisets) or the set has
+// diverged.
+func (sh *shard) deleteLocked(r index.Record) (bool, error) {
+	ok, err := sh.reps[0].idx.(index.Mutable).Delete(r)
+	if err != nil || !ok {
+		return ok, err
+	}
+	for ri, rep := range sh.reps[1:] {
+		rok, rerr := rep.idx.(index.Mutable).Delete(r)
+		if rerr != nil || !rok {
+			return false, fmt.Errorf("engine: replica %d diverged on delete (present=%v, err=%v)", ri+1, rok, rerr)
+		}
+	}
+	return true, nil
 }
 
 // Engine is a sharded concurrent front-end over one index family.
@@ -193,6 +287,19 @@ type Engine struct {
 	// individually instead of rebuilding shards (see rebalance.go).
 	pd      []geom.PointD
 	builder func(si int, dev *eio.Device, ids []int) index.Index
+	// mkIdx is the retained per-shard empty-index constructor; mutable
+	// engines clone replicas through it (build empty, replay the
+	// primary's records). Static engines clone through builder+globals
+	// instead — mkIdx's closure captures construction-time globals,
+	// which a static Rebalance leaves stale.
+	mkIdx func(si int, dev *eio.Device) index.Index
+
+	// traffic is the always-on per-shard query-frequency sketch
+	// (count-min with TinyLFU aging plus a top-k heavy-hitter table,
+	// internal/sketch). Every planned shard visit Touches it — pure
+	// atomics, so the hot path stays allocation-free — and
+	// AutoReplicate reads it to decide which shards deserve replicas.
+	traffic *sketch.Tracker
 
 	// migMu serializes record migration against everything that reads
 	// or writes shard contents: query runs, Insert and Delete hold it
@@ -219,10 +326,9 @@ type Engine struct {
 	// visited/pruned accumulate planner outcomes across queries.
 	visited, pruned atomic.Int64
 
-	// work[si] feeds shard si's persistent worker; a send hands the
-	// worker an arena whose jobs[si] sub-batch it executes. sem, when
-	// non-nil, caps concurrent worker executions at Options.Workers.
-	work      []chan *batchArena
+	// sem, when non-nil, caps concurrent worker executions at
+	// Options.Workers (each replica's work channel feeds its own
+	// persistent worker; dispatch picks a replica per shard per run).
 	sem       chan struct{}
 	workersWG sync.WaitGroup
 	closeOnce sync.Once
@@ -326,12 +432,27 @@ func newEngine(opt Options, build func(si int, dev *eio.Device) index.Index) *En
 		part:    opt.Partitioner,
 		noPlan:  opt.NoPlanner,
 		opt:     opt,
+		mkIdx:   build,
 		sums:    make([]partition.ShardSummary, opt.Shards),
-		work:    make([]chan *batchArena, opt.Shards),
 	}
 	if opt.Workers < opt.Shards {
 		e.sem = make(chan struct{}, opt.Workers)
 	}
+	// The traffic sketch is always on: shard keys are tiny, so a few
+	// cache lines of counters buy hot-shard detection on every engine.
+	// Width 4S keeps count-min collisions negligible for S keys; the
+	// sample bounds how much history survives an aging pass, so the
+	// estimates track recent traffic.
+	topk := opt.Shards
+	if topk > 16 {
+		topk = 16
+	}
+	e.traffic = sketch.New(sketch.Config{
+		Width:  4 * opt.Shards,
+		Depth:  2,
+		Sample: 2048 * opt.Shards,
+		TopK:   topk,
+	})
 	var wg sync.WaitGroup
 	for si := range e.shards {
 		wg.Add(1)
@@ -339,13 +460,13 @@ func newEngine(opt Options, build func(si int, dev *eio.Device) index.Index) *En
 			defer wg.Done()
 			dev := eio.NewDevice(opt.BlockSize, opt.CacheBlocks)
 			dev.SetMissLatency(opt.IOLatency)
-			sh := &shard{idx: build(si, dev)}
-			e.shards[si] = sh
-			e.counts[si].Store(int64(sh.idx.Len()))
+			rep := newReplica(build(si, dev), dev)
+			e.shards[si] = &shard{reps: []*replica{rep}}
+			e.counts[si].Store(int64(rep.idx.Len()))
 		}()
 	}
 	wg.Wait()
-	_, e.mutable = e.shards[0].idx.(index.Mutable)
+	_, e.mutable = e.shards[0].reps[0].idx.(index.Mutable)
 	// Instruments are registered before the workers start, so every
 	// observation site sees a fully built met (or nil) for the engine's
 	// whole lifetime. The registry pointer is not retained in e.opt —
@@ -354,22 +475,26 @@ func newEngine(opt Options, build func(si int, dev *eio.Device) index.Index) *En
 	e.opt.Metrics = nil
 	if e.met != nil {
 		e.met.reg.RegisterCollector(e.collectShardIO)
+		e.met.replicasPhys.Set(int64(opt.Shards))
 	}
-	for si := range e.work {
-		e.work[si] = make(chan *batchArena, 4)
-		e.workersWG.Add(1)
-		go e.shardWorker(si)
+	for si, sh := range e.shards {
+		for _, rep := range sh.reps {
+			e.workersWG.Add(1)
+			go e.replicaWorker(si, rep)
+		}
 	}
 	return e
 }
 
-// shardWorker is shard si's persistent worker loop: it executes its
-// shard's sub-batch of each arriving arena, honoring the concurrency
-// cap, and signals the batch's WaitGroup. Started once at construction;
-// exits when Close closes the channel.
-func (e *Engine) shardWorker(si int) {
+// replicaWorker is one replica's persistent worker loop: it executes
+// its shard's sub-batch of each arriving arena against its own copy,
+// honoring the concurrency cap, and signals the batch's WaitGroup.
+// Started at construction (and by Replicate for clones); exits when
+// Close — or Drop, for a demoted replica — closes the channel.
+func (e *Engine) replicaWorker(si int, rep *replica) {
 	defer e.workersWG.Done()
-	for a := range e.work[si] {
+	defer close(rep.stopped)
+	for a := range rep.work {
 		if e.sem != nil {
 			if m := e.met; m != nil {
 				t := time.Now()
@@ -379,12 +504,33 @@ func (e *Engine) shardWorker(si int) {
 				e.sem <- struct{}{}
 			}
 		}
-		e.execShard(a, si)
+		e.execReplica(a, si, rep)
 		if e.sem != nil {
 			<-e.sem
 		}
+		rep.inflight.Add(-1)
 		a.wg.Done()
 	}
+}
+
+// pickReplica returns shard si's least-loaded replica by in-flight
+// dispatch count (ties to the lowest index, so an unreplicated shard
+// costs one atomic load). Callers hold migMu shared, so the replica
+// set is stable; the counts are racy by design — a stale read only
+// skews balance, never correctness, because every replica holds the
+// same records.
+func (e *Engine) pickReplica(si int) *replica {
+	reps := e.shards[si].reps
+	best := reps[0]
+	if len(reps) > 1 {
+		min := best.inflight.Load()
+		for _, rep := range reps[1:] {
+			if n := rep.inflight.Load(); n < min {
+				best, min = rep, n
+			}
+		}
+	}
+	return best
 }
 
 // NewPlanar builds a sharded engine over the §3 planar structure.
@@ -535,12 +681,12 @@ func (e *Engine) Insert(r index.Record) error {
 		}
 	}
 	sh := e.shards[si]
-	sh.mu.Lock()
-	err := sh.idx.(index.Mutable).Insert(r)
+	sh.lockAll()
+	err := sh.insertLocked(r)
 	if err == nil {
 		e.counts[si].Add(1)
 	}
-	sh.mu.Unlock()
+	sh.unlockAll()
 	if err != nil {
 		if pinned {
 			e.dim.Store(0)
@@ -578,12 +724,12 @@ func (e *Engine) Delete(r index.Record) (bool, error) {
 	e.migMu.RLock()
 	defer e.migMu.RUnlock()
 	for si, sh := range e.shards {
-		sh.mu.Lock()
-		ok, err := sh.idx.(index.Mutable).Delete(r)
+		sh.lockAll()
+		ok, err := sh.deleteLocked(r)
 		if ok {
 			e.counts[si].Add(-1)
 		}
-		sh.mu.Unlock()
+		sh.unlockAll()
 		if err != nil {
 			// All shards share one family: a shape error from one would
 			// come from every other too.
@@ -616,12 +762,16 @@ func (e *Engine) NumShards() int { return len(e.shards) }
 // NumWorkers returns the worker concurrency cap (Options.Workers).
 func (e *Engine) NumWorkers() int { return e.workers }
 
-// Close stops the per-shard workers. Queries issued after Close panic.
+// Close stops every replica worker. Queries issued after Close panic.
 // Close is idempotent and waits for in-flight sub-batches to finish.
+// It must not race Replicate/Drop (both mutate the replica sets);
+// engines are closed after their traffic stops.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
-		for _, ch := range e.work {
-			close(ch)
+		for _, sh := range e.shards {
+			for _, rep := range sh.reps {
+				close(rep.work)
+			}
 		}
 		e.workersWG.Wait()
 	})

@@ -123,6 +123,13 @@ type engineMetrics struct {
 	rebalMoves    *metrics.Counter
 	rebalDeferred *metrics.Gauge
 
+	// Replication-side instruments: physical copies alive across all
+	// shards, promote/demote counts, and AutoReplicate invocations.
+	replicasPhys *metrics.Gauge
+	replicaAdds  *metrics.Counter
+	replicaDrops *metrics.Counter
+	autoRepRuns  *metrics.Counter
+
 	// Trace sampling: sampler is nil when tracing is off (a nil Sampler
 	// admits nothing, so call sites need no extra guard).
 	sampler *metrics.Sampler
@@ -171,6 +178,11 @@ func newEngineMetrics(opt Options, shards int) *engineMetrics {
 		rebalRuns:     reg.Counter("engine_rebalance_runs_total", "Rebalance calls"),
 		rebalMoves:    reg.Counter("engine_rebalance_moves_total", "records migrated between shards"),
 		rebalDeferred: reg.Gauge("engine_rebalance_deferred", "moves deferred beyond the last call's budget"),
+
+		replicasPhys: reg.Gauge("engine_replicas_physical", "physical index copies across all shards"),
+		replicaAdds:  reg.Counter("engine_replica_adds_total", "replicas created by Replicate"),
+		replicaDrops: reg.Counter("engine_replica_drops_total", "replicas removed by Drop"),
+		autoRepRuns:  reg.Counter("engine_autoreplicate_runs_total", "AutoReplicate calls"),
 
 		events:      metrics.NewRing[RebalanceEvent](64),
 		shardLabels: metrics.ShardLabels(shards),
@@ -226,6 +238,12 @@ func (e *Engine) collectShardIO(emit func(kind metrics.Kind, name, labelKey, lab
 		emit(metrics.KindCounter, "engine_shard_io_stall_ns_total", "shard", lbl, float64(io.StallNs))
 		emit(metrics.KindGauge, "engine_shard_space_blocks", "shard", lbl, float64(st.PerShard[si].SpaceBlocks))
 		emit(metrics.KindGauge, "engine_shard_records", "shard", lbl, float64(e.counts[si].Load()))
+		emit(metrics.KindGauge, "engine_shard_replicas", "shard", lbl, float64(st.Replicas[si]))
+		var rr int64
+		for _, v := range st.ReplicaReads[si] {
+			rr += v
+		}
+		emit(metrics.KindCounter, "engine_shard_replica_reads_total", "shard", lbl, float64(rr))
 	}
 	emit(metrics.KindGauge, "engine_shards_visited_cum", "", "", float64(st.ShardsVisited))
 	emit(metrics.KindGauge, "engine_shards_pruned_cum", "", "", float64(st.ShardsPruned))

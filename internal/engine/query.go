@@ -437,7 +437,7 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 		if m != nil {
 			m.ops.Inc(planner.OpIndex(qs[qi].Op))
 		}
-		if !e.shards[0].idx.Supports(qs[qi].Op) {
+		if !e.shards[0].reps[0].idx.Supports(qs[qi].Op) {
 			results[qi].Err = fmt.Errorf("engine: index family: %w %v", index.ErrUnsupported, qs[qi].Op)
 			a.planOf[qi] = -1
 			continue
@@ -454,6 +454,10 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 		pl := &a.plans[pi]
 		for j, si := range pl.Shards {
 			a.jobs[si] = append(a.jobs[si], shardSlot{qi: int32(qi), part: a.partOff[qi] + int32(j)})
+			// Every planned visit feeds the traffic sketch (pure
+			// atomics), so replication decisions see exactly the load the
+			// planner routed, pruned shards excluded.
+			e.traffic.Touch(uint64(si))
 			if m != nil {
 				m.shardVisits.Inc(si)
 			}
@@ -468,13 +472,18 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 		t1 = time.Now()
 	}
 
-	// Phase 2: one wakeup per shard with work.
+	// Phase 2: one wakeup per shard with work, routed to the shard's
+	// least-loaded replica. inflight is bumped before the send so a
+	// second run dispatching concurrently sees this sub-batch and
+	// spreads to another copy.
 	for si := range a.jobs {
 		if len(a.jobs[si]) == 0 {
 			continue
 		}
 		a.wg.Add(1)
-		e.work[si] <- a
+		rep := e.pickReplica(si)
+		rep.inflight.Add(1)
+		rep.work <- a
 	}
 
 	// Phase 3: incremental k-NN queries, overlapping the workers. A
@@ -561,33 +570,34 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 	}
 }
 
-// execShard is a shard worker's half of a run: answer every slot of the
-// shard's sub-batch under one lock acquisition, translating local
-// record indices to global ones in place. The lock also upholds the eio
-// single-owner invariant (one request in service per "disk").
-func (e *Engine) execShard(a *batchArena, si int) {
-	sh := e.shards[si]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	// Sampled runs bracket the sub-batch with the shard's own device
-	// counters: the delta is exactly this run's I/O on this shard (the
+// execReplica is a replica worker's half of a run: answer every slot of
+// the shard's sub-batch against this copy under one lock acquisition,
+// translating local record indices to global ones in place. The lock
+// also upholds the eio single-owner invariant (one request in service
+// per "disk").
+func (e *Engine) execReplica(a *batchArena, si int, rep *replica) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	// Sampled runs bracket the sub-batch with the replica's own device
+	// counters: the delta is exactly this run's I/O on this copy (the
 	// lock excludes everything else), and the index Stats snapshots are
 	// plain struct reads, so the capture stays allocation-free.
 	var before eio.Stats
 	if a.traced {
-		before = sh.idx.Stats().IO
+		before = rep.idx.Stats().IO
 	}
 	for _, s := range a.jobs[si] {
 		p := &a.parts[s.part]
 		p.reset()
-		if err := sh.idx.QueryInto(a.qs[s.qi], &p.ans); err != nil {
+		if err := rep.idx.QueryInto(a.qs[s.qi], &p.ans); err != nil {
 			p.err = err
 			continue
 		}
 		e.toGlobal(si, &p.ans)
 	}
+	rep.reads.Add(int64(len(a.jobs[si])))
 	if a.traced {
-		a.addIODelta(sh.idx.Stats().IO.Sub(before))
+		a.addIODelta(rep.idx.Stats().IO.Sub(before))
 	}
 }
 
@@ -607,25 +617,30 @@ func (e *Engine) toGlobal(si int, ans *index.Answer) {
 	}
 }
 
-// runLocalInto answers q on shard si into the arena slot, locking the
-// shard (the k-NN incremental path's visits run on the caller's
-// goroutine, interleaving with the shard workers under the same mutex).
+// runLocalInto answers q on shard si into the arena slot, picking and
+// locking the shard's least-loaded replica (the k-NN incremental
+// path's visits run on the caller's goroutine, interleaving with the
+// replica workers under the same mutexes). inflight brackets the call
+// so concurrent dispatch sees this visit too.
 func (e *Engine) runLocalInto(a *batchArena, si int, q Query, p *partial) {
-	sh := e.shards[si]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	rep := e.pickReplica(si)
+	rep.inflight.Add(1)
+	defer rep.inflight.Add(-1)
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
 	var before eio.Stats
 	if a.traced {
-		before = sh.idx.Stats().IO
+		before = rep.idx.Stats().IO
 	}
 	p.reset()
-	if err := sh.idx.QueryInto(q, &p.ans); err != nil {
+	if err := rep.idx.QueryInto(q, &p.ans); err != nil {
 		p.err = err
 		return
 	}
 	e.toGlobal(si, &p.ans)
+	rep.reads.Add(1)
 	if a.traced {
-		a.addIODelta(sh.idx.Stats().IO.Sub(before))
+		a.addIODelta(rep.idx.Stats().IO.Sub(before))
 	}
 }
 
@@ -654,6 +669,7 @@ func (e *Engine) runKNNPlanned(a *batchArena, qi int, ks *knnScratch) {
 			r.Err = p.err
 			break
 		}
+		e.traffic.Touch(uint64(si))
 		if m := e.met; m != nil {
 			m.shardVisits.Inc(si)
 		}

@@ -240,15 +240,17 @@ func (e *Engine) Retrain(sample []geom.PointD) error {
 // holds rebalMu, so no migration mutates placements concurrently.
 func (e *Engine) snapshot() (recs []index.Record, cur []int, err error) {
 	for si, sh := range e.shards {
-		sh.mu.Lock()
-		en, ok := sh.idx.(index.Enumerable)
+		// The primary alone suffices: replicas are identical multisets.
+		rep := sh.reps[0]
+		rep.mu.Lock()
+		en, ok := rep.idx.(index.Enumerable)
 		if !ok {
-			sh.mu.Unlock()
+			rep.mu.Unlock()
 			return nil, nil, fmt.Errorf("%w: shard %d", ErrNotEnumerable, si)
 		}
 		n := len(recs)
 		recs = en.AppendRecords(recs)
-		sh.mu.Unlock()
+		rep.mu.Unlock()
 		for range recs[n:] {
 			cur = append(cur, si)
 		}
@@ -256,31 +258,31 @@ func (e *Engine) snapshot() (recs []index.Record, cur []int, err error) {
 	return recs, cur, nil
 }
 
-// moveLocked migrates one record from src to dst: remove from the
-// source, insert at the destination, and grow the destination's
-// summary — between here and the final shrink, summaries stay
-// grow-only so every planned region keeps covering its records. A
+// moveLocked migrates one record from src to dst: remove from every
+// source replica, insert into every destination replica, and grow the
+// destination's summary — between here and the final shrink, summaries
+// stay grow-only so every planned region keeps covering its records. A
 // record the source no longer holds is skipped (false, nil). Caller
 // holds migMu exclusively.
 func (e *Engine) moveLocked(r index.Record, src, dst int) (bool, error) {
 	ssh := e.shards[src]
-	ssh.mu.Lock()
-	ok, err := ssh.idx.(index.Mutable).Delete(r)
-	ssh.mu.Unlock()
+	ssh.lockAll()
+	ok, err := ssh.deleteLocked(r)
+	ssh.unlockAll()
 	if err != nil || !ok {
 		return false, err
 	}
 	e.counts[src].Add(-1)
 	dsh := e.shards[dst]
-	dsh.mu.Lock()
-	err = dsh.idx.(index.Mutable).Insert(r)
-	dsh.mu.Unlock()
+	dsh.lockAll()
+	err = dsh.insertLocked(r)
+	dsh.unlockAll()
 	if err != nil {
 		// Put the record back where it came from: losing it would break
 		// the engine's central multiset invariant.
-		ssh.mu.Lock()
-		rerr := ssh.idx.(index.Mutable).Insert(r)
-		ssh.mu.Unlock()
+		ssh.lockAll()
+		rerr := ssh.insertLocked(r)
+		ssh.unlockAll()
 		if rerr != nil {
 			return false, fmt.Errorf("engine: record lost in migration: %v (restore failed: %v)", err, rerr)
 		}
@@ -305,14 +307,15 @@ func (e *Engine) moveLocked(r index.Record, src, dst int) (bool, error) {
 func (e *Engine) shrinkSummariesLocked() error {
 	var buf []index.Record
 	for si, sh := range e.shards {
-		sh.mu.Lock()
-		en, ok := sh.idx.(index.Enumerable)
+		rep := sh.reps[0]
+		rep.mu.Lock()
+		en, ok := rep.idx.(index.Enumerable)
 		if !ok {
-			sh.mu.Unlock()
+			rep.mu.Unlock()
 			return fmt.Errorf("%w: shard %d", ErrNotEnumerable, si)
 		}
 		buf = en.AppendRecords(buf[:0])
-		sh.mu.Unlock()
+		rep.mu.Unlock()
 		var sum partition.ShardSummary
 		for _, r := range buf {
 			sum.Add(recPoint(r))
@@ -355,24 +358,36 @@ func (e *Engine) rebuildStatic() (RebalanceStats, error) {
 	tBuild := time.Now()
 	globals := groupIDs(want, len(e.shards))
 	sums := partition.Summarize(e.pd, want, len(e.shards))
-	idxs := make([]index.Index, len(e.shards))
+	// Rebuild every physical copy at the shard's current replica degree.
+	// Degrees are stable here: every replica-set mutation holds rebalMu,
+	// which this call holds too.
+	idxs := make([][]index.Index, len(e.shards))
+	devs := make([][]*eio.Device, len(e.shards))
 	var wg sync.WaitGroup
-	for si := range e.shards {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			dev := eio.NewDevice(e.opt.BlockSize, e.opt.CacheBlocks)
-			dev.SetMissLatency(e.opt.IOLatency)
-			idxs[si] = e.builder(si, dev, globals[si])
-		}()
+	for si, sh := range e.shards {
+		idxs[si] = make([]index.Index, len(sh.reps))
+		devs[si] = make([]*eio.Device, len(sh.reps))
+		for ri := range sh.reps {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dev := eio.NewDevice(e.opt.BlockSize, e.opt.CacheBlocks)
+				dev.SetMissLatency(e.opt.IOLatency)
+				idxs[si][ri] = e.builder(si, dev, globals[si])
+				devs[si][ri] = dev
+			}()
+		}
 	}
 	wg.Wait()
 	e.migMu.Lock()
 	th := time.Now()
 	for si, sh := range e.shards {
-		sh.mu.Lock()
-		sh.idx = idxs[si]
-		sh.mu.Unlock()
+		for ri, rep := range sh.reps {
+			rep.mu.Lock()
+			rep.idx = idxs[si][ri]
+			rep.dev = devs[si][ri]
+			rep.mu.Unlock()
+		}
 		e.counts[si].Store(int64(len(globals[si])))
 	}
 	e.globals = globals

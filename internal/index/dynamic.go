@@ -21,9 +21,11 @@ import (
 type DynamicPlanar struct {
 	dev *eio.Device
 	idx *dynamic.Halfplane2D
-	// enumBuf is AppendRecords' reused point scratch. Safe as a plain
-	// field: indexes are single-owner, callers serialize all access.
+	// enumBuf is AppendRecords' reused point scratch; ptsBuf is
+	// QueryInto's. Safe as plain fields: indexes are single-owner,
+	// callers serialize all access.
 	enumBuf []geom.Point2
+	ptsBuf  []geom.Point2
 }
 
 // NewDynamicPlanar returns an empty mutable planar index on dev.
@@ -58,7 +60,11 @@ func (d *DynamicPlanar) Delete(r Record) (bool, error) {
 // Halfplane returns the live points with y <= a·x + b in canonical
 // (X, Y) order.
 func (d *DynamicPlanar) Halfplane(a, b float64) []geom.Point2 {
-	pts := d.idx.Report(a, b)
+	return sortP2(d.idx.Report(a, b))
+}
+
+// sortP2 orders points canonically ((X, Y), the Record order).
+func sortP2(pts []geom.Point2) []geom.Point2 {
 	slices.SortFunc(pts, func(p, q geom.Point2) int {
 		switch {
 		case Record{P2: p}.Less(Record{P2: q}):
@@ -98,14 +104,16 @@ func (d *DynamicPlanar) Supports(op Op) bool { return op == OpHalfplane }
 // Query dispatches the ops the dynamic planar family serves.
 func (d *DynamicPlanar) Query(q Query) (Answer, error) { return intoAnswer(d, q) }
 
-// QueryInto dispatches q appending into ans. The record conversion
-// reuses ans's capacity; the report itself still allocates inside the
-// logarithmic-method structure.
+// QueryInto dispatches q appending into ans. The whole path — the
+// logarithmic-method report, the canonical sort, and the record
+// conversion — reuses adapter scratch and ans's capacity, so a warm
+// index answers with zero heap allocations.
 func (d *DynamicPlanar) QueryInto(q Query, ans *Answer) error {
 	if !d.Supports(q.Op) {
 		return unsupported("dynamic planar", q.Op)
 	}
-	for _, p := range d.Halfplane(q.A, q.B) {
+	d.ptsBuf = sortP2(d.idx.ReportAppend(q.A, q.B, d.ptsBuf[:0]))
+	for _, p := range d.ptsBuf {
 		ans.Recs = append(ans.Recs, Record{P2: p})
 	}
 	return nil
@@ -117,9 +125,12 @@ type DynamicPartition struct {
 	dev *eio.Device
 	idx *dynamic.PartitionD
 	dim int // dimension pinned by the first insert (0 = none yet)
-	// enumBuf is AppendRecords' reused point scratch (single-owner,
-	// like the index itself).
+	// enumBuf is AppendRecords' reused point scratch, ptsBuf is
+	// QueryInto's, and sq is QueryInto's reused simplex holder for
+	// conjunction queries (single-owner, like the index itself).
 	enumBuf []geom.PointD
+	ptsBuf  []geom.PointD
+	sq      geom.Simplex
 }
 
 // NewDynamicPartition returns an empty mutable d-dimensional index on
@@ -218,20 +229,27 @@ func (d *DynamicPartition) Supports(op Op) bool {
 // Query dispatches the ops the dynamic partition family serves.
 func (d *DynamicPartition) Query(q Query) (Answer, error) { return intoAnswer(d, q) }
 
-// QueryInto dispatches q appending into ans. The record conversion
-// reuses ans's capacity; the report itself still allocates inside the
-// logarithmic-method structure.
+// QueryInto dispatches q appending into ans. The whole path — the
+// logarithmic-method report, the canonical sort, and the record
+// conversion — reuses adapter scratch and ans's capacity, so a warm
+// index answers with zero heap allocations.
 func (d *DynamicPartition) QueryInto(q Query, ans *Answer) error {
-	var pts []geom.PointD
 	switch q.Op {
 	case OpHalfspaceD:
-		pts = d.Halfspace(q.Coef)
+		d.ptsBuf = d.idx.ReportAppend(geom.HyperplaneD{Coef: q.Coef}, d.ptsBuf[:0])
 	case OpConjunction:
-		pts = d.Conjunction(q.Constraints)
+		d.sq.Planes = d.sq.Planes[:0]
+		d.sq.Below = d.sq.Below[:0]
+		for _, c := range q.Constraints {
+			d.sq.Planes = append(d.sq.Planes, geom.HyperplaneD{Coef: c.Coef})
+			d.sq.Below = append(d.sq.Below, c.Below)
+		}
+		d.ptsBuf = d.idx.ReportSimplexAppend(d.sq, d.ptsBuf[:0])
 	default:
 		return unsupported("dynamic partition", q.Op)
 	}
-	for _, p := range pts {
+	sortPD(d.ptsBuf)
+	for _, p := range d.ptsBuf {
 		ans.Recs = append(ans.Recs, Record{PD: p})
 	}
 	return nil

@@ -1,0 +1,275 @@
+// Package sketch provides fixed-size, allocation-free traffic sketches
+// for hot-key detection on concurrent hot paths.
+//
+// The core type is Tracker: a count-min sketch with TinyLFU-style aging
+// (all counters halve after a fixed number of additions, so estimates
+// track *recent* frequency, not all-time totals) fused with a small
+// top-k heavy-hitter table. Every structure is built from fixed arrays
+// of atomics sized at construction; Touch, Estimate and TopInto perform
+// zero heap allocations, so a Tracker can sit inside a query engine's
+// per-run loop without disturbing its 0 allocs/op contract.
+//
+// Concurrency model: all mutation is lock-free (atomic adds and CAS
+// loops that give up rather than spin). Under contention the sketch
+// remains safe and its estimates remain upper bounds of a slightly
+// reordered history; exact determinism is only guaranteed for
+// single-goroutine use, which is what the unit tests pin.
+package sketch
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Config sizes a Tracker. The zero value of any field selects its
+// default.
+type Config struct {
+	// Width is the number of counters per count-min row, rounded up
+	// to a power of two. Default 1024.
+	Width int
+	// Depth is the number of count-min rows. Default 4.
+	Depth int
+	// Sample is the number of Touch calls between aging passes: when
+	// the add counter crosses Sample, every counter in the sketch
+	// (and every top-k count) is halved. Default 16×Width.
+	Sample int
+	// TopK is the number of heavy-hitter slots. Default 8.
+	TopK int
+}
+
+// Entry is one heavy hitter reported by TopInto.
+type Entry struct {
+	Key   uint64
+	Count uint64
+}
+
+// Tracker is a count-min sketch with periodic halving plus a top-k
+// heavy-hitter table. Construct with New; the zero value is not usable.
+type Tracker struct {
+	mask  uint64 // width-1; width is a power of two
+	depth int
+	cells []atomic.Uint32 // depth rows × width counters
+
+	adds   atomic.Int64 // touches since the last aging pass
+	sample int64
+	aging  atomic.Int32 // CAS guard: exactly one goroutine ages
+	resets atomic.Int64 // completed aging passes
+
+	// Top-k slots pack (key+1)<<topCountBits | count into one uint64
+	// so a slot updates with a single CAS. Key 0 is reserved for
+	// "empty", hence the +1; keys must fit in 64-topCountBits-1 bits
+	// (more than enough for shard identifiers).
+	top []atomic.Uint64
+}
+
+const (
+	topCountBits = 40
+	topCountMask = (1 << topCountBits) - 1
+	// MaxKey is the largest key the top-k table can represent.
+	MaxKey = 1<<(64-topCountBits) - 2
+)
+
+func packSlot(key, count uint64) uint64 {
+	if count > topCountMask {
+		count = topCountMask
+	}
+	return (key+1)<<topCountBits | count
+}
+
+func unpackSlot(v uint64) (key, count uint64, ok bool) {
+	k := v >> topCountBits
+	if k == 0 {
+		return 0, 0, false
+	}
+	return k - 1, v & topCountMask, true
+}
+
+// New builds a Tracker from cfg (zero fields pick defaults).
+func New(cfg Config) *Tracker {
+	w := cfg.Width
+	if w <= 0 {
+		w = 1024
+	}
+	if w&(w-1) != 0 {
+		w = 1 << bits.Len(uint(w))
+	}
+	d := cfg.Depth
+	if d <= 0 {
+		d = 4
+	}
+	s := cfg.Sample
+	if s <= 0 {
+		s = 16 * w
+	}
+	k := cfg.TopK
+	if k <= 0 {
+		k = 8
+	}
+	return &Tracker{
+		mask:   uint64(w - 1),
+		depth:  d,
+		cells:  make([]atomic.Uint32, d*w),
+		sample: int64(s),
+		top:    make([]atomic.Uint64, k),
+	}
+}
+
+// splitmix64 is the finalizer from the splitmix64 generator: a cheap,
+// well-mixed 64→64 hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// cell returns the index of key's counter in row r, using the
+// h1 + r·h2 double-hashing scheme over one splitmix chain.
+func (t *Tracker) cell(r int, h1, h2 uint64) int {
+	return r*int(t.mask+1) + int((h1+uint64(r)*h2)&t.mask)
+}
+
+// Touch records one occurrence of key and refreshes its top-k slot.
+// It is safe for concurrent use and performs no heap allocations.
+func (t *Tracker) Touch(key uint64) {
+	h1 := splitmix64(key)
+	h2 := splitmix64(h1) | 1
+	est := uint32(1<<32 - 1)
+	for r := 0; r < t.depth; r++ {
+		c := t.cells[t.cell(r, h1, h2)].Add(1)
+		if c < est {
+			est = c
+		}
+	}
+	t.offer(key, uint64(est))
+	if t.adds.Add(1) >= t.sample {
+		t.age()
+	}
+}
+
+// Estimate returns the sketch's frequency estimate for key (an upper
+// bound on its recent count, modulo halving). Allocation-free.
+func (t *Tracker) Estimate(key uint64) uint64 {
+	h1 := splitmix64(key)
+	h2 := splitmix64(h1) | 1
+	est := uint32(1<<32 - 1)
+	for r := 0; r < t.depth; r++ {
+		c := t.cells[t.cell(r, h1, h2)].Load()
+		if c < est {
+			est = c
+		}
+	}
+	return uint64(est)
+}
+
+// offer refreshes key's heavy-hitter slot with estimate est, evicting
+// the current minimum slot when key is absent and est beats it. CAS
+// failures are abandoned, not retried: under contention a lost update
+// only delays the next refresh by one Touch.
+func (t *Tracker) offer(key, est uint64) {
+	if key > MaxKey {
+		return
+	}
+	minIdx, minCount := -1, uint64(1)<<63
+	for i := range t.top {
+		v := t.top[i].Load()
+		k, c, ok := unpackSlot(v)
+		if ok && k == key {
+			if est > c {
+				t.top[i].CompareAndSwap(v, packSlot(key, est))
+			}
+			return
+		}
+		if !ok {
+			// Empty slot: remember as the cheapest eviction.
+			if minCount > 0 {
+				minIdx, minCount = i, 0
+			}
+			continue
+		}
+		if c < minCount {
+			minIdx, minCount = i, c
+		}
+	}
+	if minIdx >= 0 && est > minCount {
+		v := t.top[minIdx].Load()
+		if _, c, ok := unpackSlot(v); !ok || est > c {
+			t.top[minIdx].CompareAndSwap(v, packSlot(key, est))
+		}
+	}
+}
+
+// age halves every counter and every top-k count. Exactly one caller
+// runs the pass; concurrent Touch calls proceed against the cells as
+// they halve (the sketch stays an approximate upper bound throughout).
+func (t *Tracker) age() {
+	if !t.aging.CompareAndSwap(0, 1) {
+		return
+	}
+	t.adds.Store(0)
+	for i := range t.cells {
+		for {
+			v := t.cells[i].Load()
+			if v == 0 || t.cells[i].CompareAndSwap(v, v/2) {
+				break
+			}
+		}
+	}
+	for i := range t.top {
+		for {
+			v := t.top[i].Load()
+			k, c, ok := unpackSlot(v)
+			if !ok || t.top[i].CompareAndSwap(v, packSlot(k, c/2)) {
+				break
+			}
+		}
+	}
+	t.resets.Add(1)
+	t.aging.Store(0)
+}
+
+// TopInto appends the current heavy hitters to dst (which may be nil)
+// and returns it, sorted by descending count with ties broken by
+// ascending key. With a pre-grown dst the call is allocation-free.
+func (t *Tracker) TopInto(dst []Entry) []Entry {
+	n0 := len(dst)
+	for i := range t.top {
+		if k, c, ok := unpackSlot(t.top[i].Load()); ok {
+			dst = append(dst, Entry{Key: k, Count: c})
+		}
+	}
+	// Insertion sort over the appended region: the table is tiny
+	// (k slots) and this keeps the call allocation-free.
+	s := dst[n0:]
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return dst
+}
+
+func less(a, b Entry) bool {
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	return a.Key < b.Key
+}
+
+// Resets reports how many aging passes have completed.
+func (t *Tracker) Resets() int64 { return t.resets.Load() }
+
+// Adds reports the number of Touch calls since the last aging pass.
+func (t *Tracker) Adds() int64 { return t.adds.Load() }
+
+// Reset zeroes every counter and slot (not concurrent-safe with
+// Touch; intended for ResetStats-style maintenance windows).
+func (t *Tracker) Reset() {
+	for i := range t.cells {
+		t.cells[i].Store(0)
+	}
+	for i := range t.top {
+		t.top[i].Store(0)
+	}
+	t.adds.Store(0)
+}

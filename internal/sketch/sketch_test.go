@@ -1,0 +1,158 @@
+package sketch
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestEstimateUpperBoundAndOrder(t *testing.T) {
+	tr := New(Config{Width: 256, Depth: 4, Sample: 1 << 30, TopK: 4})
+	counts := map[uint64]uint64{1: 500, 2: 120, 3: 30, 7: 5}
+	for k, n := range counts {
+		for i := uint64(0); i < n; i++ {
+			tr.Touch(k)
+		}
+	}
+	for k, n := range counts {
+		if est := tr.Estimate(k); est < n {
+			t.Fatalf("Estimate(%d) = %d, below true count %d", k, est, n)
+		}
+	}
+	// With 4 keys in 256 counters, collisions are essentially
+	// impossible, so relative order must hold.
+	if !(tr.Estimate(1) > tr.Estimate(2) && tr.Estimate(2) > tr.Estimate(3)) {
+		t.Fatalf("estimates out of order: %d %d %d",
+			tr.Estimate(1), tr.Estimate(2), tr.Estimate(3))
+	}
+	if est := tr.Estimate(99); est != 0 {
+		t.Fatalf("Estimate(untouched) = %d, want 0", est)
+	}
+}
+
+func TestAgingHalves(t *testing.T) {
+	tr := New(Config{Width: 64, Depth: 2, Sample: 100, TopK: 2})
+	for i := 0; i < 99; i++ {
+		tr.Touch(5)
+	}
+	if got := tr.Estimate(5); got != 99 {
+		t.Fatalf("pre-aging Estimate = %d, want 99", got)
+	}
+	tr.Touch(5) // 100th add crosses Sample and triggers the halving
+	if tr.Resets() != 1 {
+		t.Fatalf("Resets = %d, want 1", tr.Resets())
+	}
+	if got := tr.Estimate(5); got != 50 {
+		t.Fatalf("post-aging Estimate = %d, want 50", got)
+	}
+	top := tr.TopInto(nil)
+	if len(top) != 1 || top[0].Key != 5 || top[0].Count != 50 {
+		t.Fatalf("post-aging top = %+v, want [{5 50}]", top)
+	}
+}
+
+func TestTopKFindsHeavyHitters(t *testing.T) {
+	tr := New(Config{Width: 512, Depth: 4, Sample: 1 << 30, TopK: 3})
+	r := rand.New(rand.NewSource(1))
+	z := rand.NewZipf(r, 1.3, 1, 63)
+	for i := 0; i < 20000; i++ {
+		tr.Touch(z.Uint64())
+	}
+	top := tr.TopInto(nil)
+	if len(top) != 3 {
+		t.Fatalf("TopInto returned %d entries, want 3", len(top))
+	}
+	// Zipf rank 0 dominates; it must surface as the top hitter and
+	// the table must come back sorted by descending count.
+	if top[0].Key != 0 {
+		t.Fatalf("top hitter = key %d (count %d), want key 0", top[0].Key, top[0].Count)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatalf("TopInto not sorted: %+v", top)
+		}
+	}
+}
+
+func TestTopIntoAppendsAndReuses(t *testing.T) {
+	tr := New(Config{TopK: 2})
+	tr.Touch(3)
+	tr.Touch(3)
+	tr.Touch(9)
+	buf := make([]Entry, 1, 8)
+	buf[0] = Entry{Key: 77, Count: 77}
+	got := tr.TopInto(buf)
+	if len(got) != 3 || got[0] != (Entry{Key: 77, Count: 77}) {
+		t.Fatalf("TopInto must append after existing entries, got %+v", got)
+	}
+	if got[1].Key != 3 || got[2].Key != 9 {
+		t.Fatalf("appended region wrong: %+v", got[1:])
+	}
+}
+
+func TestZeroAllocHotPath(t *testing.T) {
+	tr := New(Config{Width: 128, Depth: 4, Sample: 1024, TopK: 8})
+	var k uint64
+	if n := testing.AllocsPerRun(200, func() {
+		tr.Touch(k % 16)
+		k++
+	}); n != 0 {
+		t.Fatalf("Touch allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		_ = tr.Estimate(k % 16)
+		k++
+	}); n != 0 {
+		t.Fatalf("Estimate allocates %v per run, want 0", n)
+	}
+	buf := make([]Entry, 0, 8)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = tr.TopInto(buf[:0])
+	}); n != 0 {
+		t.Fatalf("TopInto allocates %v per run, want 0", n)
+	}
+}
+
+// TestConcurrentTouch exercises the lock-free paths under the race
+// detector: concurrent touches with aging passes firing throughout.
+// The only hard postconditions are safety plus loose accounting — the
+// sketch is approximate by contract under contention.
+func TestConcurrentTouch(t *testing.T) {
+	tr := New(Config{Width: 128, Depth: 4, Sample: 500, TopK: 4})
+	var wg sync.WaitGroup
+	const G, perG = 8, 5000
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			z := rand.NewZipf(r, 1.2, 1, 31)
+			for i := 0; i < perG; i++ {
+				tr.Touch(z.Uint64())
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	if tr.Resets() == 0 {
+		t.Fatalf("expected at least one aging pass over %d touches with Sample=500", G*perG)
+	}
+	if est := tr.Estimate(0); est == 0 {
+		t.Fatalf("hot key estimate collapsed to 0 despite recent traffic")
+	}
+	top := tr.TopInto(nil)
+	if len(top) == 0 {
+		t.Fatalf("top-k table empty after %d touches", G*perG)
+	}
+}
+
+func TestConfigDefaultsAndRounding(t *testing.T) {
+	tr := New(Config{Width: 100}) // rounds up to 128
+	if tr.mask != 127 {
+		t.Fatalf("width not rounded to power of two: mask=%d", tr.mask)
+	}
+	tr2 := New(Config{})
+	if tr2.mask != 1023 || tr2.depth != 4 || tr2.sample != 16*1024 || len(tr2.top) != 8 {
+		t.Fatalf("defaults wrong: mask=%d depth=%d sample=%d topk=%d",
+			tr2.mask, tr2.depth, tr2.sample, len(tr2.top))
+	}
+}

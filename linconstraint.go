@@ -525,6 +525,12 @@ type RebalanceEvent = engine.RebalanceEvent
 // by value across the shards, and both are also available as OpInsert/
 // OpDelete batch ops. Static engines return ErrImmutable.
 //
+// Hot shards can be replicated onto extra private devices (Replicate,
+// Drop, AutoReplicate): reads spread across the copies, updates fan
+// out to all of them, and an always-on traffic sketch (ShardTraffic,
+// HotShards) measures which shards deserve the copies — answers are
+// byte-identical under any replica layout.
+//
 // The scalar query methods (Halfplane, Halfspace3, Halfspace,
 // Conjunction, KNN, LiveHalfplane, LiveHalfspace, LiveConjunction)
 // panic when called on an engine built over a family that does not
@@ -663,6 +669,48 @@ func (e *Engine) BatchInto(qs []Query, results []QueryResult) []QueryResult {
 // and updates keep flowing between move batches.
 func (e *Engine) Rebalance(opt RebalanceOptions) (RebalanceStats, error) {
 	return e.eng.Rebalance(opt)
+}
+
+// AutoReplicateOptions tune one Engine.AutoReplicate call: the total
+// physical-copy budget, the per-shard degree cap, and the minimum
+// traffic share a shard must hold to deserve a second copy.
+type AutoReplicateOptions = engine.AutoReplicateOptions
+
+// AutoReplicateStats reports what one Engine.AutoReplicate call did:
+// copies promoted and demoted, and the resulting per-shard degrees.
+type AutoReplicateStats = engine.AutoReplicateStats
+
+// HotShard is one heavy-hitter entry of the engine's traffic sketch: a
+// shard id and its approximate (aged) recent visit count.
+type HotShard = engine.HotShard
+
+// Replicate sets shard si's replica degree to n (n >= 1): the shard's
+// index is cloned onto n-1 fresh private devices (or excess copies are
+// dropped), the read path spreads visits across the copies, and every
+// update fans out to all of them — answers are byte-identical
+// throughout (DESIGN.md §10).
+func (e *Engine) Replicate(si, n int) error { return e.eng.Replicate(si, n) }
+
+// Drop demotes shard si back to a single copy.
+func (e *Engine) Drop(si int) error { return e.eng.Drop(si) }
+
+// Replicas returns the per-shard replica degrees (1 = unreplicated).
+func (e *Engine) Replicas() []int { return e.eng.Replicas() }
+
+// ShardTraffic returns the traffic sketch's estimate of shard si's
+// recent planned query visits.
+func (e *Engine) ShardTraffic(si int) uint64 { return e.eng.ShardTraffic(si) }
+
+// HotShards appends the sketch's current heavy-hitter shards to dst,
+// hottest first, and returns it.
+func (e *Engine) HotShards(dst []HotShard) []HotShard { return e.eng.HotShards(dst) }
+
+// AutoReplicate reshapes the replica layout to the measured traffic:
+// hot shards (by the engine's always-on frequency sketch) are promoted
+// within the budget, cold replicated shards demote. Caller-triggered,
+// like Rebalance — run it from a ticker or after a workload shift.
+func (e *Engine) AutoReplicate(opt AutoReplicateOptions) (AutoReplicateStats, error) {
+	return e.eng.AutoReplicate(opt)
 }
 
 // Retrain (re)trains a dynamic engine's layout without moving
