@@ -123,31 +123,45 @@ func runBenchJSON(path, baselinePath string, seed int64, quick bool) error {
 	}
 	rng := rand.New(rand.NewSource(seed))
 
+	// Every engine runs with the full observability stack armed — a
+	// private registry, 1-in-64 trace sampling, the flight recorder
+	// capturing per-shard evidence on every run, windowed histogram
+	// views, and a watchdog ticking SLO evaluations in the background —
+	// so the allocs/op column certifies that the instrumented hot path,
+	// not a stripped one, stays allocation-free.
+	instrumented := func() linconstraint.EngineConfig {
+		return linconstraint.EngineConfig{
+			Shards: shards, BlockSize: block, Seed: seed,
+			Metrics:        linconstraint.NewMetrics(),
+			TraceEvery:     64,
+			FlightRecorder: linconstraint.FlightRecorderConfig{TotalNs: int64(time.Second)},
+			Watchdog: &linconstraint.WatchdogConfig{
+				Interval: 10 * time.Millisecond,
+				MaxSkew:  1.5, HotShardShare: 0.75, ReplicaImbalance: 2,
+				LatencyP99Ns:      int64(time.Second),
+				MeanShardsVisited: float64(shards),
+			},
+		}
+	}
+
 	fmt.Fprintf(os.Stderr, "bench: building engines (n=%d, %d shards)...\n", n, shards)
 	pts := workload.Uniform2(rng, n)
-	planarKD := linconstraint.NewPlanarEngine(pts, linconstraint.EngineConfig{
-		Shards: shards, BlockSize: block, Seed: seed, Partitioner: linconstraint.KDCutLayout(),
-		Metrics: linconstraint.NewMetrics(),
-	})
+	cfgKD := instrumented()
+	cfgKD.Partitioner = linconstraint.KDCutLayout()
+	planarKD := linconstraint.NewPlanarEngine(pts, cfgKD)
 	defer planarKD.Close()
-	planarRR := linconstraint.NewPlanarEngine(pts, linconstraint.EngineConfig{
-		Shards: shards, BlockSize: block, Seed: seed, Metrics: linconstraint.NewMetrics(),
-	})
+	planarRR := linconstraint.NewPlanarEngine(pts, instrumented())
 	defer planarRR.Close()
-	knnEng := linconstraint.NewKNNEngine(pts, linconstraint.EngineConfig{
-		Shards: shards, BlockSize: block, Seed: seed, Partitioner: linconstraint.KDCutLayout(),
-		Metrics: linconstraint.NewMetrics(),
-	})
+	cfgKNN := instrumented()
+	cfgKNN.Partitioner = linconstraint.KDCutLayout()
+	knnEng := linconstraint.NewKNNEngine(pts, cfgKNN)
 	defer knnEng.Close()
 	ptsD := workload.CubeD(rng, n/2, 3)
-	partEng := linconstraint.NewPartitionEngine(ptsD, linconstraint.EngineConfig{
-		Shards: shards, BlockSize: block, Seed: seed, Partitioner: linconstraint.KDCutLayout(),
-		Metrics: linconstraint.NewMetrics(),
-	})
+	cfgPart := instrumented()
+	cfgPart.Partitioner = linconstraint.KDCutLayout()
+	partEng := linconstraint.NewPartitionEngine(ptsD, cfgPart)
 	defer partEng.Close()
-	dynEng := linconstraint.NewDynamicPlanarEngine(linconstraint.EngineConfig{
-		Shards: shards, BlockSize: block, Seed: seed, Metrics: linconstraint.NewMetrics(),
-	})
+	dynEng := linconstraint.NewDynamicPlanarEngine(instrumented())
 	defer dynEng.Close()
 	dynPts := workload.Uniform2(rng, dynN)
 	for _, p := range dynPts {
@@ -260,7 +274,7 @@ func runBenchJSON(path, baselinePath string, seed int64, quick bool) error {
 	})
 
 	out := benchFile{
-		Bench:      "pr4-hot-query-path",
+		Bench:      "hot-query-path-full-observability",
 		When:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),

@@ -26,18 +26,31 @@
 //	        [-sel F] [-mix F] [-k K] [-dim D] [-block B] [-cache M]
 //	        [-lat DUR] [-seed N]
 //	        [-metrics-addr HOST:PORT] [-metrics-dump FILE] [-trace N]
+//	        [-slow-ns N] [-explain] [-slo SPEC] [-watchdog DUR]
 //	        [-linger DUR] [-promcheck FILE]
 //
 // The engine always runs instrumented: run-phase latency histograms
-// (p50/p95/p99 per phase in the report), per-shard visit counters (the
-// shard-heat line), and 1-in-N query-run traces (-trace). With
-// -metrics-addr the same registry is served live over HTTP — Prometheus
-// text at /metrics, JSON at /metrics.json, pprof under /debug/pprof/ —
-// and -linger keeps the process (and the endpoint) alive after the
-// report so a scraper can collect the final state. -metrics-dump
-// writes the final JSON snapshot to a file (the CI artifact), and
-// -promcheck FILE validates a saved Prometheus payload and exits —
-// the smoke test's stand-in for promtool.
+// (p50/p95/p99 per phase in the report), windowed (time-resolved)
+// latency and fan-out views, per-shard visit counters (the shard-heat
+// line), and 1-in-N query-run traces (-trace). With -metrics-addr the
+// same registry is served live over HTTP — Prometheus text at
+// /metrics, JSON at /metrics.json, pprof under /debug/pprof/, plus the
+// engine's introspection endpoints /debug/slow, /debug/health and
+// /debug/explain — and -linger keeps the process (and the endpoints)
+// alive after the report so a scraper can collect the final state.
+// -metrics-dump writes the final JSON snapshot to a file (the CI
+// artifact), and -promcheck FILE validates a saved Prometheus payload
+// and exits — the smoke test's stand-in for promtool.
+//
+// -slow-ns N arms the flight recorder: every query run slower than N
+// nanoseconds is captured with full per-shard evidence (plan verdicts,
+// replica routing, I/O deltas), read back from /debug/slow and
+// summarized in the report. -explain prints the planner's per-shard
+// verdict for one sample query (the /debug/explain answer). -slo
+// "p99=5ms,visited=4" declares SLO objectives over the windowed views;
+// -watchdog 1s runs the background health sampler that evaluates them
+// (plus skew, hot shards, GC stalls and replica imbalance) and feeds
+// /debug/health.
 //
 // With -replicas SPEC (comma-separated shard:degree pairs, e.g.
 // "5:3,0:2") the engine clones the named shards onto extra private
@@ -71,6 +84,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -105,11 +119,16 @@ func main() {
 		replicasF = flag.String("replicas", "", "comma-separated shard:degree pairs to replicate after the build, e.g. 5:3,0:2")
 		autoRep   = flag.Bool("autoreplicate", false, "run one sketch-driven AutoReplicate pass in the background from the load phase's midpoint")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus text at /metrics, JSON at /metrics.json and pprof at /debug/pprof on this host:port")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus text at /metrics, JSON at /metrics.json, pprof at /debug/pprof and the engine's /debug/slow, /debug/health and /debug/explain endpoints on this host:port")
 		metricsDump = flag.String("metrics-dump", "", "write the final JSON metrics snapshot to this file")
 		traceEvery  = flag.Int("trace", 32, "sample every Nth query run into the engine's trace ring (0 disables tracing)")
 		linger      = flag.Duration("linger", 0, "keep the process (and -metrics-addr) alive this long after the report")
 		promcheck   = flag.String("promcheck", "", "validate a saved Prometheus text payload and exit (no engine run)")
+
+		slowNs   = flag.Int64("slow-ns", 0, "flight recorder: capture any query run slower than this many nanoseconds, with full per-shard evidence (0 disables)")
+		explainF = flag.Bool("explain", false, "print the planner's per-shard verdict for one sample query after the profile phase")
+		sloSpec  = flag.String("slo", "", "SLO objectives as comma-separated key=value pairs: p99=DUR (windowed p99 run latency) and/or visited=F (windowed mean shards visited); breaches burn engine_slo_breaches_total")
+		watchdog = flag.Duration("watchdog", 0, "health watchdog tick interval (0 disables; 1s implied when -slo is set)")
 	)
 	flag.Parse()
 
@@ -149,14 +168,24 @@ func main() {
 		Metrics:        reg,
 		TraceEvery:     *traceEvery,
 	}
-	if *metricsAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*metricsAddr, linconstraint.MetricsHandler(reg)); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}()
-		fmt.Printf("telemetry on http://%s/metrics (JSON at /metrics.json, pprof at /debug/pprof/)\n", *metricsAddr)
+	if *slowNs > 0 {
+		cfg.FlightRecorder = linconstraint.FlightRecorderConfig{TotalNs: *slowNs}
+	}
+	sloP99, sloVisited, err := parseSLO(*sloSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -slo %q: %v\n", *sloSpec, err)
+		os.Exit(2)
+	}
+	if *watchdog > 0 || *sloSpec != "" {
+		// Bounds an operator would want by default: skew past the usual
+		// rebalance trigger, one shard holding 3/4 of the traffic, one
+		// replica serving double its fair share.
+		cfg.Watchdog = &linconstraint.WatchdogConfig{
+			Interval: *watchdog,
+			MaxSkew:  1.5, HotShardShare: 0.75, ReplicaImbalance: 2,
+			LatencyP99Ns:      int64(sloP99),
+			MeanShardsVisited: sloVisited,
+		}
 	}
 	switch *layoutF {
 	case "rr":
@@ -269,6 +298,19 @@ func main() {
 		os.Exit(2)
 	}
 	defer eng.Close()
+	// The telemetry endpoint mounts after the build: /debug/slow,
+	// /debug/health and /debug/explain serve this engine's rings, so
+	// the handler needs it. /metrics itself has nothing to say before
+	// the build finishes anyway.
+	if *metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, linconstraint.DebugHandler(reg, eng)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("telemetry on http://%s/metrics (JSON at /metrics.json, pprof at /debug/pprof/, engine introspection at /debug/slow, /debug/health, /debug/explain)\n", *metricsAddr)
+	}
 	buildTime := time.Since(start)
 	st := eng.Stats()
 	fmt.Printf("built %d records on %d shards (%d workers) in %v; %d blocks total, worst shard %d I/Os\n",
@@ -317,6 +359,24 @@ func main() {
 	fmt.Println("per-query shards-visited histogram:")
 	printHistogram(perVisited, "shards")
 
+	// -explain: plan one sample query without running it and show the
+	// planner's verdict — which bound prunes which shard — the same
+	// answer /debug/explain serves over HTTP.
+	if *explainF {
+		var ex linconstraint.Explain
+		eng.ExplainInto(gen(), &ex)
+		fmt.Printf("\nexplain of one sample %s query (%s layout):\n", ex.Op, *layoutF)
+		for si, v := range ex.Verdicts {
+			line := fmt.Sprintf("  shard %2d: %s", si, v)
+			if v.Pruned() {
+				line = fmt.Sprintf("  shard %2d: pruned (%s)", si, v)
+			} else if si < len(ex.MinDist2) && ex.MinDist2[si] >= 0 {
+				line += fmt.Sprintf(" (min dist² %.4f)", ex.MinDist2[si])
+			}
+			fmt.Println(line)
+		}
+	}
+
 	// Phase 2: batched load through the worker pool, with an optional
 	// read/write mix on the mutable kinds.
 	qs := make([]linconstraint.Query, *queries)
@@ -351,13 +411,15 @@ func main() {
 	// engine's allocation-free hot path (DESIGN.md §7): the generator,
 	// not the engine, is the only allocator in this loop.
 	res := make([]linconstraint.QueryResult, 0, *batch)
-	// Progress probes every quarter of the load report the I/O *rate*
-	// over the interval — Stats.Sub of consecutive device snapshots —
-	// rather than cumulative totals, so a mid-load shift (cache warmup,
-	// a rebalance stealing bandwidth) is visible as it happens.
+	// Progress probes every quarter of the load report interval *rates* —
+	// MetricsSnapshot.Sub of consecutive registry snapshots, the same
+	// delta machinery any scraper gets — rather than cumulative totals,
+	// so a mid-load shift (cache warmup, a rebalance stealing bandwidth)
+	// is visible as it happens, including the interval's own run-latency
+	// p99 from the subtracted histogram buckets.
 	probeAt := maxi(1, len(qs)/4)
 	nextProbe := probeAt
-	lastIO := eng.Stats().Total
+	lastSnap := reg.Snapshot()
 	lastAt := start
 	for done < len(qs) {
 		if *rebal && !rebFired && done >= len(qs)/2 {
@@ -392,12 +454,32 @@ func main() {
 		if done >= nextProbe && done < len(qs) {
 			nextProbe += probeAt
 			now := time.Now()
-			cur := eng.Stats().Total
-			d := cur.Sub(lastIO)
-			fmt.Printf("  progress %5d/%d ops: +%d I/Os (+%d reads, +%d writes, +%d hits, interval hit rate %.2f) in %v\n",
-				done, len(qs), d.IOs(), d.Reads, d.Writes, d.Hits, d.HitRate(),
+			cur := reg.Snapshot()
+			d := cur.Sub(lastSnap)
+			var reads, writes, ioHits float64
+			for _, c := range d.Counters {
+				switch c.Name {
+				case "engine_shard_io_reads_total":
+					reads += c.Value
+				case "engine_shard_io_writes_total":
+					writes += c.Value
+				case "engine_shard_io_hits_total":
+					ioHits += c.Value
+				}
+			}
+			rate := 0.0
+			if t := reads + writes + ioHits; t > 0 {
+				rate = ioHits / t
+			}
+			line := fmt.Sprintf("  progress %5d/%d ops: +%.0f I/Os (+%.0f reads, +%.0f writes, +%.0f hits, interval hit rate %.2f) in %v",
+				done, len(qs), reads+writes, reads, writes, ioHits, rate,
 				now.Sub(lastAt).Round(time.Millisecond))
-			lastIO, lastAt = cur, now
+			if h := d.Histogram("engine_run_total_ns"); h != nil && h.Count > 0 {
+				line += fmt.Sprintf("; %d runs, interval p99 %v",
+					h.Count, time.Duration(h.Quantile(0.99)).Round(time.Microsecond))
+			}
+			fmt.Println(line)
+			lastSnap, lastAt = cur, now
 		}
 	}
 	rebWG.Wait()
@@ -527,6 +609,31 @@ func main() {
 			st.Replicas, mx, sb.String())
 	}
 
+	// Flight-recorder and watchdog summaries: the operator-facing
+	// one-liners; the full evidence stays on /debug/slow and
+	// /debug/health while the process lingers.
+	if *slowNs > 0 {
+		if slow := eng.SlowQueries(nil); len(slow) > 0 {
+			captures, _ := snap.Value("engine_slow_captures_total", "")
+			last := slow[len(slow)-1]
+			fmt.Printf("flight recorder: %.0f runs tripped -slow-ns %v (%d held); last: reason %s, total %v, %d I/Os, %d visited / %d pruned shards\n",
+				captures, time.Duration(*slowNs), len(slow),
+				last.Reason, time.Duration(last.TotalNs).Round(time.Microsecond),
+				last.IO.IOs(), last.ShardsVisited, last.ShardsPruned)
+		} else {
+			fmt.Printf("flight recorder: no run slower than %v\n", time.Duration(*slowNs))
+		}
+	}
+	if cfg.Watchdog != nil {
+		events := eng.Health(nil)
+		kinds := map[string]int{}
+		for _, ev := range events {
+			kinds[ev.Kind.String()]++
+		}
+		ticks, _ := snap.Value("engine_watchdog_ticks_total", "")
+		fmt.Printf("watchdog: %.0f ticks, %d health events held %v\n", ticks, len(events), kinds)
+	}
+
 	if traces := eng.Traces(nil); len(traces) > 0 {
 		last := traces[len(traces)-1]
 		fmt.Printf("traces: %d sampled (1 in %d); last: %d queries, %d visited / %d pruned shards, %d shared plans, plan %v exec %v merge %v total %v, %d I/Os\n",
@@ -554,6 +661,34 @@ func main() {
 		fmt.Printf("lingering %v for scrapes...\n", *linger)
 		time.Sleep(*linger)
 	}
+}
+
+// parseSLO parses the -slo spec: comma-separated key=value pairs,
+// p99=DUR (windowed p99 run-latency bound) and visited=F (windowed
+// mean shards-visited bound).
+func parseSLO(spec string) (p99 time.Duration, visited float64, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return 0, 0, fmt.Errorf("entry %q: want key=value", part)
+		}
+		switch k {
+		case "p99":
+			if p99, err = time.ParseDuration(v); err != nil {
+				return 0, 0, err
+			}
+		case "visited":
+			if visited, err = strconv.ParseFloat(v, 64); err != nil {
+				return 0, 0, err
+			}
+		default:
+			return 0, 0, fmt.Errorf("unknown objective %q (want p99 or visited)", k)
+		}
+	}
+	return p99, visited, nil
 }
 
 // updGen returns an update generator over a live book of records

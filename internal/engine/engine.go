@@ -136,6 +136,25 @@ type Options struct {
 	TraceEvery int
 	// TraceBuf is the trace ring capacity (default 256).
 	TraceBuf int
+	// FlightRecorder configures threshold-triggered capture of
+	// anomalous runs (flight.go): any run whose end-to-end latency,
+	// worst-shard I/O, or total shard visits exceeds a configured
+	// bound is recorded — with per-shard verdicts, replica routing and
+	// I/O deltas — into a dedicated ring read by Engine.SlowQueries,
+	// independent of the TraceEvery sampler. The zero value disables
+	// it. Enabling it (like Metrics or tracing) keeps the steady-state
+	// query path allocation-free.
+	FlightRecorder FlightRecorderConfig
+	// Watchdog, when non-nil, runs a background health sampler
+	// (watchdog.go) that watches runtime pressure, layout skew, traffic
+	// concentration, replica balance and the SLO burn rates, emitting
+	// typed events read by Engine.Health. Stopped by Close.
+	Watchdog *WatchdogConfig
+	// WindowSlots and WindowInterval shape the instrumented engine's
+	// windowed histograms — the time-resolved latency/fan-out views the
+	// watchdog's SLOs evaluate against (defaults 6 slots × 10s).
+	WindowSlots    int
+	WindowInterval time.Duration
 }
 
 func (o Options) normalized() Options {
@@ -347,6 +366,9 @@ type Engine struct {
 	// the engine was built without Options.Metrics and without tracing,
 	// so an uninstrumented engine pays one nil check per site.
 	met *engineMetrics
+	// wd is the health watchdog (watchdog.go); nil unless
+	// Options.Watchdog was set. Stopped by Close before the workers.
+	wd *watchdog
 }
 
 // getArena pops a scratch arena off the free list (or makes a fresh
@@ -483,6 +505,9 @@ func newEngine(opt Options, build func(si int, dev *eio.Device) index.Index) *En
 			go e.replicaWorker(si, rep)
 		}
 	}
+	if opt.Watchdog != nil {
+		e.wd = startWatchdog(e, *opt.Watchdog)
+	}
 	return e
 }
 
@@ -514,23 +539,24 @@ func (e *Engine) replicaWorker(si int, rep *replica) {
 }
 
 // pickReplica returns shard si's least-loaded replica by in-flight
-// dispatch count (ties to the lowest index, so an unreplicated shard
-// costs one atomic load). Callers hold migMu shared, so the replica
-// set is stable; the counts are racy by design — a stale read only
-// skews balance, never correctness, because every replica holds the
-// same records.
-func (e *Engine) pickReplica(si int) *replica {
+// dispatch count, and its index in the replica set (ties to the lowest
+// index, so an unreplicated shard costs one atomic load; the index is
+// what the flight recorder records as the routing decision). Callers
+// hold migMu shared, so the replica set is stable; the counts are racy
+// by design — a stale read only skews balance, never correctness,
+// because every replica holds the same records.
+func (e *Engine) pickReplica(si int) (*replica, int) {
 	reps := e.shards[si].reps
-	best := reps[0]
+	best, bi := reps[0], 0
 	if len(reps) > 1 {
 		min := best.inflight.Load()
-		for _, rep := range reps[1:] {
+		for ri, rep := range reps[1:] {
 			if n := rep.inflight.Load(); n < min {
-				best, min = rep, n
+				best, bi, min = rep, ri+1, n
 			}
 		}
 	}
-	return best
+	return best, bi
 }
 
 // NewPlanar builds a sharded engine over the §3 planar structure.
@@ -762,12 +788,17 @@ func (e *Engine) NumShards() int { return len(e.shards) }
 // NumWorkers returns the worker concurrency cap (Options.Workers).
 func (e *Engine) NumWorkers() int { return e.workers }
 
-// Close stops every replica worker. Queries issued after Close panic.
-// Close is idempotent and waits for in-flight sub-batches to finish.
-// It must not race Replicate/Drop (both mutate the replica sets);
-// engines are closed after their traffic stops.
+// Close stops the watchdog (synchronously — its final tick completes
+// before teardown proceeds) and every replica worker. Queries issued
+// after Close panic. Close is idempotent and waits for in-flight
+// sub-batches to finish. It must not race Replicate/Drop (both mutate
+// the replica sets); engines are closed after their traffic stops.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
+		if e.wd != nil {
+			close(e.wd.stop)
+			<-e.wd.done
+		}
 		for _, sh := range e.shards {
 			for _, rep := range sh.reps {
 				close(rep.work)

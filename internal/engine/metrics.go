@@ -130,6 +130,31 @@ type engineMetrics struct {
 	replicaDrops *metrics.Counter
 	autoRepRuns  *metrics.Counter
 
+	// Explain counters (explain.go): shard plan outcomes as a dense
+	// (op × verdict) matrix — which bound pruned, per op.
+	planVerdicts *metrics.CounterVec2
+
+	// Windowed views (DESIGN.md §11): time-resolved run latency and
+	// per-query fan-out. The watchdog evaluates its SLOs against these,
+	// and the exposition publishes their quantiles as gauges.
+	totalNsWin *metrics.WindowedHistogram
+	visitedWin *metrics.WindowedHistogram
+
+	// Flight recorder (flight.go): slow is nil when no bound is set,
+	// which is what call sites and the arena gate on.
+	flight    FlightRecorderConfig
+	slow      *slowRing
+	slowSeq   atomic.Int64
+	slowTotal *metrics.Counter
+
+	// Watchdog instruments (watchdog.go): nil unless Options.Watchdog.
+	health                          *metrics.Ring[HealthEvent]
+	healthTotal                     *metrics.CounterVec
+	slo                             *metrics.SLO
+	wdTicks                         *metrics.Counter
+	wdGoroutines, wdHeap, wdGCPause *metrics.Gauge
+	wdSkewMilli, wdSpreadMilli      *metrics.Gauge
+
 	// Trace sampling: sampler is nil when tracing is off (a nil Sampler
 	// admits nothing, so call sites need no extra guard).
 	sampler *metrics.Sampler
@@ -146,7 +171,8 @@ type engineMetrics struct {
 // instruments land in a private registry — tracing alone must not force
 // the caller to provide one.
 func newEngineMetrics(opt Options, shards int) *engineMetrics {
-	if opt.Metrics == nil && opt.TraceEvery <= 0 {
+	if opt.Metrics == nil && opt.TraceEvery <= 0 &&
+		!opt.FlightRecorder.enabled() && opt.Watchdog == nil {
 		return nil
 	}
 	reg := opt.Metrics
@@ -186,6 +212,49 @@ func newEngineMetrics(opt Options, shards int) *engineMetrics {
 
 		events:      metrics.NewRing[RebalanceEvent](64),
 		shardLabels: metrics.ShardLabels(shards),
+	}
+	m.planVerdicts = reg.CounterVec2("engine_plan_verdicts_total",
+		"shard plan outcomes by op and verdict (which bound pruned)",
+		"op", "verdict", opLabels, planner.VerdictLabels())
+	winSlots := opt.WindowSlots
+	if winSlots <= 0 {
+		winSlots = 6
+	}
+	winInterval := opt.WindowInterval
+	if winInterval <= 0 {
+		winInterval = 10 * time.Second
+	}
+	m.totalNsWin = reg.WindowedHistogram("engine_run_total_ns_win",
+		"per-run end-to-end duration over the trailing window", winSlots, winInterval)
+	m.visitedWin = reg.WindowedHistogram("engine_query_shards_visited_win",
+		"shards visited per query over the trailing window", winSlots, winInterval)
+	if opt.FlightRecorder.enabled() {
+		m.flight = opt.FlightRecorder
+		buf := m.flight.Buf
+		if buf <= 0 {
+			buf = 64
+		}
+		m.slow = newSlowRing(buf, shards)
+		m.slowTotal = reg.Counter("engine_slow_captures_total",
+			"anomalous runs captured by the flight recorder")
+	}
+	if opt.Watchdog != nil {
+		buf := opt.Watchdog.Buf
+		if buf <= 0 {
+			buf = 64
+		}
+		m.health = metrics.NewRing[HealthEvent](buf)
+		m.healthTotal = reg.CounterVec("engine_health_events_total",
+			"watchdog health events by kind", "kind", HealthKindLabels())
+		m.wdTicks = reg.Counter("engine_watchdog_ticks_total", "watchdog sampling rounds")
+		m.wdGoroutines = reg.Gauge("engine_watchdog_goroutines", "goroutines at the last watchdog tick")
+		m.wdHeap = reg.Gauge("engine_watchdog_heap_bytes", "heap bytes in use at the last watchdog tick")
+		m.wdGCPause = reg.Gauge("engine_watchdog_gc_pause_ns", "cumulative GC pause ns at the last watchdog tick")
+		m.wdSkewMilli = reg.Gauge("engine_watchdog_skew_milli", "live-count skew (max/mean) in thousandths at the last tick")
+		m.wdSpreadMilli = reg.Gauge("engine_watchdog_spread_milli", "summary-box spread in thousandths at the last tick")
+		if objs := sloObjectives(opt.Watchdog); objs != nil {
+			m.slo = metrics.NewSLO(reg, "engine_slo", objs)
+		}
 	}
 	if opt.TraceEvery > 0 {
 		buf := opt.TraceBuf

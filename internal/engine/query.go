@@ -161,6 +161,14 @@ type batchArena struct {
 	traced                             bool
 	plansShared                        int
 	ioReads, ioWrites, ioHits, ioStall atomic.Int64
+
+	// Flight capture (flight.go). flight marks the engine's flight
+	// recorder as armed: every run then accumulates per-shard I/O
+	// deltas, replica routing and verdict counts into caps (one
+	// preallocated atomic cell block per shard), because whether the
+	// run was anomalous is only known once it has finished.
+	flight bool
+	caps   []shardCapture
 }
 
 // addIODelta folds one visited shard's device-counter delta into the
@@ -193,6 +201,15 @@ func (a *batchArena) beginRun(e *Engine, qs []Query, res []Result) {
 	}
 	for si := range a.jobs {
 		a.jobs[si] = a.jobs[si][:0]
+	}
+	a.flight = e.met != nil && e.met.slow != nil
+	if a.flight {
+		if len(a.caps) != len(e.shards) {
+			a.caps = make([]shardCapture, len(e.shards))
+		}
+		for i := range a.caps {
+			a.caps[i].reset()
+		}
 	}
 }
 
@@ -240,6 +257,7 @@ func (a *batchArena) plan(e *Engine, qi int) int32 {
 	if e.noPlan {
 		pl.Shards = pl.Shards[:0]
 		pl.MinDist2 = pl.MinDist2[:0]
+		pl.Verdicts = pl.Verdicts[:0]
 		pl.Pruned = 0
 		for si := range e.shards {
 			pl.Shards = append(pl.Shards, si)
@@ -445,6 +463,11 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 		pi := a.plan(e, qi)
 		a.planOf[qi] = pi
 		a.partOff[qi] = int32(a.nparts)
+		if m != nil && !e.noPlan {
+			// Explain: flush this query's plan verdicts (per shared plan
+			// they repeat — each query visited those shards).
+			e.explainPlan(a, qs[qi].Op, &a.plans[pi])
+		}
 		if qs[qi].Op == OpKNN && !e.noPlan {
 			// One scratch slot for the shard-sequential visits.
 			a.knn = append(a.knn, int32(qi))
@@ -481,7 +504,10 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 			continue
 		}
 		a.wg.Add(1)
-		rep := e.pickReplica(si)
+		rep, ri := e.pickReplica(si)
+		if a.flight {
+			a.caps[si].replica.Store(int32(ri))
+		}
 		rep.inflight.Add(1)
 		rep.work <- a
 	}
@@ -532,22 +558,24 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 			k := planner.OpIndex(qs[qi].Op)
 			m.planVisited.AddAt(k, int64(r.ShardsVisited))
 			m.planPruned.AddAt(k, int64(r.ShardsPruned))
+			m.visitedWin.Observe(int64(r.ShardsVisited))
 		}
 	}
 	if m != nil {
 		t3 := time.Now()
+		total := int64(t3.Sub(t0))
 		m.runs.Inc()
 		m.planNs.Observe(int64(t1.Sub(t0)))
 		m.execNs.Observe(int64(t2.Sub(t1)))
 		m.waitNs.Observe(int64(t2.Sub(tw)))
 		m.mergeNs.Observe(int64(t3.Sub(t2)))
-		m.totalNs.Observe(int64(t3.Sub(t0)))
+		m.totalNs.Observe(total)
+		m.totalNsWin.Observe(total)
 		if a.plansShared > 0 {
 			m.plansShared.Add(int64(a.plansShared))
 		}
-		if a.traced {
+		if a.traced || a.flight {
 			tr := Trace{
-				Seq:         m.seq.Add(1),
 				Queries:     len(qs),
 				Op:          qs[0].Op,
 				PlansShared: a.plansShared,
@@ -555,17 +583,50 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 				ExecNs:      int64(t2.Sub(t1)),
 				WaitNs:      int64(t2.Sub(tw)),
 				MergeNs:     int64(t3.Sub(t2)),
-				TotalNs:     int64(t3.Sub(t0)),
-				IO: eio.Stats{
-					Reads: a.ioReads.Load(), Writes: a.ioWrites.Load(),
-					Hits: a.ioHits.Load(), StallNs: a.ioStall.Load(),
-				},
+				TotalNs:     total,
 			}
 			for qi := range results {
 				tr.ShardsVisited += results[qi].ShardsVisited
 				tr.ShardsPruned += results[qi].ShardsPruned
 			}
-			m.traces.Put(tr)
+			if a.traced {
+				tr.Seq = m.seq.Add(1)
+				tr.IO = eio.Stats{
+					Reads: a.ioReads.Load(), Writes: a.ioWrites.Load(),
+					Hits: a.ioHits.Load(), StallNs: a.ioStall.Load(),
+				}
+				m.traces.Put(tr)
+			}
+			if a.flight {
+				// The slow/normal decision: check the finished run
+				// against every configured bound, worst single shard
+				// for I/O (the critical-path disk, not the sum).
+				var reason SlowReason
+				if m.flight.TotalNs > 0 && total > m.flight.TotalNs {
+					reason |= SlowTotalNs
+				}
+				var runIO eio.Stats
+				var worstIOs int64
+				for si := range a.caps {
+					d := a.caps[si].io()
+					runIO = runIO.Add(d)
+					if t := d.IOs(); t > worstIOs {
+						worstIOs = t
+					}
+				}
+				if m.flight.ShardIOs > 0 && worstIOs > m.flight.ShardIOs {
+					reason |= SlowShardIO
+				}
+				if m.flight.ShardsVisited > 0 && tr.ShardsVisited > m.flight.ShardsVisited {
+					reason |= SlowFanout
+				}
+				if reason != 0 {
+					tr.Seq = m.slowSeq.Add(1)
+					tr.IO = runIO
+					m.slowTotal.Inc()
+					m.slow.put(tr, t0.UnixNano(), reason, a.caps)
+				}
+			}
 		}
 	}
 }
@@ -578,12 +639,14 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 func (e *Engine) execReplica(a *batchArena, si int, rep *replica) {
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
-	// Sampled runs bracket the sub-batch with the replica's own device
-	// counters: the delta is exactly this run's I/O on this copy (the
-	// lock excludes everything else), and the index Stats snapshots are
-	// plain struct reads, so the capture stays allocation-free.
+	// Sampled and flight-armed runs bracket the sub-batch with the
+	// replica's own device counters: the delta is exactly this run's
+	// I/O on this copy (the lock excludes everything else), and the
+	// index Stats snapshots are plain struct reads, so the capture
+	// stays allocation-free.
+	capture := a.traced || a.flight
 	var before eio.Stats
-	if a.traced {
+	if capture {
 		before = rep.idx.Stats().IO
 	}
 	for _, s := range a.jobs[si] {
@@ -596,8 +659,14 @@ func (e *Engine) execReplica(a *batchArena, si int, rep *replica) {
 		e.toGlobal(si, &p.ans)
 	}
 	rep.reads.Add(int64(len(a.jobs[si])))
-	if a.traced {
-		a.addIODelta(rep.idx.Stats().IO.Sub(before))
+	if capture {
+		d := rep.idx.Stats().IO.Sub(before)
+		if a.traced {
+			a.addIODelta(d)
+		}
+		if a.flight {
+			a.caps[si].addIO(d)
+		}
 	}
 }
 
@@ -623,13 +692,17 @@ func (e *Engine) toGlobal(si int, ans *index.Answer) {
 // replica workers under the same mutexes). inflight brackets the call
 // so concurrent dispatch sees this visit too.
 func (e *Engine) runLocalInto(a *batchArena, si int, q Query, p *partial) {
-	rep := e.pickReplica(si)
+	rep, ri := e.pickReplica(si)
+	if a.flight {
+		a.caps[si].replica.Store(int32(ri))
+	}
 	rep.inflight.Add(1)
 	defer rep.inflight.Add(-1)
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
+	capture := a.traced || a.flight
 	var before eio.Stats
-	if a.traced {
+	if capture {
 		before = rep.idx.Stats().IO
 	}
 	p.reset()
@@ -639,8 +712,14 @@ func (e *Engine) runLocalInto(a *batchArena, si int, q Query, p *partial) {
 	}
 	e.toGlobal(si, &p.ans)
 	rep.reads.Add(1)
-	if a.traced {
-		a.addIODelta(rep.idx.Stats().IO.Sub(before))
+	if capture {
+		d := rep.idx.Stats().IO.Sub(before)
+		if a.traced {
+			a.addIODelta(d)
+		}
+		if a.flight {
+			a.caps[si].addIO(d)
+		}
 	}
 }
 
@@ -691,6 +770,26 @@ func (e *Engine) runKNNPlanned(a *batchArena, qi int, ks *knnScratch) {
 		k := planner.OpIndex(q.Op)
 		m.planVisited.AddAt(k, int64(visited))
 		m.planPruned.AddAt(k, int64(r.ShardsPruned))
+		m.visitedWin.Observe(int64(visited))
+		// Explain: the plan's k-NN "visited" list was provisional —
+		// attribute the runtime decision (visited vs kth-distance
+		// cutoff) per candidate shard. explainPlan already flushed the
+		// plan-time prunes (empty shards).
+		if visited > 0 {
+			m.planVerdicts.Add(k, int(planner.VerdictVisited), int64(visited))
+		}
+		if cut := len(pl.Shards) - visited; cut > 0 {
+			m.planVerdicts.Add(k, int(planner.VerdictPrunedKNNCutoff), int64(cut))
+		}
+	}
+	if a.flight {
+		for i, si := range pl.Shards {
+			v := planner.VerdictVisited
+			if i >= visited {
+				v = planner.VerdictPrunedKNNCutoff
+			}
+			a.caps[si].verdicts[v].Add(1)
+		}
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // --- scalar instruments ----------------------------------------------------
@@ -232,6 +233,32 @@ func (v *CounterVec) Name() string { return v.name }
 // LabelVal returns slot i's label value.
 func (v *CounterVec) LabelVal(i int) string { return v.labelVals[i] }
 
+// CounterVec2 is a fixed-cardinality family of counters over two
+// labels (e.g. op kind × prune verdict). Both label-value sets are
+// fixed at registration and the slots are a dense row-major array, so
+// an increment is one index computation plus one atomic add — same
+// zero-allocation contract as CounterVec.
+type CounterVec2 struct {
+	name, help     string
+	label1, label2 string
+	vals1, vals2   []string
+	vals           []atomic.Int64 // row-major: i*len(vals2)+j
+}
+
+func (v *CounterVec2) slot(i, j int) int { return i*len(v.vals2) + j }
+
+// Inc adds 1 to slot (i, j).
+func (v *CounterVec2) Inc(i, j int) { v.vals[v.slot(i, j)].Add(1) }
+
+// Add adds n to slot (i, j).
+func (v *CounterVec2) Add(i, j int, n int64) { v.vals[v.slot(i, j)].Add(n) }
+
+// Load returns slot (i, j)'s value.
+func (v *CounterVec2) Load(i, j int) int64 { return v.vals[v.slot(i, j)].Load() }
+
+// Name returns the registered name.
+func (v *CounterVec2) Name() string { return v.name }
+
 // --- registry --------------------------------------------------------------
 
 // Kind classifies a collector-emitted series.
@@ -264,6 +291,8 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	hists      map[string]*Histogram
 	vecs       map[string]*CounterVec
+	vec2s      map[string]*CounterVec2
+	whists     map[string]*WindowedHistogram
 	collectors []Collector
 }
 
@@ -276,6 +305,8 @@ func (r *Registry) init() {
 		r.gauges = map[string]*Gauge{}
 		r.hists = map[string]*Histogram{}
 		r.vecs = map[string]*CounterVec{}
+		r.vec2s = map[string]*CounterVec2{}
+		r.whists = map[string]*WindowedHistogram{}
 	}
 }
 
@@ -358,6 +389,52 @@ func (r *Registry) CounterVec(name, help, label string, labelVals []string) *Cou
 	return v
 }
 
+// CounterVec2 returns the two-label counter vector registered under
+// name, creating it with the given label keys and value sets on first
+// use. A second registration under the same name must carry the same
+// cardinality in both dimensions.
+func (r *Registry) CounterVec2(name, help, label1, label2 string, vals1, vals2 []string) *CounterVec2 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.init()
+	if v, ok := r.vec2s[name]; ok {
+		if len(v.vals1) != len(vals1) || len(v.vals2) != len(vals2) {
+			panic(fmt.Sprintf("metrics: counter vec2 %q re-registered with cardinality %dx%d (was %dx%d)",
+				name, len(vals1), len(vals2), len(v.vals1), len(v.vals2)))
+		}
+		return v
+	}
+	r.mustBeFree(name, "counter vec2")
+	v := &CounterVec2{
+		name: name, help: help, label1: label1, label2: label2,
+		vals1: append([]string(nil), vals1...),
+		vals2: append([]string(nil), vals2...),
+		vals:  make([]atomic.Int64, len(vals1)*len(vals2)),
+	}
+	r.vec2s[name] = v
+	r.claim(name, false)
+	return v
+}
+
+// WindowedHistogram returns the rotating-window histogram registered
+// under name, creating it with the given slot count and rotation
+// interval on first use. Its merged view is exported as _count and
+// quantile gauges (not a Prometheus histogram — windowed bucket counts
+// are not cumulative).
+func (r *Registry) WindowedHistogram(name, help string, slots int, interval time.Duration) *WindowedHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.init()
+	if h, ok := r.whists[name]; ok {
+		return h
+	}
+	r.mustBeFree(name, "windowed histogram")
+	h := newWindowedHistogram(name, help, slots, interval)
+	r.whists[name] = h
+	r.claim(name, false)
+	return h
+}
+
 func (r *Registry) mustBeFree(name, kind string) {
 	if _, ok := r.counters[name]; ok {
 		panic("metrics: " + name + " already registered as a counter, wanted " + kind)
@@ -371,6 +448,12 @@ func (r *Registry) mustBeFree(name, kind string) {
 	if _, ok := r.vecs[name]; ok {
 		panic("metrics: " + name + " already registered as a counter vec, wanted " + kind)
 	}
+	if _, ok := r.vec2s[name]; ok {
+		panic("metrics: " + name + " already registered as a counter vec2, wanted " + kind)
+	}
+	if _, ok := r.whists[name]; ok {
+		panic("metrics: " + name + " already registered as a windowed histogram, wanted " + kind)
+	}
 }
 
 // RegisterCollector adds a scrape-time collector.
@@ -382,19 +465,26 @@ func (r *Registry) RegisterCollector(c Collector) {
 
 // --- snapshot --------------------------------------------------------------
 
-// Series is one exported scalar series of a Snapshot.
+// Series is one exported scalar series of a Snapshot. Two-label
+// series (CounterVec2) carry a second key/value pair.
 type Series struct {
-	Name     string  `json:"name"`
-	LabelKey string  `json:"label,omitempty"`
-	LabelVal string  `json:"label_value,omitempty"`
-	Value    float64 `json:"value"`
+	Name      string  `json:"name"`
+	LabelKey  string  `json:"label,omitempty"`
+	LabelVal  string  `json:"label_value,omitempty"`
+	LabelKey2 string  `json:"label2,omitempty"`
+	LabelVal2 string  `json:"label2_value,omitempty"`
+	Value     float64 `json:"value"`
 }
 
 // HistogramSnapshot summarizes one histogram at snapshot time. Sum is
 // approximated from bucket midpoints (the observe path keeps no exact
 // sum — that would be a second atomic add).
 type HistogramSnapshot struct {
-	Name   string  `json:"name"`
+	Name string `json:"name"`
+	// Window is true for windowed histograms: the counts cover only
+	// the rotation window, so the exposition publishes gauges (count
+	// plus quantiles) instead of a cumulative Prometheus histogram.
+	Window bool    `json:"window,omitempty"`
 	Count  int64   `json:"count"`
 	Sum    float64 `json:"sum_approx"`
 	P50    float64 `json:"p50"`
@@ -419,6 +509,22 @@ func (h *HistogramSnapshot) Buckets() (bounds []int64, counts []int64) {
 // Quantile returns the q-quantile upper bound of the snapshot.
 func (h *HistogramSnapshot) Quantile(q float64) float64 {
 	return quantileOf(&h.bucket, h.Count, q)
+}
+
+// finish derives Sum/Max/quantiles from the populated buckets.
+func (h *HistogramSnapshot) finish() {
+	h.Sum, h.Max = 0, 0
+	for i, c := range h.bucket {
+		if c == 0 {
+			continue
+		}
+		hi := float64(bucketHigh(i))
+		h.Sum += hi * float64(c) // upper-edge approximation
+		h.Max = hi
+	}
+	h.P50 = quantileOf(&h.bucket, h.Count, 0.50)
+	h.P90 = quantileOf(&h.bucket, h.Count, 0.90)
+	h.P99 = quantileOf(&h.bucket, h.Count, 0.99)
 }
 
 // Snapshot is a point-in-time view of a registry, safe to read and
@@ -455,6 +561,70 @@ func (s *Snapshot) Value(name, labelVal string) (float64, bool) {
 	return 0, false
 }
 
+// Value2 returns the value of the named two-label series, and whether
+// it exists.
+func (s *Snapshot) Value2(name, labelVal, labelVal2 string) (float64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name && c.LabelVal == labelVal && c.LabelVal2 == labelVal2 {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// seriesKey identifies a series across snapshots for interval deltas.
+type seriesKey struct {
+	name, k1, v1, k2, v2 string
+}
+
+// Sub returns the interval delta current − prev: cumulative series
+// (counters, collector counters, histogram buckets) are subtracted
+// pairwise by (name, labels); gauges and windowed histograms are
+// instantaneous and pass through at their current value. Series absent
+// from prev keep their current value (they started at zero). Negative
+// deltas (a restarted counter) clamp to zero. This is the one interval
+// implementation shared by lcserve's progress probes and any consumer
+// that wants "what happened since the last scrape".
+func (s *Snapshot) Sub(prev *Snapshot) *Snapshot {
+	out := &Snapshot{}
+	prevC := make(map[seriesKey]float64, len(prev.Counters))
+	for _, c := range prev.Counters {
+		prevC[seriesKey{c.Name, c.LabelKey, c.LabelVal, c.LabelKey2, c.LabelVal2}] = c.Value
+	}
+	out.Counters = make([]Series, 0, len(s.Counters))
+	for _, c := range s.Counters {
+		d := c.Value - prevC[seriesKey{c.Name, c.LabelKey, c.LabelVal, c.LabelKey2, c.LabelVal2}]
+		if d < 0 {
+			d = 0
+		}
+		c.Value = d
+		out.Counters = append(out.Counters, c)
+	}
+	out.Gauges = append(out.Gauges, s.Gauges...)
+	prevH := make(map[string]*HistogramSnapshot, len(prev.Histograms))
+	for i := range prev.Histograms {
+		prevH[prev.Histograms[i].Name] = &prev.Histograms[i]
+	}
+	out.Histograms = make([]HistogramSnapshot, 0, len(s.Histograms))
+	for i := range s.Histograms {
+		h := s.Histograms[i] // copy
+		if p := prevH[h.Name]; p != nil && !h.Window {
+			h.Count = 0
+			for b := range h.bucket {
+				d := h.bucket[b] - p.bucket[b]
+				if d < 0 {
+					d = 0
+				}
+				h.bucket[b] = d
+				h.Count += d
+			}
+			h.finish()
+		}
+		out.Histograms = append(out.Histograms, h)
+	}
+	return out
+}
+
 // Snapshot materializes every instrument and collector into a
 // point-in-time view. The snapshot allocates; it is the scrape path,
 // not the observe path.
@@ -477,20 +647,27 @@ func (r *Registry) Snapshot() *Snapshot {
 				})
 			}
 		}
+		if v, ok := r.vec2s[name]; ok {
+			for i := range v.vals1 {
+				for j := range v.vals2 {
+					snap.Counters = append(snap.Counters, Series{
+						Name: v.name, LabelKey: v.label1, LabelVal: v.vals1[i],
+						LabelKey2: v.label2, LabelVal2: v.vals2[j],
+						Value: float64(v.Load(i, j)),
+					})
+				}
+			}
+		}
 		if h, ok := r.hists[name]; ok {
 			hs := HistogramSnapshot{Name: h.name}
 			hs.Count = h.snapshotCounts(&hs.bucket)
-			for i, c := range hs.bucket {
-				if c == 0 {
-					continue
-				}
-				hi := float64(bucketHigh(i))
-				hs.Sum += hi * float64(c) // upper-edge approximation
-				hs.Max = hi
-			}
-			hs.P50 = quantileOf(&hs.bucket, hs.Count, 0.50)
-			hs.P90 = quantileOf(&hs.bucket, hs.Count, 0.90)
-			hs.P99 = quantileOf(&hs.bucket, hs.Count, 0.99)
+			hs.finish()
+			snap.Histograms = append(snap.Histograms, hs)
+		}
+		if h, ok := r.whists[name]; ok {
+			hs := HistogramSnapshot{Name: h.name, Window: true}
+			hs.Count = h.mergeCounts(&hs.bucket)
+			hs.finish()
 			snap.Histograms = append(snap.Histograms, hs)
 		}
 	}
@@ -536,10 +713,14 @@ func (r *Registry) WriteProm(w *strings.Builder) {
 	}
 	for _, c := range snap.Counters {
 		header(c.Name, "counter")
-		if c.LabelKey == "" {
+		switch {
+		case c.LabelKey == "":
 			fmt.Fprintf(w, "%s %s\n", c.Name, promFloat(c.Value))
-		} else {
+		case c.LabelKey2 == "":
 			fmt.Fprintf(w, "%s{%s=%q} %s\n", c.Name, c.LabelKey, c.LabelVal, promFloat(c.Value))
+		default:
+			fmt.Fprintf(w, "%s{%s=%q,%s=%q} %s\n", c.Name,
+				c.LabelKey, c.LabelVal, c.LabelKey2, c.LabelVal2, promFloat(c.Value))
 		}
 	}
 	for _, g := range snap.Gauges {
@@ -552,6 +733,23 @@ func (r *Registry) WriteProm(w *strings.Builder) {
 	}
 	for i := range snap.Histograms {
 		h := &snap.Histograms[i]
+		if h.Window {
+			// Windowed counts shrink as slots rotate out, so a
+			// cumulative histogram exposition would violate counter
+			// monotonicity; publish the merged window as gauges.
+			name := h.Name + "_count"
+			header(name, "gauge")
+			fmt.Fprintf(w, "%s %d\n", name, h.Count)
+			for _, p := range [...]struct {
+				suffix string
+				v      float64
+			}{{"_p50", h.P50}, {"_p90", h.P90}, {"_p99", h.P99}} {
+				name := h.Name + p.suffix
+				header(name, "gauge")
+				fmt.Fprintf(w, "%s %s\n", name, promFloat(p.v))
+			}
+			continue
+		}
 		header(h.Name, "histogram")
 		var cum int64
 		for bi, c := range h.bucket {
@@ -593,8 +791,19 @@ func (r *Registry) helpOf(name string) string {
 	if v, ok := r.vecs[name]; ok {
 		return v.help
 	}
+	if v, ok := r.vec2s[name]; ok {
+		return v.help
+	}
+	if h, ok := r.whists[name]; ok {
+		return h.help
+	}
 	if strings.HasSuffix(name, "_p50") || strings.HasSuffix(name, "_p90") || strings.HasSuffix(name, "_p99") {
 		return "histogram quantile upper bound"
+	}
+	if base, ok := strings.CutSuffix(name, "_count"); ok {
+		if h, ok := r.whists[base]; ok {
+			return h.help + " (window count)"
+		}
 	}
 	return "collector series"
 }

@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// WindowedHistogram is a rotating window of fixed-bucket log-scale
+// histograms: N slots of `interval` each, covering the last
+// N×interval of wall time. Observe lands in the slot owned by the
+// current interval; a slot whose interval has passed is lazily zeroed
+// by the first observer that reaches it in a later rotation, so there
+// is no background rotator goroutine and nothing on the observe path
+// but a clock read, one epoch check, and one atomic add.
+//
+// The merged view (mergeCounts / Quantile) sums the slots whose epoch
+// still falls inside the window, which is what makes the quantiles
+// *time-resolved*: a latency regression shows up within one interval
+// and ages out after N of them, instead of being diluted into a
+// process-lifetime histogram.
+//
+// Consistency at rotation edges is deliberately relaxed: an observer
+// racing the slot-clearing CAS can land an observation in a slot that
+// is being recycled, under- or over-counting that boundary by a few
+// events. Each bucket is exact; window totals are eventually
+// consistent — the same trade the base Histogram documents for its
+// lock-free observe path.
+type WindowedHistogram struct {
+	name, help string
+	intervalNs int64
+	slots      []windowSlot
+	clock      func() int64 // unix nanoseconds; swappable in tests
+}
+
+type windowSlot struct {
+	epoch   atomic.Int64 // interval index this slot's counts belong to
+	buckets [histBuckets]atomic.Int64
+}
+
+func newWindowedHistogram(name, help string, slots int, interval time.Duration) *WindowedHistogram {
+	if slots < 1 {
+		slots = 1
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	w := &WindowedHistogram{
+		name:       name,
+		help:       help,
+		intervalNs: int64(interval),
+		slots:      make([]windowSlot, slots),
+		clock:      func() int64 { return time.Now().UnixNano() },
+	}
+	for i := range w.slots {
+		w.slots[i].epoch.Store(-1)
+	}
+	return w
+}
+
+// Name returns the registered name.
+func (w *WindowedHistogram) Name() string { return w.name }
+
+// Window returns the total time span covered (slots × interval).
+func (w *WindowedHistogram) Window() time.Duration {
+	return time.Duration(w.intervalNs * int64(len(w.slots)))
+}
+
+// Observe records one value into the current interval's slot: a clock
+// read, an epoch check (plus a CAS-guarded slot clear once per
+// rotation), and one atomic add. Never allocates.
+func (w *WindowedHistogram) Observe(v int64) {
+	ep := w.clock() / w.intervalNs
+	s := &w.slots[int(ep%int64(len(w.slots)))]
+	if old := s.epoch.Load(); old != ep {
+		if s.epoch.CompareAndSwap(old, ep) {
+			for i := range s.buckets {
+				s.buckets[i].Store(0)
+			}
+		}
+	}
+	s.buckets[bucketOf(v)].Add(1)
+}
+
+// mergeCounts sums the in-window slots into dst and returns the total
+// observation count. Slots whose epoch has aged out of the window
+// (idle periods) are skipped even though they were never recycled.
+func (w *WindowedHistogram) mergeCounts(dst *[histBuckets]int64) int64 {
+	for i := range dst {
+		dst[i] = 0
+	}
+	minEp := w.clock()/w.intervalNs - int64(len(w.slots)) + 1
+	var total int64
+	for si := range w.slots {
+		s := &w.slots[si]
+		if s.epoch.Load() < minEp {
+			continue
+		}
+		for i := range s.buckets {
+			c := s.buckets[i].Load()
+			dst[i] += c
+			total += c
+		}
+	}
+	return total
+}
+
+// Count returns the number of observations inside the window.
+func (w *WindowedHistogram) Count() int64 {
+	minEp := w.clock()/w.intervalNs - int64(len(w.slots)) + 1
+	var total int64
+	for si := range w.slots {
+		s := &w.slots[si]
+		if s.epoch.Load() < minEp {
+			continue
+		}
+		for i := range s.buckets {
+			total += s.buckets[i].Load()
+		}
+	}
+	return total
+}
+
+// Quantile returns the q-quantile upper bound over the window, and the
+// number of observations it covers. Zero-allocation (the merge buffer
+// lives on the stack), so a watchdog can evaluate SLOs against it
+// without perturbing the zero-alloc hot-path contract it polices.
+func (w *WindowedHistogram) Quantile(q float64) (v float64, count int64) {
+	var counts [histBuckets]int64
+	total := w.mergeCounts(&counts)
+	return quantileOf(&counts, total, q), total
+}
+
+// Mean returns the bucket-midpoint mean over the window and the count
+// it covers (0, 0 when the window is empty). Values below 8 sit in
+// exact single-value buckets, so for small-integer observations (e.g.
+// shards visited per query) the mean is exact.
+func (w *WindowedHistogram) Mean() (v float64, count int64) {
+	var counts [histBuckets]int64
+	total := w.mergeCounts(&counts)
+	if total == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for i, c := range counts {
+		if c != 0 {
+			sum += float64(bucketHigh(i)) * float64(c)
+		}
+	}
+	return sum / float64(total), total
+}
+
+// --- SLO objectives --------------------------------------------------------
+
+// Objective is one service-level objective: a named bound on a live
+// value (e.g. windowed p99 latency ≤ 50ms, mean shards visited ≤ 2.5).
+// The caller supplies the value at evaluation time; SLO keeps the
+// burn-rate accounting.
+type Objective struct {
+	Name  string  // label value in the breach counter vec
+	Bound float64 // inclusive upper bound on the evaluated value
+}
+
+// SLO tracks a fixed set of objectives with burn-rate counters in a
+// Registry: <prefix>_evals_total counts evaluation rounds and
+// <prefix>_breaches_total{objective=...} counts bound violations, so
+// the burn rate is rate(breaches)/rate(evals) — computable by any
+// scraper without recording rules. Eval is allocation-free.
+type SLO struct {
+	objectives []Objective
+	evals      *Counter
+	breaches   *CounterVec
+}
+
+// NewSLO registers the burn-rate counters for the given objectives
+// under <prefix>_evals_total / <prefix>_breaches_total.
+func NewSLO(r *Registry, prefix string, objectives []Objective) *SLO {
+	names := make([]string, len(objectives))
+	for i, o := range objectives {
+		names[i] = o.Name
+	}
+	return &SLO{
+		objectives: append([]Objective(nil), objectives...),
+		evals:      r.Counter(prefix+"_evals_total", "SLO evaluation rounds"),
+		breaches:   r.CounterVec(prefix+"_breaches_total", "SLO bound violations by objective", "objective", names),
+	}
+}
+
+// Len returns the number of objectives.
+func (s *SLO) Len() int { return len(s.objectives) }
+
+// Objective returns objective i.
+func (s *SLO) Objective(i int) Objective { return s.objectives[i] }
+
+// BeginEval counts one evaluation round.
+func (s *SLO) BeginEval() { s.evals.Inc() }
+
+// Eval checks value against objective i's bound, bumps the breach
+// counter on violation, and reports whether the objective burned.
+func (s *SLO) Eval(i int, value float64) bool {
+	if value > s.objectives[i].Bound {
+		s.breaches.Inc(i)
+		return true
+	}
+	return false
+}

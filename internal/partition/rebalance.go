@@ -62,8 +62,23 @@ func (s SkewStats) NeedsRebalance(maxSkew, maxSpread float64) bool {
 // MeasureSkew computes the rebalance trigger signals from the
 // per-shard summaries.
 func MeasureSkew(sums []ShardSummary) SkewStats {
+	var sc SkewScratch
+	return MeasureSkewInto(sums, &sc)
+}
+
+// SkewScratch holds MeasureSkewInto's reusable union-box buffers, so a
+// periodic caller (the engine's watchdog samples skew every tick) can
+// measure without heap allocation.
+type SkewScratch struct {
+	min, max geom.PointD
+}
+
+// MeasureSkewInto is MeasureSkew with caller-owned scratch: after the
+// first call the measurement performs no heap allocations (the union
+// box reuses sc's buffers at their high-water dimension).
+func MeasureSkewInto(sums []ShardSummary, sc *SkewScratch) SkewStats {
 	var st SkewStats
-	var union geom.Box
+	sc.min, sc.max = sc.min[:0], sc.max[:0]
 	volSum := 0.0
 	boxes := 0
 	for _, sum := range sums {
@@ -76,19 +91,17 @@ func MeasureSkew(sums []ShardSummary) SkewStats {
 		}
 		volSum += boxVolume(sum.Box)
 		boxes++
-		if union.Min == nil {
-			union = geom.Box{
-				Min: append(geom.PointD(nil), sum.Box.Min...),
-				Max: append(geom.PointD(nil), sum.Box.Max...),
-			}
+		if len(sc.min) == 0 {
+			sc.min = append(sc.min, sum.Box.Min...)
+			sc.max = append(sc.max, sum.Box.Max...)
 			continue
 		}
-		if len(sum.Box.Min) != len(union.Min) {
+		if len(sum.Box.Min) != len(sc.min) {
 			continue // mixed dimensions: leave the union as-is
 		}
-		for i := range union.Min {
-			union.Min[i] = math.Min(union.Min[i], sum.Box.Min[i])
-			union.Max[i] = math.Max(union.Max[i], sum.Box.Max[i])
+		for i := range sc.min {
+			sc.min[i] = math.Min(sc.min[i], sum.Box.Min[i])
+			sc.max[i] = math.Max(sc.max[i], sum.Box.Max[i])
 		}
 	}
 	st.Skew = 1
@@ -97,7 +110,7 @@ func MeasureSkew(sums []ShardSummary) SkewStats {
 		st.Skew = float64(st.MaxCount) / st.MeanCount
 	}
 	if boxes > 0 {
-		if uv := boxVolume(union); uv > 0 {
+		if uv := boxVolume(geom.Box{Min: sc.min, Max: sc.max}); uv > 0 {
 			st.Spread = volSum / uv
 		}
 	}

@@ -1,0 +1,119 @@
+package planner
+
+import (
+	"testing"
+
+	"linconstraint/internal/geom"
+	"linconstraint/internal/index"
+	"linconstraint/internal/partition"
+)
+
+// sumOf builds a summary covering [lo,hi]² with directional extremes,
+// as partition layouts would.
+func sumOf(lo, hi float64, count int) partition.ShardSummary {
+	var s partition.ShardSummary
+	s.Count = count
+	if count == 0 {
+		return s
+	}
+	for x := lo; x <= hi; x += hi - lo {
+		for y := lo; y <= hi; y += hi - lo {
+			s.Add(geom.PointD{x, y})
+		}
+	}
+	s.Count = count // Add bumps it; pin the intended value
+	return s
+}
+
+// TestVerdictVocabulary pins that each prune predicate reports its own
+// verdict and that Verdicts is parallel to the summaries with
+// visited/pruned consistent with Shards/Pruned.
+func TestVerdictVocabulary(t *testing.T) {
+	sums := []partition.ShardSummary{
+		sumOf(0, 1, 10),     // near the query: visited
+		sumOf(100, 101, 10), // far above the halfplane: pruned by geometry
+		{},                  // empty summary
+	}
+	var pl Plan
+	// Halfplane y <= 0*x + 2: shard 1 (y in [100,101]) is excluded.
+	PlanQueryInto(index.Query{Op: index.OpHalfplane, A: 0, B: 2}, sums, &pl)
+	if len(pl.Verdicts) != len(sums) {
+		t.Fatalf("verdicts len %d != %d summaries", len(pl.Verdicts), len(sums))
+	}
+	if pl.Verdicts[0] != VerdictVisited {
+		t.Fatalf("shard 0 verdict %v, want visited", pl.Verdicts[0])
+	}
+	if v := pl.Verdicts[1]; v != VerdictPrunedBox && v != VerdictPrunedSupport {
+		t.Fatalf("shard 1 verdict %v, want a geometric prune", v)
+	}
+	if pl.Verdicts[2] != VerdictPrunedEmpty {
+		t.Fatalf("shard 2 verdict %v, want empty", pl.Verdicts[2])
+	}
+	// Verdicts agree with the Shards/Pruned aggregates.
+	visited := 0
+	for _, v := range pl.Verdicts {
+		if !v.Pruned() {
+			visited++
+		}
+	}
+	if visited != len(pl.Shards) || len(sums)-visited != pl.Pruned {
+		t.Fatalf("verdicts (%d visited) disagree with Shards=%d Pruned=%d",
+			visited, len(pl.Shards), pl.Pruned)
+	}
+
+	// The support-function bound fires where the box test cannot: a
+	// diagonal summary (points on y = x) against a steep halfplane that
+	// clips the box corner but not the diagonal hull.
+	diag := partition.ShardSummary{}
+	diag.Add(geom.PointD{10, 10})
+	diag.Add(geom.PointD{20, 20})
+	PlanQueryInto(index.Query{Op: index.OpHalfplane, A: 1, B: -5}, []partition.ShardSummary{diag}, &pl)
+	if pl.Verdicts[0] != VerdictPrunedSupport {
+		t.Fatalf("diagonal summary verdict %v, want support (box cannot exclude y<=x-5 over [10,20]²)", pl.Verdicts[0])
+	}
+
+	// Conjunction exclusion reports its own verdict.
+	q := index.Query{Op: index.OpConjunction, Constraints: []index.Constraint{
+		{Coef: []float64{0, 50}, Below: false}, // y >= 0·x + 50 excludes [0,1]²
+	}}
+	PlanQueryInto(q, []partition.ShardSummary{sumOf(0, 1, 5)}, &pl)
+	if pl.Verdicts[0] != VerdictPrunedConstraint {
+		t.Fatalf("conjunction verdict %v, want constraint", pl.Verdicts[0])
+	}
+
+	// kNN: populated shards are visited at plan time (cutoff is a
+	// run-time engine verdict), empty shards pruned as empty.
+	PlanQueryInto(index.Query{Op: index.OpKNN, K: 1}, sums, &pl)
+	if pl.Verdicts[2] != VerdictPrunedEmpty || pl.Verdicts[0] != VerdictVisited {
+		t.Fatalf("knn verdicts %v", pl.Verdicts)
+	}
+
+	// Labels are dense and non-empty for every verdict.
+	labels := VerdictLabels()
+	if len(labels) != NumVerdicts {
+		t.Fatalf("labels %d != NumVerdicts %d", len(labels), NumVerdicts)
+	}
+	for i, l := range labels {
+		if l == "" {
+			t.Fatalf("verdict %d has no label", i)
+		}
+		if Verdict(i).String() != l {
+			t.Fatalf("String(%d) = %q, want %q", i, Verdict(i).String(), l)
+		}
+	}
+}
+
+// TestPlanIntoVerdictsZeroAllocs pins the explain path's contract: a
+// reused Plan re-fills its verdicts without touching the heap.
+func TestPlanIntoVerdictsZeroAllocs(t *testing.T) {
+	sums := make([]partition.ShardSummary, 8)
+	for i := range sums {
+		sums[i] = sumOf(float64(i*10), float64(i*10+5), 100)
+	}
+	var pl Plan
+	q := index.Query{Op: index.OpHalfplane, A: 0.5, B: 12}
+	PlanQueryInto(q, sums, &pl) // warm the slice capacities
+	if n := testing.AllocsPerRun(200, func() { PlanQueryInto(q, sums, &pl) }); n != 0 {
+		t.Fatalf("PlanQueryInto with verdicts allocates %v/op", n)
+	}
+}

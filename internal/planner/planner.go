@@ -35,6 +35,66 @@ import (
 	"linconstraint/internal/partition"
 )
 
+// Verdict says what the planner decided about one shard for one
+// query, and — when it pruned — *which bound* proved the shard cannot
+// contribute. The explain path (Plan.Verdicts, the engine's
+// per-op×per-verdict counters, Engine.ExplainInto) is built on this
+// vocabulary; VerdictPrunedKNNCutoff is issued by the engine at run
+// time (the kth distance is unknown at plan time), every other verdict
+// by the predicates in this package.
+type Verdict uint8
+
+const (
+	// VerdictVisited: no bound excluded the shard; the engine visits it.
+	VerdictVisited Verdict = iota
+	// VerdictPrunedEmpty: the summary's live count is zero — the shard
+	// holds nothing (rebalance shrinks summaries to the live set, so
+	// delete-hollowed shards earn this verdict again).
+	VerdictPrunedEmpty
+	// VerdictPrunedBox: the box half-space range test proved the
+	// summarized region safely misses the query region.
+	VerdictPrunedBox
+	// VerdictPrunedSupport: the 2D support-function cone bound (the
+	// directional extremes of the summary) excluded a shard the box
+	// test could not.
+	VerdictPrunedSupport
+	// VerdictPrunedConstraint: one conjunction constraint's inside
+	// halfspace safely misses the whole box.
+	VerdictPrunedConstraint
+	// VerdictPrunedKNNCutoff: the engine's run-time kth-distance cutoff
+	// stopped before reaching the shard.
+	VerdictPrunedKNNCutoff
+)
+
+// NumVerdicts is the cardinality of the verdict label set.
+const NumVerdicts = int(VerdictPrunedKNNCutoff) + 1
+
+// verdictLabels is indexed by Verdict, pre-interned for instrument
+// registration (same convention as OpLabels).
+var verdictLabels = []string{
+	VerdictVisited:          "visited",
+	VerdictPrunedEmpty:      "empty",
+	VerdictPrunedBox:        "box",
+	VerdictPrunedSupport:    "support",
+	VerdictPrunedConstraint: "constraint",
+	VerdictPrunedKNNCutoff:  "knn_cutoff",
+}
+
+// VerdictLabels returns the label values, parallel to Verdict values.
+// The caller must not mutate the slice.
+func VerdictLabels() []string { return verdictLabels }
+
+// String returns the verdict's label.
+func (v Verdict) String() string {
+	if int(v) < len(verdictLabels) {
+		return verdictLabels[v]
+	}
+	return "unknown"
+}
+
+// Pruned reports whether the verdict excluded the shard.
+func (v Verdict) Pruned() bool { return v != VerdictVisited }
+
 // Plan is the shard set one query must visit.
 type Plan struct {
 	// Shards lists the shards that can contribute, ascending — except
@@ -47,6 +107,12 @@ type Plan struct {
 	// for other ops (nil when freshly planned, length 0 when a reused
 	// Plan buffer last served a k-NN query).
 	MinDist2 []float64
+	// Verdicts is indexed by shard (length = number of summaries): the
+	// plan-time decision for every shard, including the ones not in
+	// Shards, with the bound that pruned each. Run-time k-NN cutoffs
+	// are not reflected here — the engine attributes those itself so a
+	// shared plan stays immutable across the batch.
+	Verdicts []Verdict
 	// Pruned counts the shards excluded at plan time. For OpKNN the
 	// engine's kth-distance cutoff may prune further at run time.
 	Pruned int
@@ -68,6 +134,7 @@ func PlanQuery(q index.Query, sums []partition.ShardSummary) Plan {
 func PlanQueryInto(q index.Query, sums []partition.ShardSummary, pl *Plan) {
 	pl.Shards = pl.Shards[:0]
 	pl.MinDist2 = pl.MinDist2[:0]
+	pl.Verdicts = pl.Verdicts[:0]
 	pl.Pruned = 0
 	if q.Op == index.OpKNN {
 		planKNN(q, sums, pl)
@@ -89,7 +156,9 @@ func PlanQueryInto(q index.Query, sums []partition.ShardSummary, pl *Plan) {
 		h.Coef = q.Coef
 	}
 	for si, sum := range sums {
-		if !mayContribute(q, h, sum) {
+		v := mayContribute(q, h, sum)
+		pl.Verdicts = append(pl.Verdicts, v)
+		if v.Pruned() {
 			pl.Pruned++
 			continue
 		}
@@ -135,26 +204,31 @@ func OpIndex(op index.Op) int {
 // caller must not mutate the slice.
 func OpLabels() []string { return opLabels }
 
-// mayContribute reports whether a record of the summarized shard can
-// satisfy q; h is the query hyperplane precomputed by PlanQueryInto
+// mayContribute decides whether a record of the summarized shard can
+// satisfy q, returning the verdict (VerdictVisited, or which bound
+// pruned); h is the query hyperplane precomputed by PlanQueryInto
 // (meaningful for the halfplane/halfspace ops only). Unknown regions
 // (no box yet) and ops without a predicate always may.
-func mayContribute(q index.Query, h geom.HyperplaneD, sum partition.ShardSummary) bool {
+func mayContribute(q index.Query, h geom.HyperplaneD, sum partition.ShardSummary) Verdict {
 	if sum.Count == 0 {
-		return false
+		return VerdictPrunedEmpty
 	}
 	if sum.Box.Min == nil {
-		return true
+		return VerdictVisited
 	}
 	switch q.Op {
 	case index.OpHalfplane:
 		return halfplaneMay(q.A, q.B, h, sum)
 	case index.OpHalfspace3, index.OpHalfspaceD:
-		return halfspaceMay(h, sum.Box)
+		if !halfspaceMay(h, sum.Box) {
+			return VerdictPrunedBox
+		}
 	case index.OpConjunction:
-		return conjunctionMay(q.Constraints, sum.Box)
+		if !conjunctionMay(q.Constraints, sum.Box) {
+			return VerdictPrunedConstraint
+		}
 	}
-	return true
+	return VerdictVisited
 }
 
 // safelyPositive (safelyNegative) reports that bound is positive
@@ -202,11 +276,14 @@ func halfspaceMay(h geom.HyperplaneD, box geom.Box) bool {
 // sampled directions u₁, u₂ (v.y = 1 > 0 and the samples cover the
 // upper half-circle), so with v = λ₁u₁ + λ₂u₂, λ ≥ 0,
 // min_p v·p ≥ λ₁·DirLo₁ + λ₂·DirLo₂ — the support-function bound, never
-// weaker than the box corner bound when v falls between samples.
-func halfplaneMay(a, b float64, h geom.HyperplaneD, sum partition.ShardSummary) bool {
+// weaker than the box corner bound when v falls between samples. The
+// returned verdict names the bound that fired (box is tried first, so
+// VerdictPrunedSupport marks exactly the prunes only the support
+// function could prove).
+func halfplaneMay(a, b float64, h geom.HyperplaneD, sum partition.ShardSummary) Verdict {
 	if len(sum.Box.Min) == 2 {
 		if lo, _ := sum.Box.HalfspaceRange(h); safelyPositive(lo, halfspaceScale(h, sum.Box)) {
-			return false
+			return VerdictPrunedBox
 		}
 	}
 	if dirs := partition.Directions2(); len(sum.DirLo) == len(dirs) {
@@ -235,12 +312,12 @@ func halfplaneMay(a, b float64, h geom.HyperplaneD, sum partition.ShardSummary) 
 				}
 				scale := (l1+l2)*mag + math.Abs(b)
 				if safelyPositive(db, scale) {
-					return false
+					return VerdictPrunedSupport
 				}
 			}
 		}
 	}
-	return true
+	return VerdictVisited
 }
 
 // conjunctionMay reports whether the box can meet every constraint:
@@ -279,9 +356,11 @@ func planKNN(q index.Query, sums []partition.ShardSummary, pl *Plan) {
 	qp := geom.PointD(qbuf[:])
 	for si, sum := range sums {
 		if sum.Count == 0 {
+			pl.Verdicts = append(pl.Verdicts, VerdictPrunedEmpty)
 			pl.Pruned++
 			continue
 		}
+		pl.Verdicts = append(pl.Verdicts, VerdictVisited)
 		d2 := 0.0 // unknown region: order first, never cut off early
 		if len(sum.Box.Min) == 2 {
 			d2 = sum.Box.MinDist2(qp)

@@ -51,6 +51,7 @@ import (
 	"linconstraint/internal/index"
 	"linconstraint/internal/metrics"
 	"linconstraint/internal/partition"
+	"linconstraint/internal/planner"
 )
 
 // Point2 is a point in the plane.
@@ -412,6 +413,26 @@ type EngineConfig struct {
 	TraceEvery int
 	// TraceBuf is the trace ring capacity (default 256).
 	TraceBuf int
+	// FlightRecorder enables threshold-triggered capture of anomalous
+	// runs: any run whose end-to-end latency, worst single-shard I/O,
+	// or total shard visits exceeds a configured bound is recorded —
+	// with per-shard plan verdicts, replica routing and I/O deltas —
+	// into a dedicated ring read with Engine.SlowQueries, independent
+	// of the TraceEvery sampler. The zero value disables it; enabling
+	// it keeps the steady-state query path allocation-free.
+	FlightRecorder FlightRecorderConfig
+	// Watchdog, when non-nil, runs a background health sampler that
+	// watches runtime pressure (GC pause, heap, goroutines), layout
+	// skew, traffic concentration, replica balance and the SLO burn
+	// rates, emitting typed events read with Engine.Health. Stopped by
+	// Engine.Close.
+	Watchdog *WatchdogConfig
+	// WindowSlots and WindowInterval shape the instrumented engine's
+	// rotating histogram windows — the time-resolved latency/fan-out
+	// views behind the *_win series and the watchdog's SLO checks
+	// (defaults 6 slots of 10s).
+	WindowSlots    int
+	WindowInterval time.Duration
 }
 
 func (c EngineConfig) options() engine.Options {
@@ -422,6 +443,8 @@ func (c EngineConfig) options() engine.Options {
 		Partitioner: c.Partitioner, NoPlanner: c.DisablePlanner,
 		PretrainSample: c.PretrainSample,
 		Metrics:        c.Metrics, TraceEvery: c.TraceEvery, TraceBuf: c.TraceBuf,
+		FlightRecorder: c.FlightRecorder, Watchdog: c.Watchdog,
+		WindowSlots: c.WindowSlots, WindowInterval: c.WindowInterval,
 	}
 }
 
@@ -511,6 +534,70 @@ type Trace = engine.Trace
 // RebalanceEvent is one recorded phase of a Rebalance/Retrain call on
 // an instrumented engine; read them with Engine.RebalanceEvents.
 type RebalanceEvent = engine.RebalanceEvent
+
+// FlightRecorderConfig bounds what the flight recorder considers an
+// anomalous run (EngineConfig.FlightRecorder): end-to-end latency,
+// worst single-shard block transfers, or total shard visits. A zero
+// bound disables that trigger; the recorder is off when every trigger
+// is disabled.
+type FlightRecorderConfig = engine.FlightRecorderConfig
+
+// SlowReason is the bitmask of flight-recorder bounds a captured run
+// tripped; String renders the fixed vocabulary ("total_ns|shard_io").
+type SlowReason = engine.SlowReason
+
+// Flight-recorder trigger bits.
+const (
+	SlowTotalNs = engine.SlowTotalNs
+	SlowShardIO = engine.SlowShardIO
+	SlowFanout  = engine.SlowFanout
+)
+
+// SlowTrace is one run the flight recorder captured: the same
+// phase/plan breakdown a sampled Trace carries, plus the run's
+// wall-clock start, which bounds it tripped, and per-shard evidence
+// (plan verdicts, replica routing, block-I/O deltas) for every shard.
+// Read them with Engine.SlowQueries or the /debug/slow endpoint.
+type SlowTrace = engine.SlowTrace
+
+// ShardTrace is one shard's share of a captured SlowTrace.
+type ShardTrace = engine.ShardTrace
+
+// WatchdogConfig configures the background health sampler
+// (EngineConfig.Watchdog): the tick interval, the event ring size, and
+// the bounds — layout skew, hot-shard traffic share, GC pause budget,
+// replica imbalance — plus the SLO objectives (windowed p99 latency,
+// windowed mean shards visited). A zero bound disables that check.
+type WatchdogConfig = engine.WatchdogConfig
+
+// HealthEvent is one watchdog observation that crossed its configured
+// bound; read them with Engine.Health or the /debug/health endpoint.
+type HealthEvent = engine.HealthEvent
+
+// HealthKind identifies what a HealthEvent observed; String is the
+// engine_health_events_total label ("skew", "p99_burn", ...).
+type HealthKind = engine.HealthKind
+
+// Watchdog event kinds.
+const (
+	HealthSkew             = engine.HealthSkew
+	HealthHotShard         = engine.HealthHotShard
+	HealthLatencyBurn      = engine.HealthLatencyBurn
+	HealthVisitedBurn      = engine.HealthVisitedBurn
+	HealthGCStall          = engine.HealthGCStall
+	HealthReplicaImbalance = engine.HealthReplicaImbalance
+)
+
+// PlanVerdict is the planner's per-shard decision for one query:
+// visited, or which bound pruned the shard. String is the metric label
+// ("visited", "empty", "box", "support", "constraint", "knn_cutoff") —
+// the vocabulary of engine_plan_verdicts_total and of Explain.
+type PlanVerdict = planner.Verdict
+
+// Explain is Engine.ExplainInto's reusable answer: the planner's
+// per-shard verdict for one query, computed without running it. A
+// reused Explain keeps its buffers, so polling stays allocation-free.
+type Explain = engine.Explain
 
 // Engine is a sharded concurrent front-end over one of the paper's
 // index families. It returns exactly the same result sets as the
@@ -740,6 +827,27 @@ func (e *Engine) Traces(dst []Trace) []Trace { return e.eng.Traces(dst) }
 func (e *Engine) RebalanceEvents(dst []RebalanceEvent) []RebalanceEvent {
 	return e.eng.RebalanceEvents(dst)
 }
+
+// SlowQueries appends the flight recorder's captured anomalous runs to
+// dst, oldest first, and returns it. Empty unless
+// EngineConfig.FlightRecorder set at least one bound. Pass a reused
+// dst[:0] to poll without allocating (each entry's PerShard capacity
+// is reused too).
+func (e *Engine) SlowQueries(dst []SlowTrace) []SlowTrace { return e.eng.SlowQueries(dst) }
+
+// Health appends the watchdog's recorded health events to dst, oldest
+// first, and returns it. Empty unless EngineConfig.Watchdog was set.
+// Pass a reused dst[:0] to poll without allocating.
+func (e *Engine) Health(dst []HealthEvent) []HealthEvent { return e.eng.Health(dst) }
+
+// ExplainInto plans q against the engine's current shard summaries —
+// without visiting any shard — and fills ex with the planner's
+// per-shard verdicts: which shards the query would visit, and which
+// bound (empty, box, support function, constraint conjunction) prunes
+// each of the rest. On a DisablePlanner engine it still reports what
+// the planner would decide. Reuse ex across calls to keep polling
+// allocation-free.
+func (e *Engine) ExplainInto(q Query, ex *Explain) { e.eng.ExplainInto(q, ex) }
 
 // ResetStats zeroes every shard's counters and drops their caches.
 func (e *Engine) ResetStats() { e.eng.ResetStats() }
