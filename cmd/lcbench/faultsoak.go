@@ -1,0 +1,366 @@
+package main
+
+// The -faultsoak mode: an end-to-end smoke of the robustness stack
+// (DESIGN.md §12). A planar engine serves selective halfplane reads
+// with per-miss device latency; the shard the workload visits most is
+// replicated and its primary copy browned out 50× (every cache miss on
+// that device stalls 50 times the healthy miss latency). The smoke
+// measures the p99 run latency healthy, browned-without-hedging, and
+// browned-with-hedging (hedge delay pinned to the measured healthy
+// p99), and fails unless hedged p99 lands at or below 3× the healthy
+// baseline and strictly below the unhedged run — with every answer
+// byte-identical to the healthy engine throughout.
+//
+// The second act drives the breaker lifecycle through the public
+// facade: the same replica is hard-failed under an armed circuit
+// breaker, the smoke soaks queries until the breaker trips open,
+// verifies reads are routed around the sick copy (its device counters
+// freeze), repairs it via Engine.Repair, and checks the breaker
+// re-closed — byte-identical at every step. Finally the steady-state
+// read path is re-measured for allocations with the full fault stack
+// (hedging, breaker, a live brownout plan) armed: it must stay at
+// 0 allocs/op.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"slices"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"linconstraint"
+	"linconstraint/internal/workload"
+)
+
+// faultsoakRecord is the -faultsoak -json output (results/BENCH_pr9.json).
+type faultsoakRecord struct {
+	N           int   `json:"n"`
+	Shards      int   `json:"shards"`
+	Runs        int   `json:"runs"`
+	IOLatencyUS int64 `json:"io_latency_us"`
+	BrownFactor int   `json:"brownout_factor"`
+	HotShard    int   `json:"hot_shard"`
+
+	HealthyP99US  int64   `json:"healthy_p99_us"`
+	UnhedgedP99US int64   `json:"unhedged_p99_us"`
+	HedgedP99US   int64   `json:"hedged_p99_us"`
+	HedgedOverP99 float64 `json:"hedged_over_healthy"`
+	Hedges        float64 `json:"hedges"`
+	HedgeWins     float64 `json:"hedge_wins"`
+
+	BreakerTripped bool    `json:"breaker_tripped"`
+	RoutedAround   bool    `json:"routed_around"`
+	Repaired       int     `json:"repaired"`
+	Reclosed       bool    `json:"reclosed"`
+	ByteIdentical  bool    `json:"byte_identical"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+
+	Pass bool `json:"pass"`
+}
+
+// faultsoakSmoke runs the whole scenario and verifies the acceptance
+// thresholds. Returns false (and prints FAIL lines) on any violation.
+func faultsoakSmoke(seed int64, quick bool, jsonPath string) bool {
+	const shards = 4
+	n, runs := 24_000, 120
+	if quick {
+		n, runs = 12_000, 80
+	}
+	// The 50× brown stall (5ms) must clear time.Sleep's real-world
+	// floor — kernels commonly round every sub-millisecond sleep up to
+	// ~1ms — by a wide margin, or the browned replica would be no
+	// slower per touch than a healthy miss. 100µs nominal keeps the
+	// healthy run in the same sleep-floor regime the hedge timer lives
+	// in, so the hedge delay (pinned to the measured healthy p99) stays
+	// meaningful on any timer resolution.
+	const ioLat = 100 * time.Microsecond
+	const brownFactor = 50
+	const brownStall = brownFactor * ioLat
+
+	rng := rand.New(rand.NewSource(seed))
+	pts := workload.Uniform2(rng, n)
+	qs := make([]workload.Halfplane, 32)
+	for i := range qs {
+		// 1% selectivity keeps the worst single-shard critical path to
+		// ~a dozen misses, so a phase finishes in seconds while the
+		// per-miss brown stall still dominates a faulted visit.
+		qs[i] = workload.HalfplaneWithSelectivity(rng, pts, 0.01)
+	}
+
+	base := linconstraint.EngineConfig{
+		Shards: shards, BlockSize: 128, Seed: seed,
+		Partitioner: linconstraint.KDCutLayout(), IOLatency: ioLat,
+	}
+
+	// The healthy engine doubles as the answer oracle: same points, same
+	// seed, same layout training set, so every engine below plans and
+	// answers identically.
+	calib := linconstraint.NewPlanarEngine(pts, base)
+	defer calib.Close()
+	baseline := make([][]int, len(qs))
+	for i, q := range qs {
+		baseline[i] = calib.Halfplane(q.A, q.B)
+	}
+	hot, hotV := 0, uint64(0)
+	for si := 0; si < shards; si++ {
+		if v := calib.ShardTraffic(si); v > hotV {
+			hot, hotV = si, v
+		}
+	}
+
+	byteIdentical := true
+	// measure drives runs single-query batches round-robin over the
+	// pool, checks each answer against the oracle, and returns the
+	// client-side p99 run latency.
+	measure := func(e *linconstraint.Engine, label string) time.Duration {
+		durs := make([]time.Duration, 0, runs)
+		one := make([]linconstraint.Query, 1)
+		res := make([]linconstraint.QueryResult, 0, 1)
+		for i := 0; i < runs; i++ {
+			qi := i % len(qs)
+			one[0] = linconstraint.Query{Op: linconstraint.OpHalfplane, A: qs[qi].A, B: qs[qi].B}
+			t0 := time.Now()
+			res = e.BatchInto(one, res[:0])
+			durs = append(durs, time.Since(t0))
+			if res[0].Err != nil {
+				fmt.Fprintln(os.Stderr, res[0].Err)
+				os.Exit(1)
+			}
+			if !slices.Equal(res[0].IDs, baseline[qi]) {
+				fmt.Printf("FAIL: %s run %d not byte-identical to the healthy answer (%d vs %d ids)\n",
+					label, i, len(res[0].IDs), len(baseline[qi]))
+				byteIdentical = false
+				break
+			}
+		}
+		sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+		return durs[len(durs)*99/100]
+	}
+
+	fmt.Printf("faultsoak smoke: n=%d, %d shards, %d runs/phase at 1%% selectivity, %v/miss, hot shard %d browned out %dx\n\n",
+		n, shards, runs, ioLat, hot, brownFactor)
+
+	healthyP99 := measure(calib, "healthy")
+	brown := linconstraint.FaultPlan{Seed: seed + 9, BrownoutProb: 1, BrownoutStall: brownStall}
+
+	// Unhedged: the sequential read path always lands on the browned
+	// primary copy (least-in-flight, first wins ties), so every hot
+	// visit pays the stalls in full.
+	unhedged := linconstraint.NewPlanarEngine(pts, base)
+	defer unhedged.Close()
+	if err := unhedged.Replicate(hot, 2); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := unhedged.InjectFaults(hot, 0, brown); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	unhedgedP99 := measure(unhedged, "unhedged")
+
+	// Hedged: same brownout, but with the hedge delay pinned to the
+	// measured healthy p99 the unanswered dispatch re-issues to the
+	// clean clone and the first answer wins.
+	hcfg := base
+	hcfg.HedgeAfter = healthyP99
+	hcfg.Metrics = linconstraint.NewMetrics()
+	hedged := linconstraint.NewPlanarEngine(pts, hcfg)
+	defer hedged.Close()
+	if err := hedged.Replicate(hot, 2); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := hedged.InjectFaults(hot, 0, brown); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	hedgedP99 := measure(hedged, "hedged")
+	hsnap := hcfg.Metrics.Snapshot()
+	nhedges, _ := hsnap.Value("engine_hedges_total", "")
+	nwins, _ := hsnap.Value("engine_hedge_wins_total", "")
+
+	fmt.Printf("%-26s %12s %12s %12s\n", "", "healthy", "unhedged", "hedged")
+	fmt.Printf("%-26s %12v %12v %12v\n", "p99 run latency",
+		healthyP99.Round(time.Microsecond), unhedgedP99.Round(time.Microsecond), hedgedP99.Round(time.Microsecond))
+	fmt.Printf("\nhedges %.0f (%.0f won); hedged/healthy p99 ratio %.2f\n",
+		nhedges, nwins, float64(hedgedP99)/float64(healthyP99))
+
+	// Act two: hard fail under an armed breaker, soak until the trip,
+	// verify route-around, repair, re-close.
+	bcfg := base
+	bcfg.HedgeAfter = healthyP99
+	bcfg.Breaker = &linconstraint.BreakerConfig{Threshold: 3, Cooldown: time.Hour}
+	bcfg.Metrics = linconstraint.NewMetrics()
+	brk := linconstraint.NewPlanarEngine(pts, bcfg)
+	defer brk.Close()
+	if err := brk.Replicate(hot, 2); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// A cheap per-touch stall keeps the soak loop fast; the latch, not
+	// the stall size, is what the breaker reacts to.
+	if err := brk.InjectFaults(hot, 0, linconstraint.FaultPlan{FailStall: 20 * time.Microsecond}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := brk.FailReplica(hot, 0); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	soakOne := func(i int) {
+		qi := i % len(qs)
+		got := brk.Halfplane(qs[qi].A, qs[qi].B)
+		if !slices.Equal(got, baseline[qi]) {
+			fmt.Printf("FAIL: breaker soak run %d not byte-identical (%d vs %d ids)\n", i, len(got), len(baseline[qi]))
+			byteIdentical = false
+		}
+	}
+	tripped := false
+	soakDl := time.Now().Add(10 * time.Second)
+	for i := 0; byteIdentical && time.Now().Before(soakDl); i++ {
+		soakOne(i)
+		states, err := brk.BreakerStates(hot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if states[0] == linconstraint.BreakerOpen {
+			tripped = true
+			break
+		}
+	}
+	// Routed around: with the breaker open, the sick copy's device
+	// counters freeze while queries keep flowing.
+	routed := false
+	if tripped {
+		frozen := brk.Stats().ReplicaReads[hot][0]
+		for i := 0; i < 8; i++ {
+			soakOne(i)
+		}
+		routed = brk.Stats().ReplicaReads[hot][0] == frozen
+		if !routed {
+			fmt.Printf("FAIL: tripped replica still serving reads (%d -> %d)\n", frozen, brk.Stats().ReplicaReads[hot][0])
+		}
+	} else {
+		fmt.Printf("FAIL: breaker never tripped on the hard-failed replica\n")
+	}
+	repaired, err := brk.Repair(hot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	states, err := brk.BreakerStates(hot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	reclosed := true
+	for _, s := range states {
+		if s != linconstraint.BreakerClosed {
+			reclosed = false
+		}
+	}
+	if !reclosed {
+		fmt.Printf("FAIL: breaker states %v after Repair, want all closed\n", states)
+	}
+	for i := 0; i < len(qs); i++ { // post-repair sweep, repaired copy back in rotation
+		soakOne(i)
+	}
+	fmt.Printf("breaker: tripped=%v routed-around=%v repaired=%d re-closed=%v\n",
+		tripped, routed, repaired, reclosed)
+
+	// Steady-state allocation check with the full fault stack armed:
+	// hedging and the breaker live, a seeded brownout plan back on the
+	// repaired copy. Concurrent warm deepens the arena pool past the
+	// hedge-straggler high-water mark before measuring.
+	if err := brk.InjectFaults(hot, 0, linconstraint.FaultPlan{Seed: seed + 5, BrownoutProb: 0.01, BrownoutStall: time.Nanosecond}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			one := make([]linconstraint.Query, 1)
+			res := make([]linconstraint.QueryResult, 0, 1)
+			for i := 0; i < 50; i++ {
+				qi := (g + i) % len(qs)
+				one[0] = linconstraint.Query{Op: linconstraint.OpHalfplane, A: qs[qi].A, B: qs[qi].B}
+				res = brk.BatchInto(one, res[:0])
+			}
+		}(g)
+	}
+	wg.Wait()
+	one := make([]linconstraint.Query, 1)
+	res := make([]linconstraint.QueryResult, 0, 1)
+	i := 0
+	run := func() {
+		qi := i % len(qs)
+		i++
+		one[0] = linconstraint.Query{Op: linconstraint.OpHalfplane, A: qs[qi].A, B: qs[qi].B}
+		res = brk.BatchInto(one, res[:0])
+		if res[0].Err != nil {
+			fmt.Fprintln(os.Stderr, res[0].Err)
+			os.Exit(1)
+		}
+	}
+	run() // warm
+	allocs := testing.AllocsPerRun(20, run)
+	fmt.Printf("steady-state allocs/op with the fault stack armed: %.1f\n", allocs)
+
+	rec := faultsoakRecord{
+		N: n, Shards: shards, Runs: runs,
+		IOLatencyUS: int64(ioLat / time.Microsecond), BrownFactor: brownFactor, HotShard: hot,
+		HealthyP99US:  int64(healthyP99 / time.Microsecond),
+		UnhedgedP99US: int64(unhedgedP99 / time.Microsecond),
+		HedgedP99US:   int64(hedgedP99 / time.Microsecond),
+		HedgedOverP99: float64(hedgedP99) / float64(healthyP99),
+		Hedges:        nhedges, HedgeWins: nwins,
+		BreakerTripped: tripped, RoutedAround: routed, Repaired: repaired, Reclosed: reclosed,
+		ByteIdentical: byteIdentical, AllocsPerOp: allocs,
+	}
+
+	ok := byteIdentical && tripped && routed && reclosed
+	if nhedges == 0 {
+		fmt.Printf("FAIL: no hedges fired on the browned hedged engine\n")
+		ok = false
+	}
+	if hedgedP99 > 3*healthyP99 {
+		fmt.Printf("FAIL: hedged p99 %v > 3x healthy baseline %v\n", hedgedP99, healthyP99)
+		ok = false
+	}
+	if hedgedP99 >= unhedgedP99 {
+		fmt.Printf("FAIL: hedged p99 %v not strictly below unhedged %v\n", hedgedP99, unhedgedP99)
+		ok = false
+	}
+	if repaired != 1 {
+		fmt.Printf("FAIL: Repair fixed %d replicas, want 1\n", repaired)
+		ok = false
+	}
+	if allocs != 0 {
+		fmt.Printf("FAIL: %.1f allocs/op on the armed steady-state read path, want 0\n", allocs)
+		ok = false
+	}
+	rec.Pass = ok
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", jsonPath, err)
+			ok = false
+		} else {
+			fmt.Printf("record written to %s\n", jsonPath)
+		}
+	}
+	if ok {
+		fmt.Println("\nPASS")
+	}
+	return ok
+}

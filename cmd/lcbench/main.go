@@ -29,6 +29,16 @@
 // steady-state read path. Combine with -json PATH to write the record
 // (the PR 7 state is checked in as results/BENCH_pr7.json).
 //
+// With -faultsoak it runs the robustness smoke (faultsoak.go): the
+// workload's hot shard is replicated and its primary copy browned out
+// 50× per miss; the run fails unless hedged reads hold the p99 at or
+// below 3× the healthy baseline and strictly below the unhedged run, a
+// hard-failed replica trips the circuit breaker, is routed around,
+// repaired via Engine.Repair and re-closed — answers byte-identical
+// throughout and the steady-state read path at 0 allocs/op with the
+// full fault stack armed. Combine with -json PATH to write the record
+// (the PR 9 state is checked in as results/BENCH_pr9.json).
+//
 // With -json PATH it instead runs the engine hot-path benchmarks
 // (bench.go) and writes a machine-readable perf record — qps, ns/op,
 // B/op, allocs/op, shards visited and I/Os per op family — to PATH;
@@ -40,7 +50,8 @@
 // Usage:
 //
 //	lcbench [-quick] [-seed N] [-out DIR] [-only E1,E7,...] [-pruning]
-//	        [-reshard] [-hotshard] [-json PATH [-baseline FILE]]
+//	        [-reshard] [-hotshard] [-faultsoak]
+//	        [-json PATH [-baseline FILE]]
 package main
 
 import (
@@ -64,6 +75,7 @@ func main() {
 	pruning := flag.Bool("pruning", false, "run the shard-pruning efficiency smoke instead of the experiments")
 	reshard := flag.Bool("reshard", false, "run the online-resharding smoke (skewed delete phase, rebalance, skew + visited-shards before/after); -json writes its record")
 	hotshard := flag.Bool("hotshard", false, "run the hot-shard replication smoke (zipf reads, sketch-driven AutoReplicate, qps before/after); -json writes its record")
+	faultsoak := flag.Bool("faultsoak", false, "run the robustness smoke (browned-out replica, hedged vs unhedged p99, breaker trip/route-around/repair); -json writes its record")
 	jsonOut := flag.String("json", "", "run the engine hot-path benchmarks and write the perf record to this path (with -reshard: the reshard record)")
 	baseline := flag.String("baseline", "", "with -json: previously written perf record to embed as the comparison baseline")
 	flag.Parse()
@@ -77,6 +89,13 @@ func main() {
 
 	if *hotshard {
 		if !hotshardSmoke(*seed, *quick, *jsonOut) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *faultsoak {
+		if !faultsoakSmoke(*seed, *quick, *jsonOut) {
 			os.Exit(1)
 		}
 		return

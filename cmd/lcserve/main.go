@@ -27,7 +27,8 @@
 //	        [-lat DUR] [-seed N]
 //	        [-metrics-addr HOST:PORT] [-metrics-dump FILE] [-trace N]
 //	        [-slow-ns N] [-explain] [-slo SPEC] [-watchdog DUR]
-//	        [-linger DUR] [-promcheck FILE]
+//	        [-faults SPEC] [-hedge DUR|auto] [-deadline DUR] [-strict]
+//	        [-breaker T:DUR] [-linger DUR] [-promcheck FILE]
 //
 // The engine always runs instrumented: run-phase latency histograms
 // (p50/p95/p99 per phase in the report), windowed (time-resolved)
@@ -60,6 +61,20 @@
 // reports hot (DESIGN.md §10). Either way the report ends with a
 // replica-hit heat line showing how reads spread across each
 // replicated shard's copies.
+//
+// The robustness stack (DESIGN.md §12) is armable from the command
+// line: -faults installs deterministic fault-injection plans on named
+// replica devices (comma-separated entries, "SHARD:REPLICA:fail" for a
+// hard fail or "SHARD:REPLICA:PROB:STALL" for a seeded brownout, e.g.
+// "0:1:0.5:2ms"), -hedge arms hedged replica reads (a fixed delay, or
+// "auto" to track the windowed p99), -deadline bounds every run's
+// wall-clock — by default a late run degrades (partial answer, the
+// abandoned shards named), -strict makes it complete instead — and
+// -breaker T:DUR arms the per-replica circuit breaker (trip after T
+// consecutive faulted visits, half-open probe after DUR). The report
+// then ends with a robustness line (hedges/wins, deadline misses,
+// degraded runs, breaker trips) and the final per-replica breaker
+// states.
 //
 // With -rebalance (dynamic kinds) one online rebalance fires in the
 // background from the load phase's midpoint: the layout retrains on
@@ -125,6 +140,11 @@ func main() {
 		linger      = flag.Duration("linger", 0, "keep the process (and -metrics-addr) alive this long after the report")
 		promcheck   = flag.String("promcheck", "", "validate a saved Prometheus text payload and exit (no engine run)")
 
+		faultsF  = flag.String("faults", "", "fault-injection plans, comma-separated: SHARD:REPLICA:fail (hard fail) or SHARD:REPLICA:PROB:STALL (seeded brownout), e.g. 0:1:0.5:2ms")
+		hedgeF   = flag.String("hedge", "", "hedged replica reads: a delay (e.g. 500us), or auto to track the windowed p99 ('' disables)")
+		deadline = flag.Duration("deadline", 0, "per-run wall-clock deadline (0 disables); late runs degrade unless -strict")
+		strict   = flag.Bool("strict", false, "with -deadline, let late runs complete instead of returning partial answers")
+		breakerF = flag.String("breaker", "", "per-replica circuit breaker as T:DUR (trip threshold, open cooldown), e.g. 3:100ms")
 		slowNs   = flag.Int64("slow-ns", 0, "flight recorder: capture any query run slower than this many nanoseconds, with full per-shard evidence (0 disables)")
 		explainF = flag.Bool("explain", false, "print the planner's per-shard verdict for one sample query after the profile phase")
 		sloSpec  = flag.String("slo", "", "SLO objectives as comma-separated key=value pairs: p99=DUR (windowed p99 run latency) and/or visited=F (windowed mean shards visited); breaches burn engine_slo_breaches_total")
@@ -186,6 +206,38 @@ func main() {
 			LatencyP99Ns:      int64(sloP99),
 			MeanShardsVisited: sloVisited,
 		}
+	}
+	cfg.Deadline, cfg.Strict = *deadline, *strict
+	switch *hedgeF {
+	case "":
+	case "auto":
+		cfg.HedgeAfter = linconstraint.HedgeAuto
+	default:
+		d, err := time.ParseDuration(*hedgeF)
+		if err != nil || d <= 0 {
+			fmt.Fprintf(os.Stderr, "bad -hedge %q (want a positive duration or auto)\n", *hedgeF)
+			os.Exit(2)
+		}
+		cfg.HedgeAfter = d
+	}
+	if *breakerF != "" {
+		var thr int
+		var cool string
+		if _, err := fmt.Sscanf(*breakerF, "%d:%s", &thr, &cool); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -breaker %q (want T:DUR, e.g. 3:100ms)\n", *breakerF)
+			os.Exit(2)
+		}
+		d, err := time.ParseDuration(cool)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -breaker cooldown %q: %v\n", cool, err)
+			os.Exit(2)
+		}
+		cfg.Breaker = &linconstraint.BreakerConfig{Threshold: thr, Cooldown: d}
+	}
+	faults, err := parseFaults(*faultsF, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -faults %q: %v\n", *faultsF, err)
+		os.Exit(2)
 	}
 	switch *layoutF {
 	case "rr":
@@ -332,6 +384,25 @@ func main() {
 		fmt.Printf("replica degrees after -replicas: %v\n", eng.Replicas())
 	}
 
+	// Fault plans install after the build (and after -replicas, so a
+	// clone device can be named): the build itself always runs healthy.
+	for _, f := range faults {
+		if err := eng.InjectFaults(f.si, f.ri, f.plan); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if f.fail {
+			if err := eng.FailReplica(f.si, f.ri); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("fault: shard %d replica %d hard-failed\n", f.si, f.ri)
+		} else {
+			fmt.Printf("fault: shard %d replica %d brownout p=%.2f stall=%v\n",
+				f.si, f.ri, f.plan.BrownoutProb, f.plan.BrownoutStall)
+		}
+	}
+
 	// Phase 1: sequential profile for the per-query I/O histogram and
 	// the per-query plan (shards visited/pruned) columns.
 	var perQuery, perVisited []int64
@@ -445,7 +516,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, r.Err)
 				os.Exit(1)
 			}
-			if qs[done+i].Op == linconstraint.OpDelete && !r.Deleted {
+			if qs[done+i].Op == linconstraint.OpDelete && !r.Deleted && !r.Degraded {
 				fmt.Fprintln(os.Stderr, "delete of a live record missed")
 				os.Exit(1)
 			}
@@ -609,6 +680,39 @@ func main() {
 			st.Replicas, mx, sb.String())
 	}
 
+	// Robustness summary: what the fault stack did during the load
+	// phase, from the same counters a scraper reads.
+	if *faultsF != "" || *hedgeF != "" || *deadline > 0 || *breakerF != "" {
+		hedges, _ := snap.Value("engine_hedges_total", "")
+		wins, _ := snap.Value("engine_hedge_wins_total", "")
+		misses, _ := snap.Value("engine_deadline_misses_total", "")
+		degr, _ := snap.Value("engine_degraded_runs_total", "")
+		trips, _ := snap.Value("engine_breaker_trips_total", "")
+		repairs, _ := snap.Value("engine_repairs_total", "")
+		fmt.Printf("robustness: %.0f hedges (%.0f won), %.0f deadline misses, %.0f degraded runs, %.0f breaker trips, %.0f repairs\n",
+			hedges, wins, misses, degr, trips, repairs)
+		if cfg.Breaker != nil {
+			var sb strings.Builder
+			for si := 0; si < eng.NumShards(); si++ {
+				states, err := eng.BreakerStates(si)
+				if err != nil {
+					continue
+				}
+				if si > 0 {
+					sb.WriteByte(' ')
+				}
+				fmt.Fprintf(&sb, "s%d:", si)
+				for ri, s := range states {
+					if ri > 0 {
+						sb.WriteByte(',')
+					}
+					sb.WriteString(s.String())
+				}
+			}
+			fmt.Printf("breaker states: %s\n", sb.String())
+		}
+	}
+
 	// Flight-recorder and watchdog summaries: the operator-facing
 	// one-liners; the full evidence stays on /debug/slow and
 	// /debug/health while the process lingers.
@@ -689,6 +793,60 @@ func parseSLO(spec string) (p99 time.Duration, visited float64, err error) {
 		}
 	}
 	return p99, visited, nil
+}
+
+// faultEntry is one parsed -faults entry: a target replica device and
+// either a hard fail or a seeded brownout plan.
+type faultEntry struct {
+	si, ri int
+	fail   bool
+	plan   linconstraint.FaultPlan
+}
+
+// parseFaults parses the -faults spec: comma-separated entries, each
+// SHARD:REPLICA:fail (hard-fail the device) or SHARD:REPLICA:PROB:STALL
+// (a deterministic brownout plan — every cache miss stalls STALL with
+// probability PROB, seeded off the run seed plus the target).
+func parseFaults(spec string, seed int64) ([]faultEntry, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []faultEntry
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("entry %q: want SHARD:REPLICA:fail or SHARD:REPLICA:PROB:STALL", part)
+		}
+		si, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: shard: %v", part, err)
+		}
+		ri, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: replica: %v", part, err)
+		}
+		e := faultEntry{si: si, ri: ri}
+		if len(fields) == 3 && fields[2] == "fail" {
+			e.fail = true
+		} else if len(fields) == 4 {
+			prob, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || prob < 0 || prob > 1 {
+				return nil, fmt.Errorf("entry %q: brownout probability %q (want 0..1)", part, fields[2])
+			}
+			stall, err := time.ParseDuration(fields[3])
+			if err != nil || stall <= 0 {
+				return nil, fmt.Errorf("entry %q: stall %q (want a positive duration)", part, fields[3])
+			}
+			e.plan = linconstraint.FaultPlan{
+				Seed:         seed + int64(si)*31 + int64(ri),
+				BrownoutProb: prob, BrownoutStall: stall,
+			}
+		} else {
+			return nil, fmt.Errorf("entry %q: want SHARD:REPLICA:fail or SHARD:REPLICA:PROB:STALL", part)
+		}
+		out = append(out, e)
+	}
+	return out, nil
 }
 
 // updGen returns an update generator over a live book of records

@@ -28,6 +28,12 @@ type Stats struct {
 	Writes  int64 // block writes that missed the cache
 	Hits    int64 // block touches served by the cache
 	StallNs int64 // simulated miss-latency time charged (SetMissLatency)
+
+	// Fault attribution (SetFaultPlan, Fail): injected events and their
+	// simulated stall time, kept out of StallNs so a scrape can tell an
+	// injected brownout from an honestly slow medium.
+	Faults       int64 // injected fault events (brownouts, stuck stalls, failed touches)
+	FaultStallNs int64 // simulated stall charged to injected faults
 }
 
 // IOs returns the total number of block transfers (reads plus writes).
@@ -52,20 +58,24 @@ func (s Stats) HitRate() float64 {
 // tracing never do field-by-field arithmetic by hand.
 func (s Stats) Sub(t Stats) Stats {
 	return Stats{
-		Reads:   s.Reads - t.Reads,
-		Writes:  s.Writes - t.Writes,
-		Hits:    s.Hits - t.Hits,
-		StallNs: s.StallNs - t.StallNs,
+		Reads:        s.Reads - t.Reads,
+		Writes:       s.Writes - t.Writes,
+		Hits:         s.Hits - t.Hits,
+		StallNs:      s.StallNs - t.StallNs,
+		Faults:       s.Faults - t.Faults,
+		FaultStallNs: s.FaultStallNs - t.FaultStallNs,
 	}
 }
 
 // Add returns the counter sums s plus t, the aggregation dual of Sub.
 func (s Stats) Add(t Stats) Stats {
 	return Stats{
-		Reads:   s.Reads + t.Reads,
-		Writes:  s.Writes + t.Writes,
-		Hits:    s.Hits + t.Hits,
-		StallNs: s.StallNs + t.StallNs,
+		Reads:        s.Reads + t.Reads,
+		Writes:       s.Writes + t.Writes,
+		Hits:         s.Hits + t.Hits,
+		StallNs:      s.StallNs + t.StallNs,
+		Faults:       s.Faults + t.Faults,
+		FaultStallNs: s.FaultStallNs + t.FaultStallNs,
 	}
 }
 
@@ -90,6 +100,13 @@ type Device struct {
 	stats       Stats
 	missLatency time.Duration
 	busy        atomic.Int32
+
+	// Fault injection (fault.go). fault is owned like the LRU (nil when
+	// healthy — the common case pays one nil check); failed is the
+	// hard-fail latch, atomic so Fail/Heal may race the owner's touches.
+	fault     *faultState
+	failed    atomic.Bool
+	failStall time.Duration
 
 	lru     *list.List // of BlockID, front = most recent
 	present map[BlockID]*list.Element
@@ -125,7 +142,9 @@ func NewDevice(b, cacheBlocks int) *Device {
 // ownership guard. This is how the engine mints per-replica devices:
 // every clone of a shard gets a "disk" identical to the primary's, so
 // replicated reads pay the same per-copy I/O model (single-owner
-// invariant intact) and merely overlap their stalls.
+// invariant intact) and merely overlap their stalls. Fault state is
+// deliberately NOT copied: a fresh device is a fresh, healthy disk,
+// which is what makes Engine.Repair a repair.
 func NewDeviceLike(d *Device) *Device {
 	nd := NewDevice(d.b, d.cacheBlocks)
 	nd.missLatency = d.missLatency
@@ -210,15 +229,24 @@ func (d *Device) DropCache() {
 func (d *Device) touch(id BlockID, write bool) {
 	d.enter()
 	defer d.exit()
+	if d.failed.Load() {
+		d.failTouch()
+	}
 	if d.cacheBlocks == 0 && d.missLatency == 0 {
 		if write {
 			d.stats.Writes++
 		} else {
 			d.stats.Reads++
 		}
+		// Without a cache every touch is a miss, so the fault plan
+		// (if any) sees the full access stream.
+		if d.fault != nil {
+			d.fault.onMiss(d)
+		}
 		return
 	}
 	if e, ok := d.present[id]; ok {
+		// Hits never fault: the sick medium sits behind the cache.
 		d.lru.MoveToFront(e)
 		d.stats.Hits++
 		return
@@ -240,6 +268,9 @@ func (d *Device) touch(id BlockID, write bool) {
 		// done above) but not the stall.
 	} else if d.missLatency > 0 {
 		d.stall()
+	}
+	if d.fault != nil {
+		d.fault.onMiss(d)
 	}
 	d.insert(id)
 }

@@ -1,0 +1,155 @@
+package eio
+
+import (
+	"testing"
+	"time"
+)
+
+// Two devices with the same plan and the same access sequence must
+// inject identical faults — the whole point of seeding.
+func TestFaultPlanDeterministic(t *testing.T) {
+	plan := FaultPlan{
+		Seed:          42,
+		BrownoutProb:  0.3,
+		BrownoutStall: time.Microsecond,
+		StuckEvery:    7,
+		StuckStall:    2 * time.Microsecond,
+	}
+	run := func() Stats {
+		d := NewDevice(8, 0)
+		d.SetFaultPlan(plan)
+		for i := 0; i < 500; i++ {
+			d.Read(BlockID(i % 40))
+		}
+		return d.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, same sequence, different stats: %+v vs %+v", a, b)
+	}
+	if a.Faults == 0 || a.FaultStallNs == 0 {
+		t.Fatalf("plan injected nothing: %+v", a)
+	}
+	// 500 misses: ~150 brownouts + 71 stuck stalls; determinism above is
+	// the hard assertion, this range just guards against a dead coin.
+	if a.Faults < 100 || a.Faults > 400 {
+		t.Fatalf("fault count implausible for p=0.3 + every-7th: %d", a.Faults)
+	}
+	// StallNs stays honest-latency only.
+	if a.StallNs != 0 {
+		t.Fatalf("injected stalls leaked into StallNs: %+v", a)
+	}
+
+	// A different seed must flip different coins: compare the per-miss
+	// fault *pattern*, not the totals (counts concentrate around
+	// p·misses for every seed).
+	pattern := func(seed int64) string {
+		p := plan
+		p.Seed = seed
+		p.StuckEvery = 0 // periodic stalls are seed-independent
+		d := NewDevice(8, 0)
+		d.SetFaultPlan(p)
+		bits := make([]byte, 500)
+		last := int64(0)
+		for i := range bits {
+			d.Read(BlockID(i % 40))
+			if f := d.Stats().Faults; f != last {
+				bits[i], last = '1', f
+			} else {
+				bits[i] = '0'
+			}
+		}
+		return string(bits)
+	}
+	if pattern(42) != pattern(42) {
+		t.Fatal("same seed produced different fault patterns")
+	}
+	if pattern(42) == pattern(43) {
+		t.Fatal("seed change did not change the injection stream")
+	}
+}
+
+// Faults fire on misses only: behind a warm cache a brownout is
+// invisible, exactly like honest miss latency.
+func TestFaultsBehindCache(t *testing.T) {
+	d := NewDevice(8, 4)
+	d.SetFaultPlan(FaultPlan{BrownoutProb: 1, BrownoutStall: time.Microsecond})
+	for i := 0; i < 4; i++ {
+		d.Read(BlockID(i)) // cold misses: 4 faults
+	}
+	warm := d.Stats()
+	if warm.Faults != 4 {
+		t.Fatalf("cold misses should fault: %+v", warm)
+	}
+	for i := 0; i < 100; i++ {
+		d.Read(BlockID(i % 4)) // all hits
+	}
+	if got := d.Stats(); got.Faults != warm.Faults {
+		t.Fatalf("cache hits faulted: %+v", got)
+	}
+}
+
+// The hard-fail latch charges every touch until healed, and Heal stops
+// it; clearing the plan leaves the latch alone (independent controls).
+func TestFailLatch(t *testing.T) {
+	d := NewDevice(8, 0)
+	d.SetFaultPlan(FaultPlan{FailStall: time.Microsecond})
+	d.Read(1)
+	if got := d.Stats(); got.Faults != 0 {
+		t.Fatalf("unfailed device faulted: %+v", got)
+	}
+	d.Fail()
+	if !d.Failed() {
+		t.Fatal("latch not set")
+	}
+	d.Read(1)
+	d.Write(2)
+	got := d.Stats()
+	if got.Faults != 2 || got.FaultStallNs != 2*int64(time.Microsecond) {
+		t.Fatalf("failed touches miscounted: %+v", got)
+	}
+	if got.Reads != 2 || got.Writes != 1 {
+		t.Fatalf("transfer counts must stay honest while failed: %+v", got)
+	}
+	d.Heal()
+	d.Read(3)
+	if after := d.Stats(); after.Faults != got.Faults {
+		t.Fatalf("healed device still faulting: %+v", after)
+	}
+}
+
+// Sub/Add must treat the fault counters like every other field.
+func TestStatsAlgebraFaults(t *testing.T) {
+	a := Stats{Reads: 10, Faults: 5, FaultStallNs: 500}
+	b := Stats{Reads: 4, Faults: 2, FaultStallNs: 150}
+	if got := a.Sub(b); got.Faults != 3 || got.FaultStallNs != 350 {
+		t.Fatalf("Sub dropped fault fields: %+v", got)
+	}
+	if got := a.Add(b); got.Faults != 7 || got.FaultStallNs != 650 {
+		t.Fatalf("Add dropped fault fields: %+v", got)
+	}
+	if got := a.Sub(a); got != (Stats{}) {
+		t.Fatalf("s.Sub(s) != zero: %+v", got)
+	}
+}
+
+// The healthy path — no plan, latch clear — must not allocate, with or
+// without the fault code compiled in.
+func TestHealthyTouchZeroAllocs(t *testing.T) {
+	d := NewDevice(8, 0)
+	var i int64
+	if n := testing.AllocsPerRun(1000, func() {
+		d.Read(BlockID(i % 64))
+		i++
+	}); n != 0 {
+		t.Fatalf("healthy touch allocates: %v allocs/op", n)
+	}
+	// And the faulted path stays allocation-free too (stalls aside).
+	d.SetFaultPlan(FaultPlan{BrownoutProb: 0.01, BrownoutStall: time.Nanosecond})
+	if n := testing.AllocsPerRun(1000, func() {
+		d.Read(BlockID(i % 64))
+		i++
+	}); n != 0 {
+		t.Fatalf("faulted touch allocates: %v allocs/op", n)
+	}
+}

@@ -155,7 +155,43 @@ type Options struct {
 	// watchdog's SLOs evaluate against (defaults 6 slots × 10s).
 	WindowSlots    int
 	WindowInterval time.Duration
+
+	// Deadline, when positive, bounds each query run's wall clock. With
+	// Strict false (the default) a run past its deadline abandons its
+	// unanswered shard dispatches and returns partial results flagged
+	// Result.Degraded (with the missing shards listed); with Strict true
+	// the run blocks to completion and only the deadline-miss counter
+	// records the overrun. The bound covers the fan-out dispatches; the
+	// incremental k-NN path runs on the caller's goroutine and is never
+	// abandoned. Abandoned sub-batches drain in the background — callers
+	// that mutate a Query's operand slices (Coef, Constraints) in place
+	// between batches should not do so while degraded runs' stragglers
+	// finish (the engine copies the Query values themselves).
+	Deadline time.Duration
+	// Strict selects blocking (true) over degradation (false) for runs
+	// that exceed Deadline.
+	Strict bool
+	// HedgeAfter arms hedged replica reads: a shard dispatch unanswered
+	// after this delay is re-dispatched to another replica of the same
+	// shard (least in-flight, breaker permitting) and the first answer
+	// wins — byte-identical either way, since replicas are identical
+	// multisets. Positive values fix the delay; HedgeAuto derives it
+	// from the windowed p99 run latency (requires Metrics or another
+	// instrumented mode); zero disables hedging. Shards with one replica
+	// never hedge.
+	HedgeAfter time.Duration
+	// Breaker, when non-nil, arms a circuit breaker on every replica
+	// (breaker.go): consecutive faulted sub-batches open it, routing
+	// skips open copies, a cooldown probe closes it, and Engine.Repair
+	// rebuilds whatever stays sick.
+	Breaker *BreakerConfig
 }
+
+// HedgeAuto, as Options.HedgeAfter, derives the hedge delay from the
+// live windowed p99 run latency instead of a fixed value: hedges then
+// fire for roughly the slowest 1% of shard waits, tracking the workload
+// as it shifts.
+const HedgeAuto time.Duration = -1
 
 func (o Options) normalized() Options {
 	if o.Shards <= 0 {
@@ -192,12 +228,23 @@ type replica struct {
 	mu       sync.Mutex
 	idx      index.Index
 	dev      *eio.Device
-	work     chan *batchArena
+	work     chan workItem
 	inflight atomic.Int64
 	reads    atomic.Int64
+	// brk is the replica's circuit breaker (breaker.go); the zero value
+	// is closed, and it stays untouched unless Options.Breaker armed it.
+	brk breakerCells
 	// stopped is closed by the worker on exit, so Drop can wait for a
 	// demoted replica's worker to drain.
 	stopped chan struct{}
+}
+
+// workItem is one dispatched sub-batch: the run's arena plus whether
+// this dispatch is the hedge (second replica) for its shard, which
+// decides where execReplica writes its answers.
+type workItem struct {
+	a     *batchArena
+	hedge bool
 }
 
 // newReplica wraps an index and its device with fresh worker plumbing
@@ -206,7 +253,7 @@ func newReplica(idx index.Index, dev *eio.Device) *replica {
 	return &replica{
 		idx:     idx,
 		dev:     dev,
-		work:    make(chan *batchArena, 4),
+		work:    make(chan workItem, 4),
 		stopped: make(chan struct{}),
 	}
 }
@@ -369,6 +416,32 @@ type Engine struct {
 	// wd is the health watchdog (watchdog.go); nil unless
 	// Options.Watchdog was set. Stopped by Close before the workers.
 	wd *watchdog
+
+	// Robustness plumbing (breaker.go, query.go §hedging). brkCfg is the
+	// normalized breaker config (nil = breakers unarmed; pickReplica then
+	// never loads a breaker state). guarded is the master switch for the
+	// deadline/hedge wait path: when set, runs pre-count their dispatches,
+	// wait on a completion channel instead of the bare WaitGroup, and may
+	// retire their arena to the reaper instead of reusing it.
+	brkCfg        *BreakerConfig
+	brkCooldownNs int64
+	deadlineNs    int64 // Options.Deadline (0 = unbounded)
+	strict        bool
+	hedgeFixedNs  int64 // Options.HedgeAfter when positive
+	hedgeAuto     bool  // Options.HedgeAfter == HedgeAuto
+	hedging       bool
+	guarded       bool
+	// hedgeNs caches the auto-derived hedge delay; hedgeRefreshAt is the
+	// CAS-guarded next refresh time, so the windowed-quantile read (which
+	// locks the histogram) happens at most once per ~100ms, not per run.
+	hedgeNs        atomic.Int64
+	hedgeRefreshAt atomic.Int64
+	// retire feeds degraded runs' still-busy arenas to the reaper
+	// goroutine, which waits out their stragglers and returns them to the
+	// free list; nil unless guarded. Closed by Close after the workers
+	// drain, then reaperDone closes.
+	retire     chan *batchArena
+	reaperDone chan struct{}
 }
 
 // getArena pops a scratch arena off the free list (or makes a fresh
@@ -499,6 +572,32 @@ func newEngine(opt Options, build func(si int, dev *eio.Device) index.Index) *En
 		e.met.reg.RegisterCollector(e.collectShardIO)
 		e.met.replicasPhys.Set(int64(opt.Shards))
 	}
+	if opt.Breaker != nil {
+		cfg := opt.Breaker.normalized()
+		e.brkCfg = &cfg
+		e.brkCooldownNs = int64(cfg.Cooldown)
+	}
+	if opt.Deadline > 0 {
+		e.deadlineNs = int64(opt.Deadline)
+		e.strict = opt.Strict
+	}
+	switch {
+	case opt.HedgeAfter > 0:
+		e.hedgeFixedNs = int64(opt.HedgeAfter)
+		e.hedging = true
+	case opt.HedgeAfter == HedgeAuto:
+		// Auto-hedging needs the windowed latency view; without any
+		// instrumentation there is no p99 to derive the delay from, and
+		// currentHedgeNs stays 0 (no hedges fire) until one exists.
+		e.hedgeAuto = true
+		e.hedging = e.met != nil
+	}
+	e.guarded = e.deadlineNs > 0 || e.hedging
+	if e.guarded {
+		e.retire = make(chan *batchArena, 16)
+		e.reaperDone = make(chan struct{})
+		go e.arenaReaper()
+	}
 	for si, sh := range e.shards {
 		for _, rep := range sh.reps {
 			e.workersWG.Add(1)
@@ -519,7 +618,7 @@ func newEngine(opt Options, build func(si int, dev *eio.Device) index.Index) *En
 func (e *Engine) replicaWorker(si int, rep *replica) {
 	defer e.workersWG.Done()
 	defer close(rep.stopped)
-	for a := range rep.work {
+	for w := range rep.work {
 		if e.sem != nil {
 			if m := e.met; m != nil {
 				t := time.Now()
@@ -529,12 +628,37 @@ func (e *Engine) replicaWorker(si int, rep *replica) {
 				e.sem <- struct{}{}
 			}
 		}
-		e.execReplica(a, si, rep)
+		e.execReplica(w.a, si, rep, w.hedge)
 		if e.sem != nil {
 			<-e.sem
 		}
+		// Decrement order is load-bearing: inflight (routing balance)
+		// first, then the arena's dispatch count, then the WaitGroup —
+		// so any wg.Wait that returns has also seen dispatches reach 0,
+		// which is what lets BatchInto reuse a quiescent arena directly
+		// instead of retiring it to the reaper.
 		rep.inflight.Add(-1)
-		a.wg.Done()
+		if e.guarded {
+			w.a.dispatches.Add(-1)
+		}
+		w.a.wg.Done()
+	}
+}
+
+// arenaReaper retires arenas whose degraded runs returned before every
+// dispatched sub-batch finished: it waits out each arena's stragglers,
+// swallows the stale completion signal they may have left, and returns
+// the arena to the free list. One goroutine per guarded engine; Close
+// drains it after the workers stop.
+func (e *Engine) arenaReaper() {
+	defer close(e.reaperDone)
+	for a := range e.retire {
+		a.wg.Wait()
+		select {
+		case <-a.allDone:
+		default:
+		}
+		a.release(e)
 	}
 }
 
@@ -547,13 +671,93 @@ func (e *Engine) replicaWorker(si int, rep *replica) {
 // because every replica holds the same records.
 func (e *Engine) pickReplica(si int) (*replica, int) {
 	reps := e.shards[si].reps
-	best, bi := reps[0], 0
-	if len(reps) > 1 {
-		min := best.inflight.Load()
-		for ri, rep := range reps[1:] {
-			if n := rep.inflight.Load(); n < min {
-				best, bi, min = rep, ri+1, n
+	if e.brkCfg == nil {
+		best, bi := reps[0], 0
+		if len(reps) > 1 {
+			min := best.inflight.Load()
+			for ri, rep := range reps[1:] {
+				if n := rep.inflight.Load(); n < min {
+					best, bi, min = rep, ri+1, n
+				}
 			}
+		}
+		return best, bi
+	}
+	return e.pickRoutable(reps, -1)
+}
+
+// pickRoutable is the breaker-aware replica pick: least in-flight among
+// the copies whose breaker is not open, skipping index exclude (a hedge
+// never re-picks the primary dispatch's copy; -1 excludes nothing).
+//
+// The healthy pass reads no clock. Only when every candidate is open —
+// the whole shard is sick mid-cooldown — does a second pass take one
+// time.Now: any copy past its cooldown is CAS'd open→half-open and
+// routed as the probe; failing that, the *stalest* open breaker (oldest
+// openedAt, the copy whose evidence is most out of date) is forced
+// half-open and routed. A shard therefore always keeps at least one
+// routable copy — answering slowly beats not answering — and the only
+// nil return is an exclude that covers the entire set, which the hedge
+// path treats as "nothing to hedge to".
+func (e *Engine) pickRoutable(reps []*replica, exclude int) (*replica, int) {
+	var best *replica
+	bi := -1
+	var min int64
+	for ri, rep := range reps {
+		if ri == exclude || BreakerState(rep.brk.state.Load()) == BreakerOpen {
+			continue
+		}
+		if n := rep.inflight.Load(); best == nil || n < min {
+			best, bi, min = rep, ri, n
+		}
+	}
+	if best != nil {
+		return best, bi
+	}
+	now := time.Now().UnixNano()
+	var stalest *replica
+	sti, stAt := -1, int64(0)
+	for ri, rep := range reps {
+		if ri == exclude {
+			continue
+		}
+		at := rep.brk.openedAt.Load()
+		if now-at >= e.brkCooldownNs &&
+			rep.brk.state.CompareAndSwap(int32(BreakerOpen), int32(BreakerHalfOpen)) {
+			return rep, ri
+		}
+		if stalest == nil || at < stAt {
+			stalest, sti, stAt = rep, ri, at
+		}
+	}
+	if stalest == nil {
+		return nil, -1 // exclude covered the whole set
+	}
+	stalest.brk.forceProbe()
+	return stalest, sti
+}
+
+// pickReplicaNot picks a hedge target for shard si: the least-loaded
+// routable replica other than exclude (the copy the primary dispatch
+// already went to). Returns nil for an unreplicated shard — one copy
+// has nothing to hedge to — or when breakers rule everything else out.
+func (e *Engine) pickReplicaNot(si, exclude int) (*replica, int) {
+	reps := e.shards[si].reps
+	if len(reps) < 2 {
+		return nil, -1
+	}
+	if e.brkCfg != nil {
+		return e.pickRoutable(reps, exclude)
+	}
+	var best *replica
+	bi := -1
+	var min int64
+	for ri, rep := range reps {
+		if ri == exclude {
+			continue
+		}
+		if n := rep.inflight.Load(); best == nil || n < min {
+			best, bi, min = rep, ri, n
 		}
 	}
 	return best, bi
@@ -805,5 +1009,11 @@ func (e *Engine) Close() {
 			}
 		}
 		e.workersWG.Wait()
+		if e.retire != nil {
+			// Workers are gone, so every retired arena is quiescent;
+			// the reaper drains the backlog and exits.
+			close(e.retire)
+			<-e.reaperDone
+		}
 	})
 }

@@ -55,6 +55,13 @@ const (
 	SlowShardIO
 	// SlowFanout: the run's total shard visits exceeded ShardsVisited.
 	SlowFanout
+	// SlowHedged: at least one shard's dispatch went unanswered past the
+	// hedge delay and was re-dispatched (rare by construction — the
+	// delay tracks the p99 — so every hedged run is captured).
+	SlowHedged
+	// SlowDegraded: the run blew its deadline and returned partial
+	// results (Options.Deadline, Strict=false).
+	SlowDegraded
 )
 
 // String renders the bitmask as a fixed vocabulary ("total_ns|fanout").
@@ -75,6 +82,18 @@ func (r SlowReason) String() string {
 		}
 		s += "fanout"
 	}
+	if r&SlowHedged != 0 {
+		if s != "" {
+			s += "|"
+		}
+		s += "hedged"
+	}
+	if r&SlowDegraded != 0 {
+		if s != "" {
+			s += "|"
+		}
+		s += "degraded"
+	}
 	if s == "" {
 		s = "none"
 	}
@@ -87,6 +106,10 @@ type ShardTrace struct {
 	// visits were routed to, -1 when the shard answered nothing.
 	Shard   int
 	Replica int
+	// Hedged reports that this shard's sub-batch was re-dispatched to a
+	// second replica at the hedge delay (the I/O below then sums both
+	// copies' work).
+	Hedged bool
 	// Verdicts counts how many of the run's queries reached each plan
 	// verdict for this shard (planner.Verdict order; the k-NN runtime
 	// cutoff is attributed here too, which the plan itself never holds).
@@ -116,7 +139,9 @@ type SlowTrace struct {
 // with each other across shards.
 type shardCapture struct {
 	reads, writes, hits, stall atomic.Int64
+	faults, faultStall         atomic.Int64
 	replica                    atomic.Int32
+	hedged                     atomic.Bool
 	verdicts                   [planner.NumVerdicts]atomic.Int32
 }
 
@@ -126,7 +151,10 @@ func (c *shardCapture) reset() {
 	c.writes.Store(0)
 	c.hits.Store(0)
 	c.stall.Store(0)
+	c.faults.Store(0)
+	c.faultStall.Store(0)
 	c.replica.Store(-1)
+	c.hedged.Store(false)
 	for i := range c.verdicts {
 		c.verdicts[i].Store(0)
 	}
@@ -138,6 +166,8 @@ func (c *shardCapture) addIO(d eio.Stats) {
 	c.writes.Add(d.Writes)
 	c.hits.Add(d.Hits)
 	c.stall.Add(d.StallNs)
+	c.faults.Add(d.Faults)
+	c.faultStall.Add(d.FaultStallNs)
 }
 
 // io reads the accumulated delta back out.
@@ -145,6 +175,7 @@ func (c *shardCapture) io() eio.Stats {
 	return eio.Stats{
 		Reads: c.reads.Load(), Writes: c.writes.Load(),
 		Hits: c.hits.Load(), StallNs: c.stall.Load(),
+		Faults: c.faults.Load(), FaultStallNs: c.faultStall.Load(),
 	}
 }
 
@@ -185,7 +216,7 @@ func (r *slowRing) put(tr Trace, startNs int64, reason SlowReason, caps []shardC
 	s.Reason = reason
 	for si := range caps {
 		c := &caps[si]
-		st := ShardTrace{Shard: si, Replica: int(c.replica.Load()), IO: c.io()}
+		st := ShardTrace{Shard: si, Replica: int(c.replica.Load()), Hedged: c.hedged.Load(), IO: c.io()}
 		for v := range st.Verdicts {
 			st.Verdicts[v] = c.verdicts[v].Load()
 		}

@@ -17,7 +17,10 @@ import (
 // subsystem on: metrics, 1-in-1 trace sampling, flight recorder, the
 // windowed views, and a fast-ticking watchdog whose thresholds are set
 // to trip constantly — the harshest instrumentation load the engine
-// supports.
+// supports. The robustness guards are armed too (deadline, hedge timer,
+// per-replica breakers) at bounds that never fire, so every run takes
+// the guarded path — arena query copies, winner CAS, breaker evidence —
+// without changing behavior.
 func fullyInstrumented(t *testing.T, flight FlightRecorderConfig) (*Engine, []Query, *metrics.Registry) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(41))
@@ -28,6 +31,8 @@ func fullyInstrumented(t *testing.T, flight FlightRecorderConfig) (*Engine, []Qu
 		Metrics: reg, TraceEvery: 1, TraceBuf: 16,
 		FlightRecorder: flight,
 		WindowSlots:    4, WindowInterval: 100 * time.Millisecond,
+		Deadline: time.Hour, HedgeAfter: time.Hour,
+		Breaker: &BreakerConfig{},
 		Watchdog: &WatchdogConfig{
 			Interval: time.Millisecond, Buf: 32,
 			MaxSkew: 0.5, HotShardShare: 0.01, ReplicaImbalance: 1.0001,

@@ -130,6 +130,16 @@ type engineMetrics struct {
 	replicaDrops *metrics.Counter
 	autoRepRuns  *metrics.Counter
 
+	// Robustness instruments (DESIGN.md §12): hedged dispatches issued
+	// and won, runs that blew their deadline (strict or not) and runs
+	// that returned degraded, breaker trips and Repair actuations.
+	hedges         *metrics.Counter
+	hedgeWins      *metrics.Counter
+	deadlineMisses *metrics.Counter
+	degradedRuns   *metrics.Counter
+	breakerTrips   *metrics.Counter
+	repairs        *metrics.Counter
+
 	// Explain counters (explain.go): shard plan outcomes as a dense
 	// (op × verdict) matrix — which bound pruned, per op.
 	planVerdicts *metrics.CounterVec2
@@ -209,6 +219,13 @@ func newEngineMetrics(opt Options, shards int) *engineMetrics {
 		replicaAdds:  reg.Counter("engine_replica_adds_total", "replicas created by Replicate"),
 		replicaDrops: reg.Counter("engine_replica_drops_total", "replicas removed by Drop"),
 		autoRepRuns:  reg.Counter("engine_autoreplicate_runs_total", "AutoReplicate calls"),
+
+		hedges:         reg.Counter("engine_hedges_total", "hedged replica dispatches issued"),
+		hedgeWins:      reg.Counter("engine_hedge_wins_total", "hedged dispatches that answered before the primary"),
+		deadlineMisses: reg.Counter("engine_deadline_misses_total", "query runs that exceeded Options.Deadline"),
+		degradedRuns:   reg.Counter("engine_degraded_runs_total", "runs returned partial past their deadline (Strict=false)"),
+		breakerTrips:   reg.Counter("engine_breaker_trips_total", "replica circuit breakers opened"),
+		repairs:        reg.Counter("engine_repairs_total", "replicas rebuilt or healed by Engine.Repair"),
 
 		events:      metrics.NewRing[RebalanceEvent](64),
 		shardLabels: metrics.ShardLabels(shards),
@@ -292,6 +309,20 @@ func (m *engineMetrics) holdDone(start time.Time) {
 	m.migHoldNs.Observe(int64(time.Since(start)))
 }
 
+// healthEvent records a non-watchdog health observation (breaker trips,
+// Repair actuations) through the same ring and counter vector the
+// watchdog's emits use, so Engine.Health interleaves the actuator's
+// story with the sampler's. Safe on a nil receiver and on engines built
+// without a watchdog — the event ring then doesn't exist and the event
+// is dropped (the dedicated breaker/repair counters still record it).
+func (m *engineMetrics) healthEvent(kind HealthKind, now int64, shard int, value, bound float64) {
+	if m == nil || m.health == nil {
+		return
+	}
+	m.healthTotal.Inc(int(kind))
+	m.health.Put(HealthEvent{Kind: kind, UnixNano: now, Shard: shard, Value: value, Bound: bound})
+}
+
 // collectShardIO is the scrape-time collector: it exports each shard's
 // device counters (and space/record gauges) from one consistent
 // Engine.Stats snapshot. Registered on the engine's registry at
@@ -305,6 +336,8 @@ func (e *Engine) collectShardIO(emit func(kind metrics.Kind, name, labelKey, lab
 		emit(metrics.KindCounter, "engine_shard_io_writes_total", "shard", lbl, float64(io.Writes))
 		emit(metrics.KindCounter, "engine_shard_io_hits_total", "shard", lbl, float64(io.Hits))
 		emit(metrics.KindCounter, "engine_shard_io_stall_ns_total", "shard", lbl, float64(io.StallNs))
+		emit(metrics.KindCounter, "engine_shard_io_faults_total", "shard", lbl, float64(io.Faults))
+		emit(metrics.KindCounter, "engine_shard_io_fault_stall_ns_total", "shard", lbl, float64(io.FaultStallNs))
 		emit(metrics.KindGauge, "engine_shard_space_blocks", "shard", lbl, float64(st.PerShard[si].SpaceBlocks))
 		emit(metrics.KindGauge, "engine_shard_records", "shard", lbl, float64(e.counts[si].Load()))
 		emit(metrics.KindGauge, "engine_shard_replicas", "shard", lbl, float64(st.Replicas[si]))
@@ -316,6 +349,22 @@ func (e *Engine) collectShardIO(emit func(kind metrics.Kind, name, labelKey, lab
 	}
 	emit(metrics.KindGauge, "engine_shards_visited_cum", "", "", float64(st.ShardsVisited))
 	emit(metrics.KindGauge, "engine_shards_pruned_cum", "", "", float64(st.ShardsPruned))
+	if e.brkCfg != nil {
+		// Per-shard count of open breakers (half-open copies are
+		// routable, so they count as healthy here): non-zero means the
+		// shard is routing around at least one sick copy.
+		e.migMu.RLock()
+		for si, sh := range e.shards {
+			var open int
+			for _, rep := range sh.reps {
+				if BreakerState(rep.brk.state.Load()) == BreakerOpen {
+					open++
+				}
+			}
+			emit(metrics.KindGauge, "engine_breaker_state", "shard", e.met.shardLabels[si], float64(open))
+		}
+		e.migMu.RUnlock()
+	}
 }
 
 // Metrics returns the registry holding the engine's instruments: the

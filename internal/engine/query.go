@@ -60,6 +60,14 @@ type Result struct {
 
 	ShardsVisited int
 	ShardsPruned  int
+
+	// Degraded marks an answer the run's deadline truncated
+	// (Options.Deadline with Strict=false): the shards in Missing were
+	// abandoned still pending, so the answer is the exact union of the
+	// shards that did report — correct but possibly incomplete. Both
+	// stay zero on every completed run.
+	Degraded bool
+	Missing  []int
 }
 
 // reset clears r for refill, retaining slice capacity (the BatchInto
@@ -72,6 +80,8 @@ func (r *Result) reset() {
 	r.Err = nil
 	r.ShardsVisited = 0
 	r.ShardsPruned = 0
+	r.Degraded = false
+	r.Missing = r.Missing[:0]
 }
 
 // partial is one shard's contribution to one query.
@@ -169,7 +179,44 @@ type batchArena struct {
 	// run was anomalous is only known once it has finished.
 	flight bool
 	caps   []shardCapture
+
+	// Guarded-run machinery (Options.Deadline / Options.HedgeAfter;
+	// engine.guarded). A guarded run races each shard's sub-batch: the
+	// primary dispatch answers into parts, a hedge re-dispatch into the
+	// shadow hparts, and sdone[si] is the per-shard finish line (sd*
+	// states) the first finisher CASes — the merge reads whichever side
+	// won, so losers scribble into slots nobody looks at. left counts
+	// undecided shards; the decider that zeroes it signals allDone
+	// (capacity 1 — a stale token from an abandoned run is swallowed
+	// before reuse). dispatches counts sub-batches handed to workers and
+	// not yet finished: zero means the arena is quiescent and directly
+	// reusable, non-zero sends it to the engine's reaper instead.
+	// qsBuf holds the guarded run's private copy of the queries, so a
+	// straggler finishing after BatchInto returned never reads the
+	// caller's (reusable) query slice. kwg joins the run's k-NN
+	// goroutines — those run on the caller's side of the fence and are
+	// never abandoned, so they get their own WaitGroup.
+	qsBuf      []Query
+	hparts     []partial
+	sdone      []atomic.Int32
+	prim       []int32
+	left       atomic.Int32
+	dispatches atomic.Int32
+	allDone    chan struct{}
+	kwg        sync.WaitGroup
+	nhedges    int
+	hedgeTimer *time.Timer
+	dlTimer    *time.Timer
 }
+
+// sdone states: the per-shard winner race of a guarded run.
+const (
+	sdIdle int32 = iota
+	sdPending
+	sdPrimary
+	sdHedge
+	sdAbandoned
+)
 
 // addIODelta folds one visited shard's device-counter delta into the
 // run's trace accumulators.
@@ -190,6 +237,22 @@ type knnScratch struct {
 // beginRun prepares the arena for one run of queries.
 func (a *batchArena) beginRun(e *Engine, qs []Query, res []Result) {
 	a.qs, a.res = qs, res
+	if e.guarded {
+		a.qsBuf = append(a.qsBuf[:0], qs...)
+		a.qs = a.qsBuf
+		if a.allDone == nil {
+			a.allDone = make(chan struct{}, 1)
+		}
+		if len(a.sdone) != len(e.shards) {
+			a.sdone = make([]atomic.Int32, len(e.shards))
+			a.prim = make([]int32, len(e.shards))
+		}
+		for i := range a.sdone {
+			a.sdone[i].Store(sdIdle)
+		}
+		a.left.Store(0)
+		a.nhedges = 0
+	}
 	a.nplans = 0
 	a.nparts = 0
 	a.plansShared = 0
@@ -214,12 +277,41 @@ func (a *batchArena) beginRun(e *Engine, qs []Query, res []Result) {
 }
 
 // release drops the arena's references to caller memory and returns it
-// to the engine's free list.
+// to the engine's free list. The query copies are cleared too (their
+// Query values hold caller-owned operand slices); callers guarantee the
+// arena is quiescent — no straggler still reads qsBuf — before release
+// (BatchInto settles it, the reaper waits out stragglers).
 func (a *batchArena) release(e *Engine) {
 	a.qs, a.res = nil, nil
+	for i := range a.qsBuf {
+		a.qsBuf[i] = Query{}
+	}
 	e.arenaMu.Lock()
 	e.arenas = append(e.arenas, a)
 	e.arenaMu.Unlock()
+}
+
+// settle decides a guarded arena's fate between runs: a quiescent arena
+// (every dispatch finished — the workers decrement dispatches before
+// wg.Done, so a zero read followed by a brief wg.Wait means full
+// quiescence) is kept after swallowing any stale completion token; an
+// arena with stragglers (a degraded run returned before its abandoned
+// sub-batches drained) goes to the reaper, and the caller must fetch a
+// fresh one. Unguarded engines never have stragglers.
+func (e *Engine) settle(a *batchArena) *batchArena {
+	if !e.guarded {
+		return a
+	}
+	if a.dispatches.Load() == 0 {
+		a.wg.Wait()
+		select {
+		case <-a.allDone:
+		default:
+		}
+		return a
+	}
+	e.retire <- a
+	return nil
 }
 
 // planWindow bounds the operand-dedup scan: a query is compared
@@ -361,6 +453,7 @@ func (e *Engine) BatchInto(qs []Query, results []Result) []Result {
 			a = e.getArena()
 		}
 		e.runQueries(a, qs[i:j], results[i:j])
+		a = e.settle(a)
 		i = j
 	}
 	if a != nil {
@@ -430,7 +523,9 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 	defer e.migMu.RUnlock()
 	m := e.met
 	var t0 time.Time
-	if m != nil {
+	if m != nil || e.guarded {
+		// Guarded runs need the start time even uninstrumented: the
+		// deadline measures from here.
 		t0 = time.Now()
 	}
 	a.beginRun(e, qs, results)
@@ -490,6 +585,11 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 	for len(a.parts) < a.nparts {
 		a.parts = append(a.parts, partial{})
 	}
+	if e.guarded {
+		for len(a.hparts) < a.nparts {
+			a.hparts = append(a.hparts, partial{})
+		}
+	}
 	var t1 time.Time
 	if m != nil {
 		t1 = time.Now()
@@ -498,7 +598,18 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 	// Phase 2: one wakeup per shard with work, routed to the shard's
 	// least-loaded replica. inflight is bumped before the send so a
 	// second run dispatching concurrently sees this sub-batch and
-	// spreads to another copy.
+	// spreads to another copy. Guarded runs pre-count left before any
+	// dispatch — a worker that finishes before later shards dispatch
+	// must not see the count hit zero early.
+	if e.guarded {
+		var nd int32
+		for si := range a.jobs {
+			if len(a.jobs[si]) > 0 {
+				nd++
+			}
+		}
+		a.left.Store(nd)
+	}
 	for si := range a.jobs {
 		if len(a.jobs[si]) == 0 {
 			continue
@@ -508,8 +619,17 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 		if a.flight {
 			a.caps[si].replica.Store(int32(ri))
 		}
+		if e.guarded {
+			a.sdone[si].Store(sdPending)
+			a.prim[si] = int32(ri)
+			a.dispatches.Add(1)
+		}
 		rep.inflight.Add(1)
-		rep.work <- a
+		rep.work <- workItem{a: a}
+	}
+	var tdisp time.Time
+	if e.guarded {
+		tdisp = time.Now()
 	}
 
 	// Phase 3: incremental k-NN queries, overlapping the workers. A
@@ -525,9 +645,9 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 		e.runKNNPlanned(a, int(a.knn[0]), &a.knnBufs[0])
 	} else {
 		for ki, qi := range a.knn {
-			a.wg.Add(1)
+			a.kwg.Add(1)
 			go func(qi, ki int) {
-				defer a.wg.Done()
+				defer a.kwg.Done()
 				e.runKNNPlanned(a, qi, &a.knnBufs[ki])
 			}(int(qi), ki)
 		}
@@ -536,7 +656,16 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 	if m != nil {
 		tw = time.Now()
 	}
-	a.wg.Wait()
+	// The k-NN goroutines run on the caller's side of the deadline fence
+	// — incremental visits from this goroutine's plan, never abandoned —
+	// so they are always joined first.
+	a.kwg.Wait()
+	degraded := false
+	if e.guarded {
+		degraded = e.waitGuarded(a, t0, tdisp)
+	} else {
+		a.wg.Wait()
+	}
 	var t2 time.Time
 	if m != nil {
 		t2 = time.Now()
@@ -549,7 +678,7 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 			continue
 		}
 		pl := &a.plans[a.planOf[qi]]
-		e.mergeInto(a, qs[qi], int(a.partOff[qi]), len(pl.Shards), r)
+		e.mergeInto(a, qs[qi], pl, int(a.partOff[qi]), r)
 		r.ShardsVisited = len(pl.Shards)
 		r.ShardsPruned = pl.Pruned
 		e.visited.Add(int64(r.ShardsVisited))
@@ -565,6 +694,9 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 		t3 := time.Now()
 		total := int64(t3.Sub(t0))
 		m.runs.Inc()
+		if degraded {
+			m.degradedRuns.Inc()
+		}
 		m.planNs.Observe(int64(t1.Sub(t0)))
 		m.execNs.Observe(int64(t2.Sub(t1)))
 		m.waitNs.Observe(int64(t2.Sub(tw)))
@@ -620,6 +752,15 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 				if m.flight.ShardsVisited > 0 && tr.ShardsVisited > m.flight.ShardsVisited {
 					reason |= SlowFanout
 				}
+				// Hedged and degraded runs are anomalous by definition —
+				// both are rare by construction (a hedge fires past the
+				// p99-ish delay), so the recorder captures every one.
+				if a.nhedges > 0 {
+					reason |= SlowHedged
+				}
+				if degraded {
+					reason |= SlowDegraded
+				}
 				if reason != 0 {
 					tr.Seq = m.slowSeq.Add(1)
 					tr.IO = runIO
@@ -635,22 +776,30 @@ func (e *Engine) runQueries(a *batchArena, qs []Query, results []Result) {
 // the shard's sub-batch against this copy under one lock acquisition,
 // translating local record indices to global ones in place. The lock
 // also upholds the eio single-owner invariant (one request in service
-// per "disk").
-func (e *Engine) execReplica(a *batchArena, si int, rep *replica) {
+// per "disk"). A hedge dispatch answers into the shadow hparts slots,
+// so the primary and the hedge never share memory; on a guarded run
+// the first finisher CASes the shard's finish line and the loser's
+// answers are simply never read.
+func (e *Engine) execReplica(a *batchArena, si int, rep *replica, hedge bool) {
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
-	// Sampled and flight-armed runs bracket the sub-batch with the
-	// replica's own device counters: the delta is exactly this run's
-	// I/O on this copy (the lock excludes everything else), and the
+	// Sampled, flight-armed and breaker-armed runs bracket the sub-batch
+	// with the replica's own device counters: the delta is exactly this
+	// run's I/O on this copy (the lock excludes everything else), and the
 	// index Stats snapshots are plain struct reads, so the capture
 	// stays allocation-free.
 	capture := a.traced || a.flight
+	brk := e.brkCfg != nil
 	var before eio.Stats
-	if capture {
+	if capture || brk {
 		before = rep.idx.Stats().IO
 	}
+	dst := a.parts
+	if hedge {
+		dst = a.hparts
+	}
 	for _, s := range a.jobs[si] {
-		p := &a.parts[s.part]
+		p := &dst[s.part]
 		p.reset()
 		if err := rep.idx.QueryInto(a.qs[s.qi], &p.ans); err != nil {
 			p.err = err
@@ -659,7 +808,7 @@ func (e *Engine) execReplica(a *batchArena, si int, rep *replica) {
 		e.toGlobal(si, &p.ans)
 	}
 	rep.reads.Add(int64(len(a.jobs[si])))
-	if capture {
+	if capture || brk {
 		d := rep.idx.Stats().IO.Sub(before)
 		if a.traced {
 			a.addIODelta(d)
@@ -667,8 +816,201 @@ func (e *Engine) execReplica(a *batchArena, si int, rep *replica) {
 		if a.flight {
 			a.caps[si].addIO(d)
 		}
+		if brk {
+			// Injected faults during the sub-batch are this copy's
+			// breaker evidence; a clean sub-batch resets it.
+			e.replicaOutcome(si, rep, d.Faults > 0)
+		}
+	}
+	if e.guarded {
+		want := sdPrimary
+		if hedge {
+			want = sdHedge
+		}
+		if a.sdone[si].CompareAndSwap(sdPending, want) {
+			if hedge {
+				if m := e.met; m != nil {
+					m.hedgeWins.Inc()
+				}
+			}
+			if a.left.Add(-1) == 0 {
+				// Last shard decided: wake the waiter. Non-blocking —
+				// an abandoned run's waiter is gone, and the capacity-1
+				// token is swallowed before the arena's next use.
+				select {
+				case a.allDone <- struct{}{}:
+				default:
+				}
+			}
+		}
 	}
 }
+
+// resetTimer arms t for d, allocating it on first use (arena warm-up);
+// the callers maintain the stopped-and-drained invariant between uses.
+func resetTimer(t *time.Timer, d time.Duration) *time.Timer {
+	if t == nil {
+		return time.NewTimer(d)
+	}
+	t.Reset(d)
+	return t
+}
+
+// stopDrain stops a timer whose channel this round has NOT received
+// from, draining the fire that may have landed between the last select
+// and the Stop. Only safe under that not-received condition: a fired
+// timer's value sits in the buffered channel until read, so the receive
+// below never blocks.
+func stopDrain(t *time.Timer) {
+	if !t.Stop() {
+		<-t.C
+	}
+}
+
+// waitGuarded is the deadline/hedge-aware replacement for the plain
+// wg.Wait: it blocks until every dispatched shard is decided, firing
+// one hedge round at the hedge delay (measured from the dispatch
+// instant) and, at the deadline (measured from the run's start),
+// either abandoning the still-pending shards (Strict=false) or just
+// counting the miss and waiting on (Strict=true). Reports whether the
+// run degraded. Timers are per-arena and reused, so the steady state
+// allocates nothing.
+func (e *Engine) waitGuarded(a *batchArena, t0, tdisp time.Time) bool {
+	if a.left.Load() == 0 {
+		return false
+	}
+	m := e.met
+	now := time.Now()
+	var hedgeC, dlC <-chan time.Time
+	hedgeLive, dlLive := false, false
+	if e.hedging {
+		if hns := e.currentHedgeNs(now.UnixNano()); hns > 0 {
+			if rem := time.Duration(hns) - now.Sub(tdisp); rem > 0 {
+				a.hedgeTimer = resetTimer(a.hedgeTimer, rem)
+				hedgeC, hedgeLive = a.hedgeTimer.C, true
+			} else {
+				e.dispatchHedges(a)
+			}
+		}
+	}
+	degraded, done := false, false
+	if e.deadlineNs > 0 {
+		if rem := time.Duration(e.deadlineNs) - now.Sub(t0); rem > 0 {
+			a.dlTimer = resetTimer(a.dlTimer, rem)
+			dlC, dlLive = a.dlTimer.C, true
+		} else {
+			// Already past the deadline (planning or k-NN ate it all).
+			if m != nil {
+				m.deadlineMisses.Inc()
+			}
+			if !e.strict {
+				e.abandonPending(a)
+				degraded, done = true, true
+			}
+		}
+	}
+	for !done {
+		select {
+		case <-a.allDone:
+			done = true
+		case <-hedgeC:
+			// A nil channel never fires, so a spent (or unarmed) timer
+			// case simply drops out of the race.
+			hedgeC, hedgeLive = nil, false
+			e.dispatchHedges(a)
+		case <-dlC:
+			dlC, dlLive = nil, false
+			if m != nil {
+				m.deadlineMisses.Inc()
+			}
+			if !e.strict {
+				e.abandonPending(a)
+				degraded, done = true, true
+			}
+		}
+	}
+	if hedgeLive {
+		stopDrain(a.hedgeTimer)
+	}
+	if dlLive {
+		stopDrain(a.dlTimer)
+	}
+	return degraded
+}
+
+// dispatchHedges issues the run's single hedge round: every shard still
+// pending has its whole sub-batch re-dispatched to the next-best
+// replica — never the copy already serving it — and the first answer
+// wins, byte-identical either way (replicas hold identical multisets).
+// Runs on the waiting goroutine under the run's shared migMu, so the
+// replica set is stable and work channels cannot close mid-send.
+func (e *Engine) dispatchHedges(a *batchArena) {
+	m := e.met
+	for si := range a.jobs {
+		if len(a.jobs[si]) == 0 || a.sdone[si].Load() != sdPending {
+			continue
+		}
+		rep, _ := e.pickReplicaNot(si, int(a.prim[si]))
+		if rep == nil {
+			continue // unreplicated shard, or breakers rule the rest out
+		}
+		a.nhedges++
+		if m != nil {
+			m.hedges.Inc()
+		}
+		if a.flight {
+			a.caps[si].hedged.Store(true)
+		}
+		a.wg.Add(1)
+		a.dispatches.Add(1)
+		rep.inflight.Add(1)
+		rep.work <- workItem{a: a, hedge: true}
+	}
+}
+
+// abandonPending marks every still-pending shard abandoned at the
+// deadline. A lost CAS means the shard answered concurrently (its
+// finisher decremented left); a won CAS decrements here, so left is
+// exactly zero when the loop ends — the run returns without waiting,
+// its stragglers drain in the background, and the primary copy that sat
+// on the sub-batch is charged breaker evidence (a deadline miss is a
+// fault from the router's point of view).
+func (e *Engine) abandonPending(a *batchArena) {
+	for si := range a.jobs {
+		if len(a.jobs[si]) == 0 {
+			continue
+		}
+		if a.sdone[si].CompareAndSwap(sdPending, sdAbandoned) {
+			a.left.Add(-1)
+			e.replicaOutcome(si, e.shards[si].reps[a.prim[si]], true)
+		}
+	}
+}
+
+// currentHedgeNs returns the run's hedge delay in nanoseconds: the
+// fixed Options.HedgeAfter, or (HedgeAuto) the cached windowed p99 run
+// latency. The cache refreshes at most every hedgeRefreshNs behind a
+// CAS, so the hot path pays one atomic load and the occasional loser
+// of the refresh race just uses the previous value; zero (auto mode
+// before the window holds hedgeMinSamples runs) disables hedging for
+// the run.
+func (e *Engine) currentHedgeNs(now int64) int64 {
+	if e.hedgeFixedNs > 0 {
+		return e.hedgeFixedNs
+	}
+	last := e.hedgeRefreshAt.Load()
+	if now >= last && e.hedgeRefreshAt.CompareAndSwap(last, now+hedgeRefreshNs) {
+		if p99, n := e.met.totalNsWin.Quantile(0.99); n >= hedgeMinSamples {
+			e.hedgeNs.Store(int64(p99))
+		}
+	}
+	return e.hedgeNs.Load()
+}
+
+const (
+	hedgeRefreshNs  = int64(100 * time.Millisecond)
+	hedgeMinSamples = 16
+)
 
 // toGlobal maps a shard's local answer indices to build-set indices.
 // Local indices are sorted ascending (each index sorts its output), and
@@ -701,24 +1043,28 @@ func (e *Engine) runLocalInto(a *batchArena, si int, q Query, p *partial) {
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
 	capture := a.traced || a.flight
+	brk := e.brkCfg != nil
 	var before eio.Stats
-	if capture {
+	if capture || brk {
 		before = rep.idx.Stats().IO
 	}
 	p.reset()
 	if err := rep.idx.QueryInto(q, &p.ans); err != nil {
 		p.err = err
-		return
+	} else {
+		e.toGlobal(si, &p.ans)
+		rep.reads.Add(1)
 	}
-	e.toGlobal(si, &p.ans)
-	rep.reads.Add(1)
-	if capture {
+	if capture || brk {
 		d := rep.idx.Stats().IO.Sub(before)
 		if a.traced {
 			a.addIODelta(d)
 		}
 		if a.flight {
 			a.caps[si].addIO(d)
+		}
+		if brk {
+			e.replicaOutcome(si, rep, d.Faults > 0)
 		}
 	}
 }
@@ -793,13 +1139,39 @@ func (e *Engine) runKNNPlanned(a *batchArena, qi int, ks *knnScratch) {
 	}
 }
 
-// mergeInto combines one query's per-shard answers (parts[off:off+n])
-// into r with the loser-tree merge. Any shard error (an unsupported op
-// — every shard runs the same family, so all agree) becomes the query's
-// error.
-func (e *Engine) mergeInto(a *batchArena, q Query, off, n int, r *Result) {
-	for i := off; i < off+n; i++ {
-		if err := a.parts[i].err; err != nil {
+// slotFor resolves which side of a guarded run's race holds shard
+// pl.Shards[i]'s answer for the query at slot offset off: the primary's
+// parts slot, the hedge's hparts shadow, or nil when the deadline
+// abandoned the shard (the caller records it as missing). Unguarded
+// runs always answer from parts.
+func (a *batchArena) slotFor(e *Engine, pl *planner.Plan, off, i int) *partial {
+	if e.guarded {
+		switch a.sdone[pl.Shards[i]].Load() {
+		case sdHedge:
+			return &a.hparts[off+i]
+		case sdAbandoned:
+			return nil
+		}
+	}
+	return &a.parts[off+i]
+}
+
+// mergeInto combines one query's per-shard answers (the slots at
+// off...off+len(pl.Shards), each read from whichever replica won its
+// shard's race) into r with the loser-tree merge. Any shard error (an
+// unsupported op — every shard runs the same family, so all agree)
+// becomes the query's error; a shard abandoned at the deadline marks
+// the result Degraded and joins its Missing set instead of merging.
+func (e *Engine) mergeInto(a *batchArena, q Query, pl *planner.Plan, off int, r *Result) {
+	n := len(pl.Shards)
+	for i := 0; i < n; i++ {
+		p := a.slotFor(e, pl, off, i)
+		if p == nil {
+			r.Degraded = true
+			r.Missing = append(r.Missing, pl.Shards[i])
+			continue
+		}
+		if err := p.err; err != nil {
 			r.reset()
 			r.Err = err
 			return
@@ -808,20 +1180,26 @@ func (e *Engine) mergeInto(a *batchArena, q Query, off, n int, r *Result) {
 	switch {
 	case q.Op == OpKNN:
 		a.nbRuns = a.nbRuns[:0]
-		for i := off; i < off+n; i++ {
-			a.nbRuns = append(a.nbRuns, a.parts[i].ans.Neighbors)
+		for i := 0; i < n; i++ {
+			if p := a.slotFor(e, pl, off, i); p != nil {
+				a.nbRuns = append(a.nbRuns, p.ans.Neighbors)
+			}
 		}
 		r.Neighbors = loserMerge(r.Neighbors[:0], a.nbRuns, &a.heads, &a.loser, neighborLess, q.K)
 	case e.mutable:
 		a.recRuns = a.recRuns[:0]
-		for i := off; i < off+n; i++ {
-			a.recRuns = append(a.recRuns, a.parts[i].ans.Recs)
+		for i := 0; i < n; i++ {
+			if p := a.slotFor(e, pl, off, i); p != nil {
+				a.recRuns = append(a.recRuns, p.ans.Recs)
+			}
 		}
 		r.Recs = loserMerge(r.Recs[:0], a.recRuns, &a.heads, &a.loser, recLess, -1)
 	default:
 		a.idRuns = a.idRuns[:0]
-		for i := off; i < off+n; i++ {
-			a.idRuns = append(a.idRuns, a.parts[i].ans.IDs)
+		for i := 0; i < n; i++ {
+			if p := a.slotFor(e, pl, off, i); p != nil {
+				a.idRuns = append(a.idRuns, p.ans.IDs)
+			}
 		}
 		r.IDs = loserMerge(r.IDs[:0], a.idRuns, &a.heads, &a.loser, intLess, -1)
 	}

@@ -1,0 +1,736 @@
+package engine
+
+// Robustness tests (DESIGN.md §12): fault injection, hedged replica
+// reads, per-replica circuit breakers and deadline-bounded graceful
+// degradation. The through-line is the engine's central invariant under
+// adversity — a browned-out, hard-failed or abandoned replica may cost
+// latency, but every answer that does come back is byte-identical to
+// the unsharded reference, and a degraded answer is an exact union of
+// the shards that reported.
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"linconstraint/internal/eio"
+	"linconstraint/internal/geom"
+	"linconstraint/internal/index"
+	"linconstraint/internal/metrics"
+	"linconstraint/internal/partition"
+	"linconstraint/internal/workload"
+)
+
+// subsetInts reports whether sub ⊆ super; both are sorted ascending
+// (every engine answer is).
+func subsetInts(sub, super []int) bool {
+	j := 0
+	for _, v := range sub {
+		for j < len(super) && super[j] < v {
+			j++
+		}
+		if j >= len(super) || super[j] != v {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// FuzzBreaker drives the breaker state machine and the routing pick
+// with arbitrary fault/success/pick interleavings and checks the two
+// properties the design promises: a pick never routes to an open
+// breaker, and a shard is never stranded — whenever any replica besides
+// the excluded one exists, the pick returns one (forcing a probe if
+// every copy is open). A shadow model verifies every state transition,
+// including the ones a pick itself is allowed to make (open→half-open
+// only).
+func FuzzBreaker(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 250, 7, 7, 9}, uint8(3), false)
+	f.Add([]byte{5, 5, 5, 5, 5, 5}, uint8(1), true)
+	f.Add([]byte{1, 4, 2, 8, 5, 7, 1, 4, 2, 8}, uint8(4), false)
+	f.Add([]byte{255, 254, 253, 252}, uint8(2), true)
+	f.Fuzz(func(t *testing.T, ops []byte, nreps uint8, coolExpired bool) {
+		n := 1 + int(nreps)%4
+		const threshold = 2
+		e := &Engine{brkCooldownNs: int64(time.Hour)}
+		if coolExpired {
+			// Zero cooldown: every open breaker is immediately probe-able,
+			// exercising the CAS branch of the pick's second pass.
+			e.brkCooldownNs = 0
+		}
+		reps := make([]*replica, n)
+		for i := range reps {
+			reps[i] = &replica{}
+		}
+		model := make([]BreakerState, n)
+		fails := make([]int, n)
+		trips := make([]int64, n)
+
+		for _, b := range ops {
+			ri := int(b) % n
+			switch (int(b) / n) % 3 {
+			case 0:
+				reps[ri].brk.onSuccess()
+				model[ri], fails[ri] = BreakerClosed, 0
+			case 1:
+				tripped := reps[ri].brk.onFault(threshold, time.Now().UnixNano())
+				wantTrip := false
+				switch model[ri] {
+				case BreakerHalfOpen:
+					model[ri], wantTrip = BreakerOpen, true
+				case BreakerClosed:
+					if fails[ri]++; fails[ri] >= threshold {
+						model[ri], wantTrip = BreakerOpen, true
+					}
+				}
+				if tripped != wantTrip {
+					t.Fatalf("onFault on replica %d reported trip=%v, model says %v", ri, tripped, wantTrip)
+				}
+				if wantTrip {
+					trips[ri]++
+				}
+			default:
+				exclude := -1
+				if b&1 == 0 {
+					exclude = ri
+				}
+				rep, got := e.pickRoutable(reps, exclude)
+				if n == 1 && exclude == 0 {
+					if rep != nil {
+						t.Fatalf("pick invented a replica when exclude covered the whole set")
+					}
+				} else {
+					if rep == nil {
+						t.Fatalf("stranded: %d replicas, exclude %d, states %v", n, exclude, model)
+					}
+					if got < 0 || got >= n || reps[got] != rep {
+						t.Fatalf("pick returned inconsistent index %d", got)
+					}
+					if got == exclude {
+						t.Fatalf("pick returned the excluded replica %d", got)
+					}
+					if s := BreakerState(rep.brk.state.Load()); s == BreakerOpen {
+						t.Fatalf("pick routed to an open breaker (replica %d)", got)
+					}
+				}
+				// A pick may only ever move breakers open→half-open.
+				for i, r := range reps {
+					s := BreakerState(r.brk.state.Load())
+					if s != model[i] {
+						if model[i] != BreakerOpen || s != BreakerHalfOpen {
+							t.Fatalf("pick made an illegal transition on replica %d: %v -> %v", i, model[i], s)
+						}
+						model[i] = BreakerHalfOpen
+					}
+				}
+			}
+			for i, r := range reps {
+				if got := r.brk.trips.Load(); got != trips[i] {
+					t.Fatalf("replica %d trips = %d, model %d", i, got, trips[i])
+				}
+				s := BreakerState(r.brk.state.Load())
+				if s != BreakerClosed && s != BreakerOpen && s != BreakerHalfOpen {
+					t.Fatalf("replica %d in impossible state %d", i, s)
+				}
+			}
+		}
+	})
+}
+
+// TestBreakerTripRouteAroundRepair is the breaker lifecycle acceptance
+// path: a hard-failed replica trips its breaker within Threshold runs,
+// traffic routes around it (its reads freeze), Engine.Repair heals it
+// and re-closes the breaker, and the answers stay byte-identical at
+// every stage. Both repair flavors run: the primary heals in place, a
+// non-primary is rebuilt onto a fresh device.
+func TestBreakerTripRouteAroundRepair(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	pts := workload.Uniform2(rng, 6_000)
+	reg := metrics.NewRegistry()
+	e := NewPlanar(pts, Options{
+		Shards: 2, BlockSize: 32, Seed: 7, Partitioner: partition.NewKDCut(),
+		Metrics: reg,
+		Breaker: &BreakerConfig{Threshold: 2, Cooldown: time.Hour},
+		// An idle watchdog: never ticks, but its event ring exists, so
+		// breaker trips and repairs surface through Engine.Health.
+		Watchdog: &WatchdogConfig{Interval: time.Hour},
+	})
+	defer e.Close()
+	if err := e.Replicate(0, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	qs := make([]Query, 8)
+	for i := range qs {
+		h := workload.HalfplaneWithSelectivity(rng, pts, 0.1)
+		qs[i] = Query{Op: OpHalfplane, A: h.A, B: h.B}
+	}
+	base := e.Batch(qs)
+	check := func(stage string) {
+		t.Helper()
+		got := e.Batch(qs)
+		for i := range qs {
+			if got[i].Err != nil {
+				t.Fatalf("%s: query %d: %v", stage, i, got[i].Err)
+			}
+			if !equalInts(got[i].IDs, base[i].IDs) {
+				t.Fatalf("%s: query %d: answer changed (%d vs %d ids)", stage, i, len(got[i].IDs), len(base[i].IDs))
+			}
+		}
+	}
+
+	// Sequential idle-engine picks always land on replica 0 (least
+	// in-flight, first wins ties), so that is the copy to fail. The
+	// cheap FailStall keeps the pre-trip runs fast.
+	if err := e.InjectFaults(0, 0, eio.FaultPlan{FailStall: 10 * time.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FailReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		check("hard-failed replica serving")
+		st, err := e.BreakerStates(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st[0] == BreakerOpen {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never opened: states %v", st)
+		}
+	}
+
+	// Routed around: the tripped copy's reads freeze while queries flow.
+	frozen := e.Stats().ReplicaReads[0][0]
+	check("tripped")
+	check("tripped")
+	if got := e.Stats().ReplicaReads[0][0]; got != frozen {
+		t.Fatalf("open breaker still served reads: %d -> %d", frozen, got)
+	}
+
+	// Repair flavor 1: the sick primary heals in place.
+	n, err := e.Repair(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Repair repaired %d copies, want 1", n)
+	}
+	st, err := e.BreakerStates(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri, s := range st {
+		if s != BreakerClosed {
+			t.Fatalf("post-repair replica %d breaker %v, want closed", ri, s)
+		}
+	}
+	if e.shards[0].reps[0].dev.Failed() {
+		t.Fatal("Repair left the primary's fail latch set")
+	}
+	if e.shards[0].reps[0].dev.FaultPlan() != (eio.FaultPlan{}) {
+		t.Fatal("Repair left the primary's fault plan installed")
+	}
+	check("repaired primary")
+	grown := e.Stats().ReplicaReads[0][0]
+	check("repaired primary serving")
+	if got := e.Stats().ReplicaReads[0][0]; got <= grown {
+		t.Fatalf("healed primary took no traffic: %d -> %d", grown, got)
+	}
+
+	// Repair flavor 2: a hard-failed non-primary (sick by latch alone —
+	// no trip needed) is rebuilt onto a fresh device.
+	if err := e.FailReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n, err = e.Repair(0); err != nil || n != 1 {
+		t.Fatalf("Repair of failed clone: n=%d err=%v", n, err)
+	}
+	if e.shards[0].reps[1].dev.Failed() {
+		t.Fatal("rebuilt replica inherited the fail latch")
+	}
+	check("rebuilt clone")
+
+	snap := reg.Snapshot()
+	if got, _ := snap.Value("engine_breaker_trips_total", ""); got < 1 {
+		t.Errorf("engine_breaker_trips_total = %v, want >= 1", got)
+	}
+	if got, _ := snap.Value("engine_repairs_total", ""); got != 2 {
+		t.Errorf("engine_repairs_total = %v, want 2", got)
+	}
+	kinds := map[HealthKind]bool{}
+	for _, ev := range e.Health(nil) {
+		kinds[ev.Kind] = true
+	}
+	if !kinds[HealthBreakerTrip] || !kinds[HealthRepair] {
+		t.Errorf("health stream kinds %v, want breaker_trip and repair", kinds)
+	}
+}
+
+// TestDeadlineDegradedAndStrict pins graceful degradation: with
+// Strict=false a run that blows Options.Deadline returns the exact
+// union of the shards that reported — Degraded set, the abandoned
+// shards named in Missing, the IDs a strict subset of the full answer —
+// while Strict=true waits the stall out and returns the complete
+// answer, counting the miss.
+func TestDeadlineDegradedAndStrict(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	pts := workload.Uniform2(rng, 8_000)
+	h := workload.HalfplaneWithSelectivity(rng, pts, 0.8) // touches every shard
+	qs := []Query{{Op: OpHalfplane, A: h.A, B: h.B}}
+
+	build := func(strict bool) (*Engine, *metrics.Registry) {
+		reg := metrics.NewRegistry()
+		e := NewPlanar(pts, Options{
+			Shards: 4, BlockSize: 32, Seed: 6, Partitioner: partition.NewKDCut(),
+			Deadline: 2 * time.Millisecond, Strict: strict,
+			Metrics:        reg,
+			FlightRecorder: FlightRecorderConfig{TotalNs: int64(time.Hour)},
+		})
+		t.Cleanup(e.Close)
+		return e, reg
+	}
+	slowShards := func(e *Engine) {
+		// 200µs per touch on shards 2 and 3: tens of touches per
+		// sub-batch at this selectivity, far past the 2ms deadline, while
+		// the healthy shards answer in microseconds.
+		for _, si := range []int{2, 3} {
+			if err := e.InjectFaults(si, 0, eio.FaultPlan{FailStall: 200 * time.Microsecond}); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.FailReplica(si, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	soft, softReg := build(false)
+	soft.Batch(qs) // warm: first-run arena growth must not eat the deadline
+	// A healthy run beats 2ms by orders of magnitude, but scheduler
+	// hiccups (esp. under -race) can still blow it occasionally —
+	// that's correct degradation, not a failure, so retry for a clean
+	// baseline.
+	var full []Result
+	for attempt := 0; ; attempt++ {
+		full = soft.Batch(qs)
+		if full[0].Err != nil {
+			t.Fatal(full[0].Err)
+		}
+		if !full[0].Degraded {
+			break
+		}
+		if attempt == 50 {
+			t.Fatalf("healthy run degraded %d times in a row", attempt)
+		}
+	}
+	if full[0].ShardsVisited != 4 {
+		t.Fatalf("reference query visits %d shards, want 4", full[0].ShardsVisited)
+	}
+	slowShards(soft)
+	res := soft.Batch(qs)
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	if !res[0].Degraded || len(res[0].Missing) == 0 {
+		t.Fatalf("stalled run not degraded: degraded=%v missing=%v", res[0].Degraded, res[0].Missing)
+	}
+	for _, si := range res[0].Missing {
+		if si != 2 && si != 3 {
+			t.Fatalf("healthy shard %d reported missing (missing %v)", si, res[0].Missing)
+		}
+	}
+	if !subsetInts(res[0].IDs, full[0].IDs) {
+		t.Fatal("degraded answer is not a subset of the full answer")
+	}
+	if len(res[0].IDs) >= len(full[0].IDs) {
+		t.Fatalf("degraded answer lost nothing (%d vs %d ids) — deadline never bit", len(res[0].IDs), len(full[0].IDs))
+	}
+	snap := softReg.Snapshot()
+	if got, _ := snap.Value("engine_deadline_misses_total", ""); got < 1 {
+		t.Errorf("engine_deadline_misses_total = %v, want >= 1", got)
+	}
+	if got, _ := snap.Value("engine_degraded_runs_total", ""); got < 1 {
+		t.Errorf("engine_degraded_runs_total = %v, want >= 1", got)
+	}
+	var sawDegraded bool
+	for _, s := range soft.SlowQueries(nil) {
+		if s.Reason&SlowDegraded != 0 {
+			sawDegraded = true
+		}
+	}
+	if !sawDegraded {
+		t.Error("flight recorder captured no degraded run")
+	}
+
+	strict, strictReg := build(true)
+	strictFull := strict.Batch(qs)
+	slowShards(strict)
+	res = strict.Batch(qs)
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	if res[0].Degraded || len(res[0].Missing) != 0 {
+		t.Fatalf("strict run degraded: %v missing %v", res[0].Degraded, res[0].Missing)
+	}
+	if !equalInts(res[0].IDs, strictFull[0].IDs) {
+		t.Fatal("strict past-deadline answer is not byte-identical to the full answer")
+	}
+	snap = strictReg.Snapshot()
+	if got, _ := snap.Value("engine_deadline_misses_total", ""); got < 1 {
+		t.Errorf("strict engine_deadline_misses_total = %v, want >= 1", got)
+	}
+	if got, _ := snap.Value("engine_degraded_runs_total", ""); got != 0 {
+		t.Errorf("strict engine_degraded_runs_total = %v, want 0", got)
+	}
+}
+
+// TestHedgedReadsByteIdentical pins the hedge path: with one replica of
+// every shard browned out hard and a fixed hedge delay, runs re-dispatch
+// to the healthy copy, the hedge wins, and every answer is byte-
+// identical to the healthy baseline. The flight recorder captures every
+// hedged run with the hedged reason and per-shard Hedged marks.
+func TestHedgedReadsByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	pts := workload.Uniform2(rng, 6_000)
+	reg := metrics.NewRegistry()
+	e := NewPlanar(pts, Options{
+		Shards: 2, BlockSize: 32, Seed: 8, Partitioner: partition.NewKDCut(),
+		Metrics: reg, HedgeAfter: 20 * time.Microsecond,
+		FlightRecorder: FlightRecorderConfig{TotalNs: int64(time.Hour)},
+	})
+	defer e.Close()
+	for si := 0; si < 2; si++ {
+		if err := e.Replicate(si, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qs := make([]Query, 8)
+	for i := range qs {
+		h := workload.HalfplaneWithSelectivity(rng, pts, 0.1)
+		qs[i] = Query{Op: OpHalfplane, A: h.A, B: h.B}
+	}
+	base := e.Batch(qs)
+
+	// Brown out replica 0 of both shards — the copy an idle engine's
+	// pick always chooses — so the primary dispatch stalls ~1ms per miss
+	// and the 20µs hedge to the healthy clone wins.
+	for si := 0; si < 2; si++ {
+		if err := e.InjectFaults(si, 0, eio.FaultPlan{Seed: int64(si + 1), BrownoutProb: 1, BrownoutStall: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	one := make([]Query, 1)
+	res := make([]Result, 0, 1)
+	for i := 0; i < 24; i++ {
+		one[0] = qs[i%len(qs)]
+		res = e.BatchInto(one, res[:0])
+		if res[0].Err != nil {
+			t.Fatal(res[0].Err)
+		}
+		if res[0].Degraded {
+			t.Fatal("no deadline is set, yet a run degraded")
+		}
+		if !equalInts(res[0].IDs, base[i%len(qs)].IDs) {
+			t.Fatalf("run %d: hedged answer diverged (%d vs %d ids)", i, len(res[0].IDs), len(base[i%len(qs)].IDs))
+		}
+	}
+
+	snap := reg.Snapshot()
+	hedges, _ := snap.Value("engine_hedges_total", "")
+	wins, _ := snap.Value("engine_hedge_wins_total", "")
+	if hedges == 0 {
+		t.Fatal("browned-out primaries never triggered a hedge")
+	}
+	if wins == 0 {
+		t.Fatal("healthy clones never won a hedge race")
+	}
+	var sawHedged, sawMark bool
+	for _, s := range e.SlowQueries(nil) {
+		if s.Reason&SlowHedged == 0 {
+			continue
+		}
+		sawHedged = true
+		for _, ps := range s.PerShard {
+			if ps.Hedged {
+				sawMark = true
+			}
+		}
+	}
+	if !sawHedged {
+		t.Error("flight recorder captured no hedged run")
+	}
+	if !sawMark {
+		t.Error("no captured shard trace carries the Hedged mark")
+	}
+}
+
+// TestHedgeAutoFollowsWindow: HedgeAuto derives the hedge delay from
+// the windowed p99 run latency; after enough samples and a refresh
+// interval the cached delay is positive, and answers stay correct
+// throughout.
+func TestHedgeAutoFollowsWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	pts := workload.Uniform2(rng, 2_000)
+	reg := metrics.NewRegistry()
+	e := NewPlanar(pts, Options{
+		Shards: 2, BlockSize: 64, Seed: 9, Partitioner: partition.NewKDCut(),
+		Metrics: reg, HedgeAfter: HedgeAuto,
+		// Per-miss latency keeps runs long enough that the waiter
+		// observes them pending (a run that finishes before waitGuarded
+		// never consults the hedge-delay cache); the window must span
+		// many such runs, since the p99 needs hedgeMinSamples of them.
+		WindowSlots: 4, WindowInterval: time.Second,
+		IOLatency: 5 * time.Microsecond,
+	})
+	defer e.Close()
+	if err := e.Replicate(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !e.hedging {
+		t.Fatal("HedgeAuto with metrics did not arm hedging")
+	}
+	qs := make([]Query, 4)
+	for i := range qs {
+		h := workload.HalfplaneWithSelectivity(rng, pts, 0.1)
+		qs[i] = Query{Op: OpHalfplane, A: h.A, B: h.B}
+	}
+	base := e.Batch(qs)
+	deadline := time.Now().Add(5 * time.Second)
+	for e.hedgeNs.Load() == 0 {
+		got := e.Batch(qs)
+		for i := range qs {
+			if got[i].Err != nil || !equalInts(got[i].IDs, base[i].IDs) {
+				t.Fatalf("query %d diverged under auto-hedging (err %v)", i, got[i].Err)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("auto hedge delay never derived from the window")
+		}
+	}
+	if e.hedgeNs.Load() <= 0 {
+		t.Fatalf("auto hedge delay = %d, want > 0", e.hedgeNs.Load())
+	}
+}
+
+// TestRobustFlappingFaultsByteIdentical is the robustness analog of
+// TestReplicaInvarianceConcurrent, run under -race in CI: an
+// interleaved insert/delete/query stream races a fault flapper that
+// cycles brownout plans, hard-fail latches, heals and repairs across
+// the replica sets, with hedging and breakers armed (no deadline — so
+// byte-identity must hold unconditionally). Every answer is compared
+// against one unsharded reference index.
+func TestRobustFlappingFaultsByteIdentical(t *testing.T) {
+	const shards = 4
+	e := NewDynamicPlanar(Options{
+		Shards: shards, Workers: 4, BlockSize: 16, Seed: 9, Partitioner: partition.NewKDCut(),
+		HedgeAfter: 50 * time.Microsecond,
+		Breaker:    &BreakerConfig{Threshold: 2, Cooldown: 500 * time.Microsecond},
+	})
+	defer e.Close()
+	ref := index.NewDynamicPlanar(eio.NewDevice(16, 0), 9)
+
+	// Fixed replica degrees — the churn under test is fault state, not
+	// topology.
+	deg := make([]int, shards)
+	for si := 0; si < shards; si++ {
+		deg[si] = 2 + si%2
+		if err := e.Replicate(si, deg[si]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var flaps atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		frng := rand.New(rand.NewSource(101))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			si := frng.Intn(shards)
+			ri := frng.Intn(deg[si])
+			var err error
+			switch i % 5 {
+			case 0:
+				err = e.InjectFaults(si, ri, eio.FaultPlan{
+					Seed: int64(i), BrownoutProb: 0.5, BrownoutStall: 20 * time.Microsecond,
+					FailStall: 20 * time.Microsecond,
+				})
+			case 1:
+				// Cheap FailStall first, so the latch brownout stays µs-scale.
+				if err = e.InjectFaults(si, ri, eio.FaultPlan{FailStall: 20 * time.Microsecond}); err == nil {
+					err = e.FailReplica(si, ri)
+				}
+			case 2:
+				err = e.HealReplica(si, ri)
+			case 3:
+				// Clear the brownouts but keep the cheap FailStall — the
+				// latch may still be set, and a bare latch falls back to
+				// the 1ms default stall per touch.
+				err = e.InjectFaults(si, ri, eio.FaultPlan{FailStall: 20 * time.Microsecond})
+			default:
+				_, err = e.Repair(si)
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			flaps.Add(1)
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(73))
+	zipf := rand.NewZipf(rng, 1.4, 1, 63)
+	var model []geom.Point2
+	for op := 0; op < 700; op++ {
+		cell := float64(zipf.Uint64()) / 64
+		switch r := rng.Intn(10); {
+		case r < 5:
+			p := geom.Point2{X: cell + rng.Float64()/64, Y: rng.Float64()}
+			if err := e.Insert(index.Record{P2: p}); err != nil {
+				t.Fatal(err)
+			}
+			ref.Insert(index.Record{P2: p})
+			model = append(model, p)
+		case r < 7 && len(model) > 0:
+			i := rng.Intn(len(model))
+			ok, err := e.Delete(index.Record{P2: model[i]})
+			if err != nil || !ok {
+				t.Fatalf("op %d: delete of live record under faults: %v %v", op, ok, err)
+			}
+			ref.Delete(index.Record{P2: model[i]})
+			model[i] = model[len(model)-1]
+			model = model[:len(model)-1]
+		default:
+			a, b := rng.NormFloat64(), cell+rng.Float64()
+			got := e.HalfplaneRecs(a, b)
+			ans, err := ref.Query(Query{Op: OpHalfplane, A: a, B: b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !recsEqual(got, ans.Recs) {
+				t.Fatalf("op %d: answer diverged under fault flapping (%d recs vs %d)",
+					op, len(got), len(ans.Recs))
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if flaps.Load() == 0 {
+		t.Fatal("fault flapper never completed a pass")
+	}
+	if e.Len() != len(model) {
+		t.Fatalf("post-stress Len %d, want %d", e.Len(), len(model))
+	}
+
+	// Quiesce: heal and repair everything, then the breakers must all be
+	// closed and a final sweep byte-identical.
+	for si := 0; si < shards; si++ {
+		for ri := 0; ri < deg[si]; ri++ {
+			if err := e.HealReplica(si, ri); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := e.Repair(si); err != nil {
+			t.Fatal(err)
+		}
+		st, err := e.BreakerStates(si)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri, s := range st {
+			if s != BreakerClosed {
+				t.Fatalf("post-repair shard %d replica %d breaker %v", si, ri, s)
+			}
+		}
+	}
+	for i := 0; i < 20; i++ {
+		a, b := rng.NormFloat64(), rng.Float64()
+		got := e.HalfplaneRecs(a, b)
+		ans, err := ref.Query(Query{Op: OpHalfplane, A: a, B: b})
+		if err != nil || !recsEqual(got, ans.Recs) {
+			t.Fatalf("post-repair sweep diverged (err %v)", err)
+		}
+	}
+}
+
+// TestHedgedBreakerZeroAllocs pins the robustness acceptance bound:
+// with the full fault stack armed — deadline guard, a hedge delay so
+// small every run hedges its replicated shards, breakers judging every
+// sub-batch, and a live brownout plan on one replica — the steady-state
+// query path still performs zero heap allocations. Hedge losers can
+// straggle past a run's return, so the arena pool is deepened first by
+// a concurrent warm phase.
+func TestHedgedBreakerZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pts := workload.Uniform2(rng, 20_000)
+	reg := metrics.NewRegistry()
+	e := NewPlanar(pts, Options{
+		Shards: 8, BlockSize: 128, Seed: 1, Partitioner: partition.NewKDCut(),
+		Metrics:  reg,
+		Deadline: time.Hour, HedgeAfter: time.Nanosecond,
+		Breaker: &BreakerConfig{Threshold: 3, Cooldown: time.Millisecond},
+	})
+	t.Cleanup(e.Close)
+	if err := e.Replicate(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Replicate(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InjectFaults(0, 1, eio.FaultPlan{Seed: 3, BrownoutProb: 0.01, BrownoutStall: time.Nanosecond}); err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]Query, 8)
+	for i := range qs {
+		h := workload.HalfplaneWithSelectivity(rng, pts, 0.01)
+		qs[i] = Query{Op: OpHalfplane, A: h.A, B: h.B}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			one := make([]Query, 1)
+			res := make([]Result, 0, 1)
+			for i := 0; i < 100; i++ {
+				one[0] = qs[i%len(qs)]
+				res = e.BatchInto(one, res[:0])
+				if res[0].Err != nil {
+					t.Error(res[0].Err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	one := make([]Query, 1)
+	res := make([]Result, 0, 1)
+	i := 0
+	assertZeroAllocs(t, "halfplane with hedging+deadline+breakers+faults armed", func() {
+		for j := 0; j < len(qs); j++ {
+			one[0] = qs[i%len(qs)]
+			i++
+			res = e.BatchInto(one, res[:0])
+			if res[0].Err != nil {
+				t.Fatal(res[0].Err)
+			}
+		}
+	})
+	if hedges, _ := reg.Snapshot().Value("engine_hedges_total", ""); hedges == 0 {
+		t.Fatal("1ns hedge delay never fired — the measured path was not the hedged one")
+	}
+}

@@ -81,12 +81,20 @@ const (
 	// HealthReplicaImbalance: one replica of a shard serves far more
 	// than its fair share of reads.
 	HealthReplicaImbalance
+	// HealthBreakerTrip: a replica's circuit breaker opened (consecutive
+	// faulted sub-batches — see breaker.go). Value is the consecutive
+	// fault count, Bound the configured threshold.
+	HealthBreakerTrip
+	// HealthRepair: Engine.Repair rebuilt or healed a shard's sick
+	// replicas. Value is how many copies it repaired.
+	HealthRepair
 
-	numHealthKinds = int(HealthReplicaImbalance) + 1
+	numHealthKinds = int(HealthRepair) + 1
 )
 
 var healthLabels = [numHealthKinds]string{
 	"skew", "hot_shard", "p99_burn", "visited_burn", "gc_stall", "replica_imbalance",
+	"breaker_trip", "repair",
 }
 
 // String returns the kind's metric label.

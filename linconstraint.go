@@ -433,6 +433,25 @@ type EngineConfig struct {
 	// (defaults 6 slots of 10s).
 	WindowSlots    int
 	WindowInterval time.Duration
+	// Deadline, when positive, bounds every query run end to end. A
+	// strict engine (Strict=true) lets a late run finish anyway and
+	// just counts the miss; a lenient one returns what the shards that
+	// beat the deadline answered, marks each QueryResult Degraded and
+	// lists the abandoned shards in Missing (DESIGN.md §12).
+	Deadline time.Duration
+	// Strict makes a past-deadline run complete instead of degrade.
+	Strict bool
+	// HedgeAfter arms hedged reads on replicated shards: a shard
+	// dispatch unanswered past the delay is re-issued to another
+	// replica and the first answer wins (answers stay byte-identical).
+	// Pass HedgeAuto to track the engine's windowed p99 latency, a
+	// fixed positive duration to pin the delay, zero to disable.
+	HedgeAfter time.Duration
+	// Breaker, when non-nil, arms a per-replica circuit breaker:
+	// replicas whose device keeps faulting trip open, the read path
+	// routes around them, and after Cooldown a half-open probe decides
+	// whether they re-close. Repair rebuilds a sick replica on demand.
+	Breaker *BreakerConfig
 }
 
 func (c EngineConfig) options() engine.Options {
@@ -445,6 +464,8 @@ func (c EngineConfig) options() engine.Options {
 		Metrics:        c.Metrics, TraceEvery: c.TraceEvery, TraceBuf: c.TraceBuf,
 		FlightRecorder: c.FlightRecorder, Watchdog: c.Watchdog,
 		WindowSlots: c.WindowSlots, WindowInterval: c.WindowInterval,
+		Deadline: c.Deadline, Strict: c.Strict,
+		HedgeAfter: c.HedgeAfter, Breaker: c.Breaker,
 	}
 }
 
@@ -548,9 +569,11 @@ type SlowReason = engine.SlowReason
 
 // Flight-recorder trigger bits.
 const (
-	SlowTotalNs = engine.SlowTotalNs
-	SlowShardIO = engine.SlowShardIO
-	SlowFanout  = engine.SlowFanout
+	SlowTotalNs  = engine.SlowTotalNs
+	SlowShardIO  = engine.SlowShardIO
+	SlowFanout   = engine.SlowFanout
+	SlowHedged   = engine.SlowHedged
+	SlowDegraded = engine.SlowDegraded
 )
 
 // SlowTrace is one run the flight recorder captured: the same
@@ -586,7 +609,40 @@ const (
 	HealthVisitedBurn      = engine.HealthVisitedBurn
 	HealthGCStall          = engine.HealthGCStall
 	HealthReplicaImbalance = engine.HealthReplicaImbalance
+	HealthBreakerTrip      = engine.HealthBreakerTrip
+	HealthRepair           = engine.HealthRepair
 )
+
+// --- Robustness (DESIGN.md §12) ---------------------------------------------
+
+// FaultPlan is a deterministic, seeded fault-injection schedule for one
+// replica's device (Engine.InjectFaults): probabilistic brownout stalls,
+// periodic stuck reads, and the stall charged per touch while the
+// replica is hard-failed. The zero value injects nothing.
+type FaultPlan = eio.FaultPlan
+
+// BreakerConfig tunes the per-replica circuit breaker
+// (EngineConfig.Breaker): how many consecutive faulted visits trip a
+// replica open (default 3) and how long it stays open before a
+// half-open probe (default 100ms). The zero value takes both defaults.
+type BreakerConfig = engine.BreakerConfig
+
+// BreakerState is one replica's circuit-breaker state, read with
+// Engine.BreakerStates.
+type BreakerState = engine.BreakerState
+
+// Breaker states: Closed serves normally, Open is routed around until
+// its cooldown expires, HalfOpen admits a single probe visit whose
+// outcome re-closes or re-opens the breaker.
+const (
+	BreakerClosed   = engine.BreakerClosed
+	BreakerOpen     = engine.BreakerOpen
+	BreakerHalfOpen = engine.BreakerHalfOpen
+)
+
+// HedgeAuto, passed as EngineConfig.HedgeAfter, derives the hedge delay
+// from the engine's windowed p99 run latency instead of a fixed value.
+const HedgeAuto = engine.HedgeAuto
 
 // PlanVerdict is the planner's per-shard decision for one query:
 // visited, or which bound pruned the shard. String is the metric label
@@ -798,6 +854,39 @@ func (e *Engine) HotShards(dst []HotShard) []HotShard { return e.eng.HotShards(d
 // like Rebalance — run it from a ticker or after a workload shift.
 func (e *Engine) AutoReplicate(opt AutoReplicateOptions) (AutoReplicateStats, error) {
 	return e.eng.AutoReplicate(opt)
+}
+
+// InjectFaults installs a deterministic fault-injection plan on shard
+// si's replica ri device (the zero FaultPlan clears it). Faults charge
+// only cache misses, so a warm replica browns out only when it touches
+// the disk — exactly the failure mode the breaker and hedging exist to
+// absorb.
+func (e *Engine) InjectFaults(si, ri int, plan FaultPlan) error {
+	return e.eng.InjectFaults(si, ri, plan)
+}
+
+// FailReplica hard-fails shard si's replica ri: every device touch
+// faults (charging the plan's FailStall, default 1ms) until HealReplica
+// or Repair. With a breaker armed the replica trips open and the read
+// path routes around it.
+func (e *Engine) FailReplica(si, ri int) error { return e.eng.FailReplica(si, ri) }
+
+// HealReplica clears a hard fail installed by FailReplica. Any
+// injected FaultPlan stays armed; the breaker re-closes on its next
+// successful probe.
+func (e *Engine) HealReplica(si, ri int) error { return e.eng.HealReplica(si, ri) }
+
+// Repair rebuilds shard si's sick replicas — those whose breaker is
+// not closed or whose device is hard-failed. A sick primary is healed
+// in place (fault plan cleared); a sick secondary is rebuilt from the
+// primary onto a fresh device. It returns how many replicas were
+// repaired; answers stay byte-identical throughout.
+func (e *Engine) Repair(si int) (int, error) { return e.eng.Repair(si) }
+
+// BreakerStates returns shard si's per-replica circuit-breaker states
+// (all BreakerClosed on an engine without EngineConfig.Breaker).
+func (e *Engine) BreakerStates(si int) ([]BreakerState, error) {
+	return e.eng.BreakerStates(si)
 }
 
 // Retrain (re)trains a dynamic engine's layout without moving

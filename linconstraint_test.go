@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+	"time"
 )
 
 func TestPlanarIndexFacade(t *testing.T) {
@@ -483,5 +484,109 @@ func TestRebalanceFacade(t *testing.T) {
 		if before[i] != after[i] {
 			t.Fatalf("static rebuild changed id %d", i)
 		}
+	}
+}
+
+// TestRobustnessFacade drives the public robustness surface end to end:
+// fault injection on a replicated shard, breaker trip and route-around,
+// Repair, and graceful degradation under a deadline — answers
+// byte-identical to the healthy baseline except where degradation is
+// explicitly reported.
+func TestRobustnessFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := make([]Point2, 3000)
+	for i := range pts {
+		pts[i] = Point2{X: rng.Float64(), Y: rng.Float64()}
+	}
+	e := NewPlanarEngine(pts, EngineConfig{
+		Shards: 2, BlockSize: 32, Seed: 7, Partitioner: KDCutLayout(),
+		HedgeAfter: time.Hour, // armed but never firing: guarded path, deterministic routing
+		Breaker:    &BreakerConfig{Threshold: 2, Cooldown: time.Hour},
+	})
+	defer e.Close()
+	if err := e.Replicate(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	base := e.Halfplane(0.5, 0.3)
+	if len(base) == 0 {
+		t.Fatal("baseline query empty")
+	}
+
+	// Hard-fail the copy the idle engine always picks; the breaker must
+	// trip it open and route reads to the survivor, answers unchanged.
+	if err := e.InjectFaults(0, 0, FaultPlan{FailStall: 10 * time.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FailReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := e.Halfplane(0.5, 0.3)
+		if len(got) != len(base) {
+			t.Fatalf("faulted answer has %d ids, want %d", len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("faulted answer differs at %d", i)
+			}
+		}
+		states, err := e.BreakerStates(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if states[0] == BreakerOpen {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never tripped: states %v", states)
+		}
+	}
+
+	// Repair heals the primary and re-closes the breaker.
+	n, err := e.Repair(0)
+	if err != nil || n != 1 {
+		t.Fatalf("Repair: n=%d err=%v", n, err)
+	}
+	if err := e.HealReplica(0, 0); err != nil { // idempotent on a healed copy
+		t.Fatal(err)
+	}
+	states, err := e.BreakerStates(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri, s := range states {
+		if s != BreakerClosed {
+			t.Fatalf("replica %d state %v after repair, want closed", ri, s)
+		}
+	}
+	got := e.Halfplane(0.5, 0.3)
+	for i := range got {
+		if got[i] != base[i] {
+			t.Fatalf("post-repair answer differs at %d", i)
+		}
+	}
+
+	// Lenient deadline engine: a stalled shard degrades the run and
+	// names the shard it abandoned; HedgeAuto accepted as a config.
+	soft := NewPlanarEngine(pts, EngineConfig{
+		Shards: 2, BlockSize: 32, Seed: 7, Partitioner: KDCutLayout(),
+		Deadline: 2 * time.Millisecond, HedgeAfter: HedgeAuto,
+	})
+	defer soft.Close()
+	if err := soft.InjectFaults(1, 0, FaultPlan{FailStall: 200 * time.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := soft.FailReplica(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// y <= 0x + 2 covers every point in [0,1]² — unprunable, so the
+	// stalled shard is always on the plan and the deadline must bite.
+	res := soft.Batch([]Query{{Op: OpHalfplane, A: 0, B: 2}})
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	if !res[0].Degraded || len(res[0].Missing) == 0 {
+		t.Fatalf("stalled run not degraded: %+v missing %v", res[0].Degraded, res[0].Missing)
 	}
 }
