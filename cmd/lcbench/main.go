@@ -76,6 +76,7 @@ func main() {
 	reshard := flag.Bool("reshard", false, "run the online-resharding smoke (skewed delete phase, rebalance, skew + visited-shards before/after); -json writes its record")
 	hotshard := flag.Bool("hotshard", false, "run the hot-shard replication smoke (zipf reads, sketch-driven AutoReplicate, qps before/after); -json writes its record")
 	faultsoak := flag.Bool("faultsoak", false, "run the robustness smoke (browned-out replica, hedged vs unhedged p99, breaker trip/route-around/repair); -json writes its record")
+	servebench := flag.Bool("servebench", false, "run the serving front-end smoke (HTTP qps with stripe batching vs passthrough, plus a load-shedding leg); -json writes its record")
 	jsonOut := flag.String("json", "", "run the engine hot-path benchmarks and write the perf record to this path (with -reshard: the reshard record)")
 	baseline := flag.String("baseline", "", "with -json: previously written perf record to embed as the comparison baseline")
 	flag.Parse()
@@ -96,6 +97,13 @@ func main() {
 
 	if *faultsoak {
 		if !faultsoakSmoke(*seed, *quick, *jsonOut) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *servebench {
+		if !servebenchSmoke(*seed, *quick, *jsonOut) {
 			os.Exit(1)
 		}
 		return

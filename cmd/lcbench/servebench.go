@@ -1,0 +1,318 @@
+package main
+
+// The -servebench mode: an end-to-end smoke of the serving front-end
+// (DESIGN.md §13). One k-NN engine is shared by two measurement legs
+// that differ only in the front-end's batch ceiling: MaxBatch 1 is
+// exact passthrough (every HTTP request becomes its own engine run),
+// MaxBatch 16 lets the stripe batcher coalesce concurrent requests
+// into single Engine.BatchInto runs. Equal client concurrency hammers
+// keep-alive GETs from a prebuilt URL pool for a fixed window in each
+// leg; the smoke fails unless coalescing clears 2x the passthrough
+// qps. A third leg saturates a deliberately tiny admission ring and
+// fails unless load is shed with 429s while the served requests keep
+// a stable p99 — backpressure, not buffering.
+//
+// Where the speedup comes from: the engine's devices charge per-miss
+// latency, and a small-k query at a uniform random point visits the
+// one or two shards under its tile (KDCut layout), so each query's
+// misses serialize on that shard's device. Batch-size-1 runs can only
+// ever wait on one query's device at a time; a coalesced run carries
+// K queries landing on mostly-disjoint shards, so the engine's worker
+// pool overlaps their misses (the latency hiding the pool exists
+// for — DESIGN.md §2) and the batch finishes in roughly the slowest
+// single query's time, not the sum. Pure CPU amortization of per-run
+// dispatch exists too but is small (~1.1x on this one-core runner);
+// the miss overlap is the serving win and is what the 2x bar tests.
+// The cache is kept small so the random query points keep missing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"linconstraint"
+	"linconstraint/internal/geom"
+	"linconstraint/internal/workload"
+)
+
+// servebenchRecord is the -servebench -json output
+// (results/BENCH_pr10.json).
+type servebenchRecord struct {
+	N           int     `json:"n"`
+	Shards      int     `json:"shards"`
+	K           int     `json:"k"`
+	IOLatencyUS int64   `json:"io_latency_us"`
+	Clients     int     `json:"clients"`
+	WindowS     float64 `json:"window_s"`
+
+	MaxBatch   int   `json:"max_batch"`
+	MaxDelayUS int64 `json:"max_delay_us"`
+
+	QPSPassthrough float64 `json:"qps_passthrough"`
+	QPSCoalesced   float64 `json:"qps_coalesced"`
+	Speedup        float64 `json:"speedup"`
+	MeanBatch      float64 `json:"mean_batch_coalesced"`
+
+	SatClients  int     `json:"sat_clients"`
+	SatQueueCap int     `json:"sat_queue_cap"`
+	SatServed   int64   `json:"sat_served"`
+	SatShed     int64   `json:"sat_shed"`
+	SatP99MS    float64 `json:"sat_p99_ms"`
+
+	Pass bool `json:"pass"`
+}
+
+// servebenchLeg runs one measurement window against a fresh front-end
+// over eng. Every leg gets its own registry (one server per registry)
+// and its own real TCP listener so the measured path includes the
+// full HTTP round trip.
+type servebenchLeg struct {
+	served  int64
+	shed    int64
+	other   int64
+	elapsed time.Duration
+	batches float64 // engine runs the front-end flushed
+	lats    []time.Duration
+}
+
+func (l *servebenchLeg) qps() float64 { return float64(l.served) / l.elapsed.Seconds() }
+
+func (l *servebenchLeg) p99() time.Duration {
+	if len(l.lats) == 0 {
+		return 0
+	}
+	sort.Slice(l.lats, func(i, j int) bool { return l.lats[i] < l.lats[j] })
+	i := int(0.99 * float64(len(l.lats)))
+	if i >= len(l.lats) {
+		i = len(l.lats) - 1
+	}
+	return l.lats[i]
+}
+
+func runServeLeg(eng *linconstraint.Engine, scfg linconstraint.ServerConfig,
+	clients int, window time.Duration, urls []string) servebenchLeg {
+	reg := linconstraint.NewMetrics()
+	scfg.Metrics = reg
+	front := linconstraint.Serve(eng, scfg)
+	hs := httptest.NewServer(front)
+	defer func() {
+		hs.Close()
+		front.Close()
+	}()
+	tr := hs.Client().Transport.(*http.Transport)
+	tr.MaxIdleConns = clients
+	tr.MaxIdleConnsPerHost = clients
+	hc := hs.Client()
+
+	full := make([]string, len(urls))
+	for i, u := range urls {
+		full[i] = hs.URL + u
+	}
+	// Warm the connections and the engine caches outside the window.
+	for i := 0; i < clients; i++ {
+		if resp, err := hc.Get(full[i%len(full)]); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+
+	var leg servebenchLeg
+	var stop atomic.Bool
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			i := c
+			var served, shed, other int64
+			lats := make([]time.Duration, 0, 1024)
+			for !stop.Load() {
+				t0 := time.Now()
+				resp, err := hc.Get(full[i%len(full)])
+				i++
+				if err != nil {
+					other++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusPartialContent:
+					served++
+					lats = append(lats, time.Since(t0))
+				case http.StatusTooManyRequests:
+					shed++ // no backoff: saturation is the point
+				default:
+					other++
+				}
+			}
+			mu.Lock()
+			leg.served += served
+			leg.shed += shed
+			leg.other += other
+			leg.lats = append(leg.lats, lats...)
+			mu.Unlock()
+		}(c)
+	}
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	leg.elapsed = time.Since(start)
+	leg.batches = scrapeSeries(reg, "server_batches_total")
+	return leg
+}
+
+// scrapeSeries reads one un-labelled counter/gauge value out of the
+// registry's Prometheus exposition.
+func scrapeSeries(reg *linconstraint.Metrics, name string) float64 {
+	rec := httptest.NewRecorder()
+	linconstraint.MetricsHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// servebenchSmoke runs the passthrough, coalesced and saturation legs
+// and verifies the acceptance thresholds. Returns false (and prints
+// FAIL lines) on any violation.
+func servebenchSmoke(seed int64, quick bool, jsonPath string) bool {
+	n := 50_000
+	clients := 48
+	window := 2 * time.Second
+	satClients := 96
+	satWindow := 1500 * time.Millisecond
+	if quick {
+		n = 10_000
+		clients = 24
+		window = 800 * time.Millisecond
+		satClients = 48
+		satWindow = 800 * time.Millisecond
+	}
+	// MaxBatch stays below the client count: a closed-loop client pool
+	// can only keep `clients` requests outstanding, so a larger ceiling
+	// would never fill and every flush would wait out MaxDelay with the
+	// core idle. At 16 the batch fills from the queue the moment the
+	// previous run completes and the timer never fires. Workers match
+	// the shard count so every shard a batch lands on can wait on its
+	// device concurrently — the workers spend the window sleeping, not
+	// competing for the core.
+	const (
+		shards   = 32
+		knnK     = 8
+		ioLat    = 200 * time.Microsecond
+		maxBatch = 16
+		maxDelay = time.Millisecond
+		satQueue = 16
+	)
+
+	rng := rand.New(rand.NewSource(seed))
+	pts := workload.Uniform2(rng, n)
+	eng := linconstraint.NewKNNEngine(pts, linconstraint.EngineConfig{
+		Shards:      shards,
+		Workers:     shards,
+		BlockSize:   64,
+		CacheBlocks: 4, // tiny on purpose: random query points must keep paying misses
+		IOLatency:   ioLat,
+		Partitioner: linconstraint.KDCutLayout(), // tile per shard: random points spread, each visits ~1 shard
+	})
+	defer eng.Close()
+
+	urls := make([]string, 128)
+	for i := range urls {
+		q := geom.Point2{X: rng.Float64(), Y: rng.Float64()}
+		v := url.Values{
+			"op": {"knn"},
+			"k":  {strconv.Itoa(knnK)},
+			"x":  {strconv.FormatFloat(q.X, 'g', -1, 64)},
+			"y":  {strconv.FormatFloat(q.Y, 'g', -1, 64)},
+		}
+		urls[i] = "/query?" + v.Encode()
+	}
+
+	fmt.Printf("servebench: %d pts, %d shards, %d-NN, %v/miss device latency, %d clients, %v windows\n",
+		n, shards, knnK, ioLat, clients, window)
+	fmt.Println("claim: coalesced batches overlap device misses across shards — qps >= 2x batch-size-1 passthrough at equal concurrency")
+
+	pass := runServeLeg(eng, linconstraint.ServerConfig{MaxBatch: 1, MaxDelay: maxDelay}, clients, window, urls)
+	coal := runServeLeg(eng, linconstraint.ServerConfig{MaxBatch: maxBatch, MaxDelay: maxDelay}, clients, window, urls)
+
+	meanBatch := 0.0
+	if coal.batches > 0 {
+		meanBatch = float64(coal.served) / coal.batches
+	}
+	speedup := 0.0
+	if pass.qps() > 0 {
+		speedup = coal.qps() / pass.qps()
+	}
+	fmt.Printf("passthrough (MaxBatch 1):  %7.0f qps  (%d served, %.0f runs, p99 %v)\n",
+		pass.qps(), pass.served, pass.batches, pass.p99().Round(time.Microsecond))
+	fmt.Printf("coalesced  (MaxBatch %2d):  %7.0f qps  (%d served, %.0f runs, mean batch %.1f, p99 %v)\n",
+		maxBatch, coal.qps(), coal.served, coal.batches, meanBatch, coal.p99().Round(time.Microsecond))
+	fmt.Printf("speedup: %.2fx\n", speedup)
+
+	// Saturation: a tiny single-stripe ring under more clients than it
+	// can hold. The ring must shed (429) rather than buffer, and what
+	// it does serve must keep a sane tail.
+	sat := runServeLeg(eng, linconstraint.ServerConfig{
+		MaxBatch: maxBatch, MaxDelay: maxDelay, QueueCap: satQueue, Stripes: 1,
+	}, satClients, satWindow, urls)
+	fmt.Printf("saturation (%d clients, ring %d): %d served, %d shed (429), served p99 %v\n",
+		satClients, satQueue, sat.served, sat.shed, sat.p99().Round(time.Microsecond))
+
+	ok := true
+	check := func(cond bool, what string) {
+		if cond {
+			fmt.Printf("PASS  %s\n", what)
+		} else {
+			fmt.Printf("FAIL  %s\n", what)
+			ok = false
+		}
+	}
+	check(speedup >= 2.0, fmt.Sprintf("coalesced >= 2x passthrough (got %.2fx)", speedup))
+	check(meanBatch > 1.5, fmt.Sprintf("batches actually coalesce (mean batch %.1f)", meanBatch))
+	check(sat.shed > 0, fmt.Sprintf("saturation sheds with 429s (%d shed)", sat.shed))
+	check(sat.served > 0 && sat.p99() <= 500*time.Millisecond,
+		fmt.Sprintf("served p99 stays stable under shedding (%v)", sat.p99().Round(time.Microsecond)))
+
+	if jsonPath != "" {
+		rec := servebenchRecord{
+			N: n, Shards: shards, K: knnK, IOLatencyUS: ioLat.Microseconds(), Clients: clients,
+			WindowS: window.Seconds(), MaxBatch: maxBatch, MaxDelayUS: maxDelay.Microseconds(),
+			QPSPassthrough: pass.qps(), QPSCoalesced: coal.qps(), Speedup: speedup, MeanBatch: meanBatch,
+			SatClients: satClients, SatQueueCap: satQueue,
+			SatServed: sat.served, SatShed: sat.shed,
+			SatP99MS: float64(sat.p99().Microseconds()) / 1000,
+			Pass:     ok,
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: writing %s: %v\n", jsonPath, err)
+			ok = false
+		} else {
+			fmt.Printf("servebench record written to %s\n", jsonPath)
+		}
+	}
+	return ok
+}

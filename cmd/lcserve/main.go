@@ -1,9 +1,17 @@
-// Command lcserve is a load generator for the sharded concurrent query
-// engine (DESIGN.md §5). It builds an engine over synthetic data,
-// profiles per-query I/O cost sequentially, then drives batched traffic
-// through the worker pool and reports throughput plus I/O histograms:
-// the distribution of per-query block transfers and the balance of I/O
-// across shards (summed vs worst-shard cost).
+// Command lcserve is a load generator and server for the sharded
+// concurrent query engine (DESIGN.md §5). It has three modes:
+//
+//   - Load generator (default): builds an engine over synthetic data,
+//     profiles per-query I/O cost sequentially, then drives batched
+//     traffic through the worker pool and reports throughput plus I/O
+//     histograms: the distribution of per-query block transfers and
+//     the balance of I/O across shards (summed vs worst-shard cost).
+//   - Server (-listen HOST:PORT): builds the engine, then serves
+//     queries over HTTP through the batching front-end (DESIGN.md
+//     §13) until SIGINT/SIGTERM instead of running the load phase.
+//   - Client (-target URL): builds no engine; fires -queries HTTP
+//     requests at a running server and reports qps, latency
+//     percentiles and the status-code histogram.
 //
 // The dynamic kinds (dynplanar, dynpartition) build by streaming
 // OpInsert batches through the mutable engine and accept a read/write
@@ -29,6 +37,9 @@
 //	        [-slow-ns N] [-explain] [-slo SPEC] [-watchdog DUR]
 //	        [-faults SPEC] [-hedge DUR|auto] [-deadline DUR] [-strict]
 //	        [-breaker T:DUR] [-linger DUR] [-promcheck FILE]
+//	        [-listen HOST:PORT [-max-batch N] [-max-delay DUR]
+//	         [-queue N] [-stripes N] [-grace DUR]]
+//	        [-target URL [-clients N]]
 //
 // The engine always runs instrumented: run-phase latency histograms
 // (p50/p95/p99 per phase in the report), windowed (time-resolved)
@@ -82,26 +93,48 @@
 // interleaved with the serving traffic; the report then shows moves
 // and the skew/spread metrics before and after (DESIGN.md §8).
 //
+// With -listen the process becomes a server: the listener binds before
+// the engine builds (a taken port fails fast, exit 1), queries arrive
+// as POST JSON or GET parameters on /query and run through per-op
+// striped batchers (-max-batch/-max-delay flush triggers, -queue
+// bounded admission per stripe — full rings shed with 429, -stripes
+// stripes per op), and the same port serves /healthz, /metrics and the
+// /debug/* introspection. SIGINT/SIGTERM drains in order — HTTP
+// server, then the front-end (every admitted request answered), then
+// the engine — bounded by -grace; a blown drain exits non-zero. With
+// -target the process is the matching client: it regenerates the
+// server's operand pool from -kind/-n/-sel/-seed (pair them with the
+// server's flags) and drives -queries keep-alive requests from
+// -clients workers.
+//
 // Examples — 8 shards, 8 workers, a 100µs simulated disk; a mutable
-// engine under a 30% write mix; then a kd-cut layout whose planner
-// prunes shards on selective queries:
+// engine under a 30% write mix; a kd-cut layout whose planner prunes
+// shards on selective queries; then a server and the client driving
+// it:
 //
 //	lcserve -kind planar -n 200000 -shards 8 -workers 8 -lat 100us
 //	lcserve -kind dynplanar -n 50000 -shards 8 -mix 0.3
 //	lcserve -kind planar -n 100000 -shards 8 -layout kd -sel 0.01
+//	lcserve -kind planar -n 100000 -shards 8 -layout kd -listen :8080
+//	lcserve -target http://localhost:8080 -kind planar -n 100000 \
+//	        -queries 20000 -clients 64
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"linconstraint"
@@ -149,6 +182,15 @@ func main() {
 		explainF = flag.Bool("explain", false, "print the planner's per-shard verdict for one sample query after the profile phase")
 		sloSpec  = flag.String("slo", "", "SLO objectives as comma-separated key=value pairs: p99=DUR (windowed p99 run latency) and/or visited=F (windowed mean shards visited); breaches burn engine_slo_breaches_total")
 		watchdog = flag.Duration("watchdog", 0, "health watchdog tick interval (0 disables; 1s implied when -slo is set)")
+
+		listen   = flag.String("listen", "", "serve mode: build the engine, serve the batching query front-end on this host:port (plus /metrics and the /debug endpoints), and wait for SIGINT/SIGTERM; no profile or load phases")
+		maxBatch = flag.Int("max-batch", 64, "serve mode: flush a stripe at this many coalesced requests (1 = passthrough)")
+		maxDelay = flag.Duration("max-delay", time.Millisecond, "serve mode: flush a non-empty stripe this long after its first request")
+		queueCap = flag.Int("queue", 256, "serve mode: per-stripe admission ring capacity (full rings shed with 429)")
+		stripesF = flag.Int("stripes", 0, "serve mode: batcher stripes per op family (0 = GOMAXPROCS, capped at 4)")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period after a signal: exit non-zero if draining takes longer")
+		target   = flag.String("target", "", "client mode: fire -queries HTTP requests at this base URL (e.g. http://host:port) instead of building an engine; pair with the server's -kind/-n/-sel/-seed so operands match its dataset")
+		clients  = flag.Int("clients", 16, "client mode: concurrent HTTP clients")
 	)
 	flag.Parse()
 
@@ -169,6 +211,18 @@ func main() {
 		return
 	}
 
+	// A signal cancels ctx: the load loop stops at the next batch, serve
+	// mode drains, and shutdown races the -grace period (PR 10 contract:
+	// eng.Close always runs, exit 1 if the drain stalls).
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+
+	// Client mode needs no engine at all: generate the same operand
+	// distribution the server built over and fire it at the URL.
+	if *target != "" {
+		os.Exit(runClient(ctx, *target, *kind, *n, *clients, *queries, *k, *dim, *sel, *seed))
+	}
+
 	if *mix > 0 && *kind != "dynplanar" && *kind != "dynpartition" {
 		fmt.Fprintf(os.Stderr, "-mix requires a dynamic kind (dynplanar, dynpartition)\n")
 		os.Exit(2)
@@ -176,6 +230,27 @@ func main() {
 	if *rebal && *kind != "dynplanar" && *kind != "dynpartition" {
 		fmt.Fprintf(os.Stderr, "-rebalance requires a dynamic kind (dynplanar, dynpartition)\n")
 		os.Exit(2)
+	}
+
+	// Bind every listener before the (possibly long) engine build, so a
+	// taken port fails the run immediately instead of after minutes of
+	// building — the serving handlers mount once the engine exists.
+	var metricsLn, serveLn net.Listener
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		metricsLn = ln
+	}
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-listen: %v\n", err)
+			os.Exit(1)
+		}
+		serveLn = ln
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -349,19 +424,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -kind %q\n", *kind)
 		os.Exit(2)
 	}
-	defer eng.Close()
-	// The telemetry endpoint mounts after the build: /debug/slow,
+	// The telemetry handler mounts after the build: /debug/slow,
 	// /debug/health and /debug/explain serve this engine's rings, so
-	// the handler needs it. /metrics itself has nothing to say before
-	// the build finishes anyway.
-	if *metricsAddr != "" {
+	// the handler needs it. The listener was bound before the build
+	// (fail fast); the server is shut down when the run ends instead of
+	// leaking its goroutine past the report.
+	var msrv *http.Server
+	if metricsLn != nil {
+		msrv = &http.Server{Handler: linconstraint.DebugHandler(reg, eng)}
 		go func() {
-			if err := http.ListenAndServe(*metricsAddr, linconstraint.DebugHandler(reg, eng)); err != nil {
+			if err := msrv.Serve(metricsLn); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 		}()
-		fmt.Printf("telemetry on http://%s/metrics (JSON at /metrics.json, pprof at /debug/pprof/, engine introspection at /debug/slow, /debug/health, /debug/explain)\n", *metricsAddr)
+		fmt.Printf("telemetry on http://%s/metrics (JSON at /metrics.json, pprof at /debug/pprof/, engine introspection at /debug/slow, /debug/health, /debug/explain)\n", metricsLn.Addr())
+	}
+	// shutdown replaces the old `defer eng.Close()`: the full ordered
+	// drain — telemetry server, then engine (serve mode closes its
+	// front-end before calling this) — raced against the grace period,
+	// so a stuck worker turns into exit 1 instead of a hang.
+	shutdown := func(code int) {
+		drained := make(chan struct{})
+		go func() {
+			if msrv != nil {
+				sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				msrv.Shutdown(sctx)
+				cancel()
+			}
+			eng.Close()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-time.After(*grace):
+			fmt.Fprintf(os.Stderr, "shutdown did not complete within %v\n", *grace)
+			os.Exit(1)
+		}
+		os.Exit(code)
 	}
 	buildTime := time.Since(start)
 	st := eng.Stats()
@@ -401,6 +501,19 @@ func main() {
 			fmt.Printf("fault: shard %d replica %d brownout p=%.2f stall=%v\n",
 				f.si, f.ri, f.plan.BrownoutProb, f.plan.BrownoutStall)
 		}
+	}
+
+	// Serve mode: mount the batching front-end over the engine and wait
+	// for a signal; no profile or load phases. The shutdown ordering is
+	// the §13 contract — stop accepting, drain the stripes, then close
+	// the engine.
+	if serveLn != nil {
+		code := serveMode(ctx, serveLn, eng, reg, linconstraint.ServerConfig{
+			MaxBatch: *maxBatch, MaxDelay: *maxDelay,
+			QueueCap: *queueCap, Stripes: *stripesF,
+			Metrics: reg,
+		}, *grace)
+		shutdown(code)
 	}
 
 	// Phase 1: sequential profile for the per-query I/O histogram and
@@ -492,7 +605,12 @@ func main() {
 	nextProbe := probeAt
 	lastSnap := reg.Snapshot()
 	lastAt := start
+	interrupted := false
 	for done < len(qs) {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		if *rebal && !rebFired && done >= len(qs)/2 {
 			rebFired = true
 			rebWG.Add(1)
@@ -556,8 +674,11 @@ func main() {
 	rebWG.Wait()
 	el := time.Since(start)
 	st = eng.Stats()
-	fmt.Printf("\nload phase: %d ops (%d queries, %d inserts, %d deletes) in batches of %d: %v (%.0f ops/sec)\n",
-		len(qs), nq, nins, ndel, *batch, el.Round(time.Millisecond), float64(len(qs))/el.Seconds())
+	if interrupted {
+		fmt.Printf("\nsignal: load phase stopped after %d of %d ops; draining\n", done, len(qs))
+	}
+	fmt.Printf("\nload phase: %d ops (%d queries, %d inserts, %d deletes generated) in batches of %d: %v (%.0f ops/sec)\n",
+		done, nq, nins, ndel, *batch, el.Round(time.Millisecond), float64(done)/el.Seconds())
 	if genUpd != nil {
 		fmt.Printf("live records after load: %d\n", eng.Len())
 	}
@@ -580,7 +701,7 @@ func main() {
 	}
 	fmt.Printf("aggregate I/O: %d total (%d reads, %d writes, %d cache hits), %.1f I/Os/op\n",
 		st.Total.IOs(), st.Total.Reads, st.Total.Writes, st.Total.Hits,
-		float64(st.Total.IOs())/float64(len(qs)))
+		float64(st.Total.IOs())/float64(maxi(1, done)))
 	if nq > 0 {
 		fmt.Printf("planner: %d shard visits, %d pruned (%.2f visited / %.2f pruned of %d per query)\n",
 			st.ShardsVisited, st.ShardsPruned,
@@ -761,10 +882,15 @@ func main() {
 		}
 		fmt.Printf("metrics snapshot written to %s\n", *metricsDump)
 	}
-	if *linger > 0 {
+	if *linger > 0 && !interrupted {
 		fmt.Printf("lingering %v for scrapes...\n", *linger)
-		time.Sleep(*linger)
+		select {
+		case <-time.After(*linger):
+		case <-ctx.Done():
+			fmt.Println("signal: linger cut short")
+		}
 	}
+	shutdown(0)
 }
 
 // parseSLO parses the -slo spec: comma-separated key=value pairs,

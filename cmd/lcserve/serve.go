@@ -1,0 +1,60 @@
+package main
+
+// Serve mode (-listen): mount the batching query front-end
+// (linconstraint.Serve, DESIGN.md §13) plus the full telemetry surface
+// on one listener and block until the context is cancelled by a
+// signal. Shutdown follows the §13 ordering — stop accepting new
+// connections, drain in-flight handlers, close the front-end (which
+// answers everything already admitted), and only then let the caller
+// close the engine — all raced against the grace period.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"linconstraint"
+)
+
+func serveMode(ctx context.Context, ln net.Listener, eng *linconstraint.Engine,
+	reg *linconstraint.Metrics, scfg linconstraint.ServerConfig, grace time.Duration) int {
+	front := linconstraint.Serve(eng, scfg)
+	mux := http.NewServeMux()
+	mux.Handle("/query", front)
+	mux.Handle("/healthz", front)
+	mux.Handle("/", linconstraint.DebugHandler(reg, eng))
+	srv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("serving queries on http://%s/query (POST JSON or GET params; metrics at /metrics, introspection at /debug/*)\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		front.Close()
+		return 1
+	case <-ctx.Done():
+		fmt.Println("signal: draining front-end, then engine")
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		sctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if srv.Shutdown(sctx) != nil {
+			srv.Close() // grace blown on handler drain: cut the connections
+		}
+		front.Close()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return 0
+	case <-time.After(grace):
+		fmt.Fprintf(os.Stderr, "front-end drain did not complete within %v\n", grace)
+		return 1
+	}
+}

@@ -1,0 +1,95 @@
+package server
+
+import "sync/atomic"
+
+// mpmc is a bounded multi-producer multi-consumer FIFO ring (Vyukov's
+// bounded queue): every cell carries a sequence number that tickets
+// producers and consumers, so each side synchronizes on one CAS with
+// no mutex and no allocation after construction. A full ring rejects
+// the push instead of blocking — that rejection is the admission
+// queue's load-shedding contract (DESIGN.md §13): memory stays bounded
+// at the ring capacity no matter how hard producers push.
+type mpmc struct {
+	mask  uint64
+	cells []mpmcCell
+	_     [48]byte // keep the producer and consumer cursors on separate cache lines
+	enq   atomic.Uint64
+	_     [56]byte
+	deq   atomic.Uint64
+}
+
+type mpmcCell struct {
+	seq atomic.Uint64
+	req *request
+}
+
+// newMPMC returns a ring holding at least capacity requests (rounded
+// up to a power of two, minimum 2).
+func newMPMC(capacity int) *mpmc {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	q := &mpmc{mask: uint64(n - 1), cells: make([]mpmcCell, n)}
+	for i := range q.cells {
+		q.cells[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// tryPush enqueues r, reporting false when the ring is full.
+func (q *mpmc) tryPush(r *request) bool {
+	pos := q.enq.Load()
+	for {
+		c := &q.cells[pos&q.mask]
+		dif := int64(c.seq.Load()) - int64(pos)
+		switch {
+		case dif == 0:
+			if q.enq.CompareAndSwap(pos, pos+1) {
+				c.req = r
+				c.seq.Store(pos + 1)
+				return true
+			}
+			pos = q.enq.Load()
+		case dif < 0:
+			// The cell still holds a request from one lap ago: full.
+			return false
+		default:
+			pos = q.enq.Load()
+		}
+	}
+}
+
+// tryPop dequeues the oldest request, reporting false when the ring is
+// empty (or its head producer has reserved but not yet published).
+func (q *mpmc) tryPop() (*request, bool) {
+	pos := q.deq.Load()
+	for {
+		c := &q.cells[pos&q.mask]
+		dif := int64(c.seq.Load()) - int64(pos+1)
+		switch {
+		case dif == 0:
+			if q.deq.CompareAndSwap(pos, pos+1) {
+				r := c.req
+				c.req = nil
+				c.seq.Store(pos + q.mask + 1)
+				return r, true
+			}
+			pos = q.deq.Load()
+		case dif < 0:
+			return nil, false
+		default:
+			pos = q.deq.Load()
+		}
+	}
+}
+
+// size reports the instantaneous occupancy: exact when quiescent,
+// approximate under concurrency (reserved-but-unpublished cells count).
+func (q *mpmc) size() int {
+	e, d := q.enq.Load(), q.deq.Load()
+	if e < d {
+		return 0
+	}
+	return int(e - d)
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"linconstraint/internal/index"
+)
+
+func TestMPMCFIFOAndBound(t *testing.T) {
+	q := newMPMC(7) // rounds up to 8
+	reqs := make([]*request, 12)
+	for i := range reqs {
+		reqs[i] = &request{}
+	}
+	for i := 0; i < 8; i++ {
+		if !q.tryPush(reqs[i]) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if q.tryPush(reqs[8]) {
+		t.Fatal("push accepted beyond capacity")
+	}
+	if got := q.size(); got != 8 {
+		t.Fatalf("size = %d, want 8", got)
+	}
+	for i := 0; i < 8; i++ {
+		r, ok := q.tryPop()
+		if !ok || r != reqs[i] {
+			t.Fatalf("pop %d: got %p ok=%v, want %p (FIFO)", i, r, ok, reqs[i])
+		}
+	}
+	if _, ok := q.tryPop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+	// A drained ring accepts a full second lap.
+	for i := 0; i < 8; i++ {
+		if !q.tryPush(reqs[i]) {
+			t.Fatalf("second-lap push %d rejected", i)
+		}
+	}
+}
+
+// TestMPMCConcurrent hammers the ring from both sides under -race:
+// every pushed request must be popped exactly once, and the ring must
+// never report occupancy beyond its capacity.
+func TestMPMCConcurrent(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 2000
+		capacity  = 16
+	)
+	q := newMPMC(capacity)
+	var (
+		pushed atomic.Int64
+		popped atomic.Int64
+		seen   [producers * perProd]atomic.Int32
+		prodWG sync.WaitGroup
+		consWG sync.WaitGroup
+		done   = make(chan struct{})
+	)
+	// Requests carry their identity through Query.K.
+	reqs := make([]*request, producers*perProd)
+	for i := range reqs {
+		reqs[i] = &request{q: index.Query{K: i}}
+	}
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			for i := 0; i < perProd; i++ {
+				r := reqs[p*perProd+i]
+				for !q.tryPush(r) {
+					runtime.Gosched() // full ring: let a consumer run (vital on one core)
+				}
+				pushed.Add(1)
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		consWG.Add(1)
+		go func() {
+			defer consWG.Done()
+			for {
+				r, ok := q.tryPop()
+				if !ok {
+					select {
+					case <-done:
+						if r, ok := q.tryPop(); ok {
+							seen[r.q.K].Add(1)
+							popped.Add(1)
+							continue
+						}
+						return
+					default:
+						runtime.Gosched()
+						continue
+					}
+				}
+				seen[r.q.K].Add(1)
+				popped.Add(1)
+			}
+		}()
+	}
+	prodWG.Wait()
+	close(done)
+	consWG.Wait()
+	if pushed.Load() != producers*perProd || popped.Load() != producers*perProd {
+		t.Fatalf("pushed %d popped %d, want %d each", pushed.Load(), popped.Load(), producers*perProd)
+	}
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("request %d transferred %d times", i, n)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"net/http"
+
+	"linconstraint/internal/engine"
+)
+
+// Status classifies the outcome of one submitted query.
+type Status int
+
+const (
+	// StatusOK: complete answer.
+	StatusOK Status = iota
+	// StatusPartial: the run blew its deadline and degraded; the
+	// answer covers the visited shards only, Missing lists the rest.
+	StatusPartial
+	// StatusShed: every stripe's admission ring was full; the query
+	// never reached the engine. Retry later.
+	StatusShed
+	// StatusClosed: the server is shutting down.
+	StatusClosed
+	// StatusBadRequest: unparseable query or an op outside the
+	// engine's family (index.ErrUnsupported).
+	StatusBadRequest
+	// StatusError: the engine reported an error.
+	StatusError
+)
+
+// HTTPCode maps a Status onto the wire status the handler writes.
+func (s Status) HTTPCode() int {
+	switch s {
+	case StatusOK:
+		return http.StatusOK
+	case StatusPartial:
+		return http.StatusPartialContent
+	case StatusShed:
+		return http.StatusTooManyRequests
+	case StatusClosed:
+		return http.StatusServiceUnavailable
+	case StatusBadRequest:
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusPartial:
+		return "partial"
+	case StatusShed:
+		return "shed"
+	case StatusClosed:
+		return "closed"
+	case StatusBadRequest:
+		return "bad_request"
+	default:
+		return "error"
+	}
+}
+
+// Neighbor is one k-NN answer on the wire.
+type Neighbor struct {
+	ID    int     `json:"id"`
+	Dist2 float64 `json:"dist2"`
+}
+
+// Latency is the per-request attribution: time in the admission ring,
+// time waiting for the batch to fill, the shared engine run, and the
+// end-to-end total from admission to demux.
+type Latency struct {
+	QueueNs int64 `json:"queue_ns"`
+	BatchNs int64 `json:"batch_ns"`
+	RunNs   int64 `json:"run_ns"`
+	TotalNs int64 `json:"total_ns"`
+}
+
+// Response is one query's answer, deep-copied out of the engine's
+// arena by the flusher so it stays valid after the next batch runs.
+// Reused Responses keep their buffer capacity across reset/fill.
+type Response struct {
+	IDs       []int       `json:"ids,omitempty"`
+	Recs      [][]float64 `json:"recs,omitempty"`
+	Neighbors []Neighbor  `json:"neighbors,omitempty"`
+	Deleted   bool        `json:"deleted,omitempty"`
+	Degraded  bool        `json:"degraded,omitempty"`
+	Missing   []int       `json:"missing,omitempty"`
+
+	ShardsVisited int     `json:"shards_visited,omitempty"`
+	ShardsPruned  int     `json:"shards_pruned,omitempty"`
+	Batch         int     `json:"batch,omitempty"` // size of the coalesced run that answered
+	Err           string  `json:"error,omitempty"`
+	Lat           Latency `json:"lat"`
+}
+
+func (o *Response) reset() {
+	o.IDs = o.IDs[:0]
+	o.Recs = o.Recs[:0]
+	o.Neighbors = o.Neighbors[:0]
+	o.Missing = o.Missing[:0]
+	o.Deleted, o.Degraded = false, false
+	o.ShardsVisited, o.ShardsPruned, o.Batch = 0, 0, 0
+	o.Err = ""
+	o.Lat = Latency{}
+}
+
+// fill deep-copies r into o, reusing o's slices (rows included) so a
+// recycled Response allocates only on capacity growth.
+func (o *Response) fill(r *engine.Result, batch int) {
+	o.IDs = append(o.IDs[:0], r.IDs...)
+	// Re-expose previously used rows so their capacity is reused.
+	if n := len(r.Recs); n <= cap(o.Recs) {
+		o.Recs = o.Recs[:n]
+	} else {
+		o.Recs = append(o.Recs[:cap(o.Recs)], make([][]float64, n-cap(o.Recs))...)
+	}
+	for i := range r.Recs {
+		rec := &r.Recs[i]
+		row := o.Recs[i][:0]
+		if rec.PD != nil {
+			row = append(row, rec.PD...)
+		} else {
+			row = append(row, rec.P2.X, rec.P2.Y)
+		}
+		o.Recs[i] = row
+	}
+	o.Neighbors = o.Neighbors[:0]
+	for _, n := range r.Neighbors {
+		o.Neighbors = append(o.Neighbors, Neighbor{ID: n.ID, Dist2: n.Dist2})
+	}
+	o.Missing = append(o.Missing[:0], r.Missing...)
+	o.Deleted = r.Deleted
+	o.Degraded = r.Degraded
+	o.ShardsVisited = r.ShardsVisited
+	o.ShardsPruned = r.ShardsPruned
+	o.Batch = batch
+}

@@ -1,0 +1,393 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"linconstraint/internal/engine"
+	"linconstraint/internal/geom"
+	"linconstraint/internal/index"
+	"linconstraint/internal/metrics"
+	"linconstraint/internal/workload"
+)
+
+// postQuery round-trips one wireQuery over real HTTP and decodes the
+// Response; GET alternation goes through getQuery.
+func postQuery(t *testing.T, cl *http.Client, url string, wq wireQuery) (int, Response) {
+	t.Helper()
+	body, err := json.Marshal(wq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := cl.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var resp Response
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return hr.StatusCode, resp
+}
+
+func getQuery(t *testing.T, cl *http.Client, url string) (int, Response) {
+	t.Helper()
+	hr, err := cl.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var resp Response
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return hr.StatusCode, resp
+}
+
+// TestHTTPEquivalenceStatic: N concurrent HTTP clients fire halfplane
+// queries through the batcher; every response must be byte-identical
+// to a direct unbatched Engine.Batch on a single-shard reference
+// engine over the same points.
+func TestHTTPEquivalenceStatic(t *testing.T) {
+	const n, nq, clients, perClient = 4000, 32, 8, 60
+	rng := rand.New(rand.NewSource(7))
+	pts := workload.Uniform2(rng, n)
+
+	eng := engine.NewPlanar(pts, engine.Options{Shards: 4, BlockSize: 64, Seed: 7})
+	defer eng.Close()
+	ref := engine.NewPlanar(pts, engine.Options{Shards: 1, BlockSize: 64, Seed: 99})
+	defer ref.Close()
+
+	qs := make([]index.Query, nq)
+	for i := range qs {
+		h := workload.HalfplaneWithSelectivity(rng, pts, 0.05)
+		qs[i] = index.Query{Op: index.OpHalfplane, A: h.A, B: h.B}
+	}
+	want := make([][]int, nq)
+	for i, res := range ref.Batch(qs) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		want[i] = append(want[i], res.IDs...)
+	}
+
+	srv := New(eng, Config{MaxBatch: 16, MaxDelay: 2 * time.Millisecond, QueueCap: 128, Stripes: 2})
+	defer srv.Close()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := hs.Client()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < perClient; i++ {
+				qi := rng.Intn(nq)
+				var (
+					code int
+					resp Response
+				)
+				if i%2 == 0 {
+					code, resp = postQuery(t, cl, hs.URL, wireQuery{Op: "halfplane", A: qs[qi].A, B: qs[qi].B})
+				} else {
+					code, resp = getQuery(t, cl, fmt.Sprintf("%s/query?op=halfplane&a=%v&b=%v", hs.URL, qs[qi].A, qs[qi].B))
+				}
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("client %d query %d: status %d (%s)", c, qi, code, resp.Err)
+					return
+				}
+				if !slices.Equal(resp.IDs, want[qi]) {
+					errs <- fmt.Errorf("client %d query %d: %d IDs, want %d", c, qi, len(resp.IDs), len(want[qi]))
+					return
+				}
+				if resp.Lat.TotalNs <= 0 || resp.Lat.TotalNs < resp.Lat.RunNs {
+					errs <- fmt.Errorf("client %d: bad latency attribution %+v", c, resp.Lat)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Sending an op outside the engine's family is the client's fault.
+	code, _ := postQuery(t, hs.Client(), hs.URL, wireQuery{Op: "knn", K: 3})
+	if code != http.StatusBadRequest {
+		t.Errorf("knn on a planar engine: status %d, want 400", code)
+	}
+}
+
+// TestHTTPEquivalenceMutable interleaves inserts, deletes and
+// conjunction queries from N concurrent HTTP clients on one mutable
+// engine. Each client owns a disjoint y-band, so its op history
+// commutes with every other client's and each response must match a
+// private single-shard reference engine fed the same ops one at a
+// time.
+func TestHTTPEquivalenceMutable(t *testing.T) {
+	const clients, rounds = 6, 12
+
+	eng := engine.NewDynamicPartition(engine.Options{Shards: 3, BlockSize: 32, Seed: 3})
+	defer eng.Close()
+	srv := New(eng, Config{MaxBatch: 8, MaxDelay: time.Millisecond, QueueCap: 64, Stripes: 2})
+	defer srv.Close()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := hs.Client()
+			ref := engine.NewDynamicPartition(engine.Options{Shards: 1, BlockSize: 32, Seed: int64(100 + c)})
+			defer ref.Close()
+			base := float64(c) * 10
+			band := []wireConstraint{
+				{Coef: []float64{0, base + 9}, Below: true}, // y <= base+9
+				{Coef: []float64{0, base}, Below: false},    // y >= base
+			}
+			rng := rand.New(rand.NewSource(int64(c)))
+			var live []geom.PointD
+			check := func(wq wireQuery, q index.Query) error {
+				code, resp := postQuery(t, cl, hs.URL, wq)
+				refRes := ref.Batch([]index.Query{q})[0]
+				if refRes.Err != nil {
+					return fmt.Errorf("client %d reference: %v", c, refRes.Err)
+				}
+				if code != http.StatusOK {
+					return fmt.Errorf("client %d %s: status %d (%s)", c, wq.Op, code, resp.Err)
+				}
+				if q.Op == index.OpDelete && resp.Deleted != refRes.Deleted {
+					return fmt.Errorf("client %d delete: Deleted=%v, want %v", c, resp.Deleted, refRes.Deleted)
+				}
+				if q.Op == index.OpConjunction {
+					if len(resp.Recs) != len(refRes.Recs) {
+						return fmt.Errorf("client %d query: %d recs, want %d", c, len(resp.Recs), len(refRes.Recs))
+					}
+					for i, rec := range refRes.Recs {
+						if !slices.Equal(resp.Recs[i], []float64(rec.PD)) {
+							return fmt.Errorf("client %d query: rec %d = %v, want %v", c, i, resp.Recs[i], rec.PD)
+						}
+					}
+				}
+				return nil
+			}
+			for r := 0; r < rounds; r++ {
+				// Insert two records, query the band, delete one, query again.
+				var recs [2]geom.PointD
+				for i := range recs {
+					recs[i] = geom.PointD{float64(c) + rng.Float64(), base + 9*rng.Float64()}
+					live = append(live, recs[i])
+					wq := wireQuery{Op: "insert", RecD: recs[i]}
+					q := index.Query{Op: index.OpInsert, Rec: index.Record{PD: recs[i]}}
+					if err := check(wq, q); err != nil {
+						errs <- err
+						return
+					}
+				}
+				qq := index.Query{Op: index.OpConjunction, Constraints: []index.Constraint{
+					{Coef: band[0].Coef, Below: true}, {Coef: band[1].Coef, Below: false},
+				}}
+				if err := check(wireQuery{Op: "conjunction", Constraints: band}, qq); err != nil {
+					errs <- err
+					return
+				}
+				victim := live[rng.Intn(len(live))]
+				wq := wireQuery{Op: "delete", RecD: victim}
+				q := index.Query{Op: index.OpDelete, Rec: index.Record{PD: victim}}
+				if err := check(wq, q); err != nil {
+					errs <- err
+					return
+				}
+				if err := check(wireQuery{Op: "conjunction", Constraints: band}, qq); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// gatedBackend blocks every BatchInto until release is closed, so the
+// admission rings fill deterministically.
+type gatedBackend struct {
+	release chan struct{}
+}
+
+func (b *gatedBackend) BatchInto(qs []index.Query, res []engine.Result) []engine.Result {
+	<-b.release
+	res = res[:0]
+	for range qs {
+		res = append(res, engine.Result{})
+	}
+	return res
+}
+
+// TestSheddingBoundedAndCloseReleases saturates a tiny admission queue
+// behind a blocked backend: the overload must shed with StatusShed
+// (429) while queued memory stays bounded at the ring capacity, and
+// Close must strand no waiter — every admitted request is answered.
+func TestSheddingBoundedAndCloseReleases(t *testing.T) {
+	const flood = 64
+	const queueCap, maxBatch = 8, 4
+	be := &gatedBackend{release: make(chan struct{})}
+	reg := metrics.NewRegistry()
+	srv := New(be, Config{
+		MaxBatch: maxBatch, MaxDelay: time.Millisecond,
+		QueueCap: queueCap, Stripes: 1, Metrics: reg,
+	})
+
+	statuses := make(chan Status, flood)
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp Response
+			statuses <- srv.Do(index.Query{Op: index.OpHalfplane, A: 1, B: 0}, &resp)
+		}()
+	}
+
+	// The flusher is blocked inside the backend holding at most one
+	// batch; everything else either sits in the ring or was shed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		shed := srv.met.shed.Load()
+		depth := srv.met.queueDepth.Load()
+		if shed+depth+maxBatch >= flood {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flood never settled: shed=%d depth=%d", shed, depth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if depth := srv.met.queueDepth.Load(); depth > queueCap {
+		t.Fatalf("queue depth %d exceeds capacity %d: admission is not bounded", depth, queueCap)
+	}
+	if shed := srv.met.shed.Load(); shed < flood-queueCap-maxBatch {
+		t.Fatalf("shed %d, want >= %d: overload was buffered, not shed", shed, flood-queueCap-maxBatch)
+	}
+
+	// Close with the backend still blocked, then release: every
+	// admitted waiter must be answered, none stranded.
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	close(be.release)
+	waitDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(waitDone)
+	}()
+	select {
+	case <-waitDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiters stranded after Close")
+	}
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close never returned")
+	}
+	close(statuses)
+	var ok, shed int
+	for st := range statuses {
+		switch st {
+		case StatusOK:
+			ok++
+		case StatusShed:
+			shed++
+		default:
+			t.Fatalf("unexpected status %v", st)
+		}
+	}
+	if ok+shed != flood {
+		t.Fatalf("accounted %d of %d requests", ok+shed, flood)
+	}
+	if int64(shed) != srv.met.shed.Load() {
+		t.Fatalf("shed statuses %d != shed counter %d", shed, srv.met.shed.Load())
+	}
+	if srv.met.queueDepth.Load() != 0 {
+		t.Fatalf("queue depth %d after drain, want 0", srv.met.queueDepth.Load())
+	}
+
+	// After Close the server rejects instead of enqueueing.
+	var resp Response
+	if st := srv.Do(index.Query{Op: index.OpHalfplane}, &resp); st != StatusClosed {
+		t.Fatalf("post-Close Do: %v, want StatusClosed", st)
+	}
+}
+
+// degradedBackend answers every query Degraded with shard 2 missing,
+// as a deadline-truncated engine run would.
+type degradedBackend struct{}
+
+func (degradedBackend) BatchInto(qs []index.Query, res []engine.Result) []engine.Result {
+	res = res[:0]
+	for range qs {
+		res = append(res, engine.Result{Degraded: true, Missing: []int{2}})
+	}
+	return res
+}
+
+// TestPartialResponseStatus: degraded results must surface as a
+// distinguishable partial status (206), not a silent 200.
+func TestPartialResponseStatus(t *testing.T) {
+	srv := New(degradedBackend{}, Config{MaxBatch: 1})
+	defer srv.Close()
+
+	var resp Response
+	if st := srv.Do(index.Query{Op: index.OpHalfplane}, &resp); st != StatusPartial {
+		t.Fatalf("Do: %v, want StatusPartial", st)
+	}
+	if !resp.Degraded || !slices.Equal(resp.Missing, []int{2}) {
+		t.Fatalf("response not marked degraded: %+v", resp)
+	}
+
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/query?op=halfplane&a=1&b=2", nil)
+	srv.ServeHTTP(rr, req)
+	if rr.Code != http.StatusPartialContent {
+		t.Fatalf("HTTP status %d, want 206", rr.Code)
+	}
+
+	rr = httptest.NewRecorder()
+	srv.ServeHTTP(rr, httptest.NewRequest("GET", "/query?op=nope", nil))
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("unknown op: status %d, want 400", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	srv.ServeHTTP(rr, httptest.NewRequest("GET", "/query?op=halfplane&a=zap", nil))
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad float: status %d, want 400", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	srv.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d, want 200", rr.Code)
+	}
+}

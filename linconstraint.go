@@ -52,6 +52,7 @@ import (
 	"linconstraint/internal/metrics"
 	"linconstraint/internal/partition"
 	"linconstraint/internal/planner"
+	"linconstraint/internal/server"
 )
 
 // Point2 is a point in the plane.
@@ -952,3 +953,44 @@ func (e *Engine) NumWorkers() int { return e.eng.NumWorkers() }
 
 // Close stops the per-shard workers; queries after Close panic.
 func (e *Engine) Close() { e.eng.Close() }
+
+// --- Serving front-end (DESIGN.md §13) -------------------------------
+
+// ServerConfig tunes the serving front-end's striped batcher: flush
+// thresholds (MaxBatch/MaxDelay), per-stripe admission-ring capacity
+// (QueueCap, full rings shed with HTTP 429), stripes per op family,
+// and an optional metrics registry for the server_* series (share the
+// engine's registry — the name sets are disjoint).
+type ServerConfig = server.Config
+
+// Server is the batching network front-end over an Engine: requests
+// submitted via Do or HTTP coalesce in per-op stripes into single
+// BatchInto runs. It implements http.Handler (POST/GET /query,
+// /healthz). Stop with Close, then close the engine — in that order.
+type Server = server.Server
+
+// ServerResponse is one query's answer from the front-end, deep-copied
+// out of the engine's arenas, with per-request latency attribution
+// (queue wait / batch wait / run / total) attached.
+type ServerResponse = server.Response
+
+// ServerStatus classifies one served query's outcome.
+type ServerStatus = server.Status
+
+// Server statuses: ServeOK maps to HTTP 200, ServePartial (degraded
+// run) to 206, ServeShed (admission queue full) to 429, ServeClosed to
+// 503, ServeBadRequest to 400 and ServeError to 500.
+const (
+	ServeOK         = server.StatusOK
+	ServePartial    = server.StatusPartial
+	ServeShed       = server.StatusShed
+	ServeClosed     = server.StatusClosed
+	ServeBadRequest = server.StatusBadRequest
+	ServeError      = server.StatusError
+)
+
+// Serve starts a batching front-end over eng. The server does not own
+// the engine: call Server.Close first, Engine.Close after.
+func Serve(eng *Engine, cfg ServerConfig) *Server {
+	return server.New(eng.eng, cfg)
+}
